@@ -1,0 +1,80 @@
+//! Wall-clock throughput of TEMPI's commit pipeline pieces: translation
+//! (Algs. 1–4), canonicalization (Algs. 5–7), and StridedBlock conversion
+//! (Alg. 8). These run on the CPU in the real library too, so — unlike the
+//! virtual-time figures — these numbers are directly meaningful.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi_sim::consts::MPI_BYTE;
+use mpi_sim::datatype::Order;
+use mpi_sim::{Datatype, TypeRegistry};
+use std::hint::black_box;
+use tempi_core::ir::strided_block::strided_block;
+use tempi_core::ir::transform::simplify;
+use tempi_core::ir::translate::{translate, translate_strided};
+
+fn zoo(reg: &mut TypeRegistry) -> Vec<Datatype> {
+    let plane = reg
+        .type_create_subarray(&[512, 256], &[13, 100], &[0, 0], Order::C, MPI_BYTE)
+        .unwrap();
+    let c1 = reg.type_vector(47, 1, 1, plane).unwrap();
+    let row = reg.type_vector(100, 1, 1, MPI_BYTE).unwrap();
+    let p2 = reg.type_create_hvector(13, 1, 256, row).unwrap();
+    let c2 = reg.type_create_hvector(47, 1, 256 * 512, p2).unwrap();
+    let c3 = reg
+        .type_create_subarray(
+            &[1024, 512, 256],
+            &[47, 13, 100],
+            &[0, 0, 0],
+            Order::C,
+            MPI_BYTE,
+        )
+        .unwrap();
+    vec![c1, c2, c3]
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut reg = TypeRegistry::new();
+    let types = zoo(&mut reg);
+
+    c.bench_function("translate_fig2_zoo", |b| {
+        b.iter(|| {
+            for &dt in &types {
+                black_box(translate(&mut reg, black_box(dt)).unwrap());
+            }
+        })
+    });
+
+    let trees: Vec<_> = types
+        .iter()
+        .map(|&dt| translate_strided(&mut reg, dt).unwrap())
+        .collect();
+    c.bench_function("simplify_fig2_zoo", |b| {
+        b.iter(|| {
+            for t in &trees {
+                black_box(simplify(black_box(t.clone())));
+            }
+        })
+    });
+
+    let canon: Vec<_> = trees.iter().map(|t| simplify(t.clone()).0).collect();
+    c.bench_function("strided_block_fig2_zoo", |b| {
+        b.iter(|| {
+            for t in &canon {
+                black_box(strided_block(black_box(t)));
+            }
+        })
+    });
+
+    c.bench_function("full_commit_pipeline", |b| {
+        b.iter(|| {
+            for &dt in &types {
+                let t = translate_strided(&mut reg, black_box(dt)).unwrap();
+                let (canon, _) = simplify(t);
+                black_box(strided_block(&canon));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Wall-clock throughput of the functional packing machinery — the real
+//! bytes the simulator moves per second of host CPU time when executing
+//! TEMPI's strided kernels versus the baseline copy-per-block loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_sim::consts::MPI_BYTE;
+use mpi_sim::{RankCtx, WorldConfig};
+use std::hint::black_box;
+use tempi_core::config::TempiConfig;
+use tempi_core::interpose::InterposedMpi;
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_pack_1mib");
+    let total = 1usize << 20;
+    for &block in &[64usize, 1024, 16384] {
+        let count = total / block;
+        group.throughput(Throughput::Bytes(total as u64));
+        for (name, interposed) in [("tempi", true), ("system", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("block{block}")),
+                &block,
+                |b, _| {
+                    let mut ctx = RankCtx::standalone(&WorldConfig::summit(1));
+                    let mut mpi = if interposed {
+                        InterposedMpi::new(TempiConfig::default())
+                    } else {
+                        InterposedMpi::system_only()
+                    };
+                    let dt = ctx
+                        .type_vector(count as i32, block as i32, (block * 2) as i32, MPI_BYTE)
+                        .unwrap();
+                    mpi.type_commit(&mut ctx, dt).unwrap();
+                    let src = ctx.gpu.malloc(total * 2).unwrap();
+                    let dst = ctx.gpu.malloc(total).unwrap();
+                    b.iter(|| {
+                        let mut pos = 0;
+                        mpi.pack(&mut ctx, black_box(src), 1, dt, dst, total, &mut pos)
+                            .unwrap();
+                        black_box(pos)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

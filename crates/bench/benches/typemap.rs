@@ -1,0 +1,38 @@
+//! Wall-clock cost of typemap flattening (the semantics oracle) — the
+//! operation baseline implementations effectively perform per pack, and
+//! the term TEMPI's canonical representation avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_sim::consts::MPI_BYTE;
+use mpi_sim::datatype::typemap::segments;
+use mpi_sim::datatype::Order;
+use mpi_sim::TypeRegistry;
+use std::hint::black_box;
+
+fn bench_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segments");
+    for &count in &[64usize, 1024, 16384] {
+        let mut reg = TypeRegistry::new();
+        let v = reg.type_vector(count as i32, 16, 64, MPI_BYTE).unwrap();
+        group.bench_with_input(BenchmarkId::new("vector", count), &count, |b, _| {
+            b.iter(|| black_box(segments(&reg, black_box(v)).unwrap()))
+        });
+    }
+    let mut reg = TypeRegistry::new();
+    let cuboid = reg
+        .type_create_subarray(
+            &[256, 128, 64],
+            &[100, 50, 32],
+            &[2, 2, 2],
+            Order::C,
+            MPI_BYTE,
+        )
+        .unwrap();
+    group.bench_function("subarray_3d_100x50", |b| {
+        b.iter(|| black_box(segments(&reg, black_box(cuboid)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_segments);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Table 1: experimental platform summaries.
+//!
+//! Run: `cargo run -p tempi-bench --bin table1`
+
+use serde::Serialize;
+use tempi_bench::{Platform, Table};
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    mpi: String,
+    cpu: String,
+    gpu: String,
+    gpu_mem_gib: usize,
+    ranks_per_node: String,
+    cpu_floor_us: f64,
+    gpu_floor_us: f64,
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "Name",
+        "MPI",
+        "CPU",
+        "GPU",
+        "GPU mem",
+        "ranks/node",
+        "cpu-cpu floor",
+        "gpu-gpu floor",
+    ]);
+    let mut rows = Vec::new();
+    for p in [Platform::Summit, Platform::OpenMpi, Platform::Mvapich] {
+        let w = p.world(1);
+        let name = match p {
+            Platform::Summit => "OLCF Summit",
+            Platform::OpenMpi => "openmpi",
+            Platform::Mvapich => "mvapich",
+        };
+        let cpu = match p {
+            Platform::Summit => "IBM POWER9",
+            _ => "AMD Ryzen 7 3700x",
+        };
+        let mpi = format!("{} {}", w.vendor.mpi_name, w.vendor.version);
+        let rpn = if w.net.ranks_per_node == usize::MAX {
+            "all".to_string()
+        } else {
+            w.net.ranks_per_node.to_string()
+        };
+        let cpu_floor = w.net.cpu_latency_inter.as_us_f64();
+        let gpu_floor = w.net.gpu_latency_inter.as_us_f64();
+        table.row(&[
+            &name,
+            &mpi,
+            &cpu,
+            &w.device.name,
+            &format!("{} GiB", w.device.global_mem_bytes >> 30),
+            &rpn,
+            &format!("{cpu_floor:.1} us"),
+            &format!("{gpu_floor:.1} us"),
+        ]);
+        rows.push(Row {
+            name: name.to_string(),
+            mpi,
+            cpu: cpu.to_string(),
+            gpu: w.device.name.clone(),
+            gpu_mem_gib: w.device.global_mem_bytes >> 30,
+            ranks_per_node: rpn,
+            cpu_floor_us: cpu_floor,
+            gpu_floor_us: gpu_floor,
+        });
+    }
+    println!("Table 1: Experimental Platform Summaries (simulated)\n");
+    table.print();
+    tempi_bench::write_json("table1", &rows);
+}

@@ -1,0 +1,17 @@
+//! # tempi-bench — figure/table regeneration harness
+//!
+//! Shared machinery for the `fig*`, `table1` and `ablation_*` binaries in
+//! `src/bin/`: the paper's workload objects ([`workloads`]), deterministic
+//! virtual-time measurement entry points ([`measure`]), and table/JSON
+//! reporting ([`report`]). See `EXPERIMENTS.md` at the repository root for
+//! the per-figure index and recorded results.
+
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod report;
+pub mod workloads;
+
+pub use measure::{commit_breakdown, pack_time, send_pair_time, trimean, Mode, Platform};
+pub use report::{fmt_bytes, fmt_speedup, write_json, Table};
+pub use workloads::{fig6_set, Construction, Fig6Object, Obj2d, Obj3d};

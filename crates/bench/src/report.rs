@@ -1,0 +1,146 @@
+//! Table printing and JSON emission for the figure-regeneration binaries.
+//!
+//! Every binary prints a human-readable table (the rows/series the paper's
+//! figure shows) and, when `results/` is writable, a machine-readable JSON
+//! file next to it so EXPERIMENTS.md numbers can be regenerated.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Write `rows` as pretty JSON to `results/<name>.json` (best effort: the
+/// directory is created if needed; failures are reported but not fatal).
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("note: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("note: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("note: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format a speedup like the paper quotes them ("720,400x").
+pub fn fmt_speedup(s: f64) -> String {
+    if s >= 1000.0 {
+        let v = s.round() as u64;
+        let mut out = String::new();
+        let digits = v.to_string();
+        for (i, ch) in digits.chars().enumerate() {
+            if i > 0 && (digits.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(ch);
+        }
+        format!("{out}x")
+    } else if s >= 10.0 {
+        format!("{s:.0}x")
+    } else {
+        format!("{s:.2}x")
+    }
+}
+
+/// Format a byte count compactly ("4 KiB", "1 MiB").
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= (1 << 20) && b.is_multiple_of(1 << 20) {
+        format!("{} MiB", b >> 20)
+    } else if b >= (1 << 10) && b.is_multiple_of(1 << 10) {
+        format!("{} KiB", b >> 10)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(720_400.0), "720,400x");
+        assert_eq!(fmt_speedup(2850.0), "2,850x");
+        assert_eq!(fmt_speedup(59.0), "59x");
+        assert_eq!(fmt_speedup(0.94), "0.94x");
+        assert_eq!(fmt_speedup(1.07), "1.07x");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(1 << 20), "1 MiB");
+        assert_eq!(fmt_bytes(1 << 10), "1 KiB");
+        assert_eq!(fmt_bytes(37), "37 B");
+        assert_eq!(fmt_bytes(4 << 20), "4 MiB");
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        t.print(); // smoke: must not panic
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -1,0 +1,467 @@
+//! The paper's evaluation objects (Figs. 6, 7, 9, 10, 11) and the
+//! equivalent MPI constructions of each.
+
+use mpi_sim::consts::MPI_BYTE;
+use mpi_sim::datatype::Order;
+use mpi_sim::{Datatype, MpiResult, RankCtx};
+use serde::{Deserialize, Serialize};
+
+/// How an object is expressed in MPI (the paper shows that TEMPI treats
+/// all of these identically while baselines do not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Construction {
+    /// `MPI_Type_contiguous` (only for fully contiguous objects).
+    Contiguous,
+    /// `MPI_Type_vector`.
+    Vector,
+    /// `MPI_Type_create_hvector` over a contiguous row.
+    Hvector,
+    /// A single n-D `MPI_Type_create_subarray`.
+    Subarray,
+    /// `MPI_Type_vector` of a 2-D subarray plane (Fig. 7c's "vector of
+    /// subarrays", MVAPICH's fast case).
+    VectorOfSubarray,
+}
+
+impl Construction {
+    /// Short label used in figure rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Construction::Contiguous => "contig",
+            Construction::Vector => "vector",
+            Construction::Hvector => "hvector",
+            Construction::Subarray => "subarray",
+            Construction::VectorOfSubarray => "vec(subarr)",
+        }
+    }
+}
+
+/// A 2-D strided object: `count` contiguous blocks of `block` bytes,
+/// `stride` bytes apart, repeated `incount` times by the MPI call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Obj2d {
+    /// Items passed as the pack/send count.
+    pub incount: usize,
+    /// Contiguous block bytes.
+    pub block: usize,
+    /// Number of blocks.
+    pub count: usize,
+    /// Bytes between block starts.
+    pub stride: usize,
+}
+
+impl Obj2d {
+    /// Data bytes of one item.
+    pub fn item_bytes(&self) -> usize {
+        self.block * self.count
+    }
+
+    /// Total data bytes of the call.
+    pub fn total_bytes(&self) -> usize {
+        self.item_bytes() * self.incount
+    }
+
+    /// Bytes the source buffer must span.
+    pub fn span(&self) -> usize {
+        // items are extent apart; each item spans (count-1)*stride + block
+        let item_span = (self.count - 1) * self.stride + self.block;
+        // subarray extent = count*stride; allow for the larger
+        self.incount * self.count * self.stride + item_span
+    }
+
+    /// Is the object actually contiguous (`block == stride` or one block)?
+    pub fn is_contiguous(&self) -> bool {
+        self.count == 1 || self.block == self.stride
+    }
+
+    /// The paper's row label (`incount|block|count` like "1|256|256").
+    pub fn label(&self) -> String {
+        format!("{}|{}|{}", self.incount, self.block, self.count)
+    }
+
+    /// The constructions applicable to this object.
+    pub fn constructions(&self) -> Vec<Construction> {
+        if self.is_contiguous() {
+            vec![
+                Construction::Contiguous,
+                Construction::Vector,
+                Construction::Hvector,
+                Construction::Subarray,
+            ]
+        } else {
+            vec![
+                Construction::Vector,
+                Construction::Hvector,
+                Construction::Subarray,
+            ]
+        }
+    }
+
+    /// Create (not commit) the datatype for one construction.
+    pub fn build(&self, ctx: &mut RankCtx, c: Construction) -> MpiResult<Datatype> {
+        match c {
+            Construction::Contiguous => {
+                assert!(self.is_contiguous());
+                ctx.type_contiguous(self.item_bytes() as i32, MPI_BYTE)
+            }
+            Construction::Vector => ctx.type_vector(
+                self.count as i32,
+                self.block as i32,
+                self.stride as i32,
+                MPI_BYTE,
+            ),
+            Construction::Hvector => {
+                let row = ctx.type_contiguous(self.block as i32, MPI_BYTE)?;
+                ctx.type_create_hvector(self.count as i32, 1, self.stride as i64, row)
+            }
+            Construction::Subarray => ctx.type_create_subarray(
+                &[self.count as i32, self.stride as i32],
+                &[self.count as i32, self.block as i32],
+                &[0, 0],
+                Order::C,
+                MPI_BYTE,
+            ),
+            Construction::VectorOfSubarray => {
+                let plane = ctx.type_create_subarray(
+                    &[self.count as i32, self.stride as i32],
+                    &[self.count as i32, self.block as i32],
+                    &[0, 0],
+                    Order::C,
+                    MPI_BYTE,
+                )?;
+                ctx.type_vector(1, 1, 1, plane)
+            }
+        }
+    }
+
+    /// The Fig. 7a/7b sweep: objects of `total` data bytes with block
+    /// sizes from 1 B up to fully contiguous, 50% density (stride = 2 ×
+    /// block), for `incount` ∈ {1, 2}.
+    pub fn sweep(total: usize) -> Vec<Obj2d> {
+        let mut v = Vec::new();
+        for incount in [1usize, 2] {
+            let item = total / incount;
+            let mut block = 1usize;
+            while block < item {
+                v.push(Obj2d {
+                    incount,
+                    block,
+                    count: item / block,
+                    stride: block * 2,
+                });
+                block *= 8;
+            }
+            // fully contiguous
+            v.push(Obj2d {
+                incount,
+                block: item,
+                count: 1,
+                stride: item,
+            });
+        }
+        v
+    }
+}
+
+/// A 3-D object: an `x × y × z`-byte box inside a cubic byte allocation
+/// (Fig. 7c uses a 1024³ B allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Obj3d {
+    /// Allocation edge in bytes.
+    pub alloc: usize,
+    /// Box extent (x = contiguous dimension) in bytes.
+    pub x: usize,
+    /// Box extent in rows.
+    pub y: usize,
+    /// Box extent in planes.
+    pub z: usize,
+}
+
+impl Obj3d {
+    /// Data bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Row label like "x|y|z".
+    pub fn label(&self) -> String {
+        format!("{}|{}|{}", self.x, self.y, self.z)
+    }
+
+    /// Constructions evaluated in Fig. 7c.
+    pub fn constructions(&self) -> Vec<Construction> {
+        vec![
+            Construction::Subarray,
+            Construction::Hvector,
+            Construction::VectorOfSubarray,
+        ]
+    }
+
+    /// Create the datatype for one construction.
+    pub fn build(&self, ctx: &mut RankCtx, c: Construction) -> MpiResult<Datatype> {
+        let a = self.alloc as i32;
+        match c {
+            Construction::Subarray => ctx.type_create_subarray(
+                &[a, a, a],
+                &[self.z as i32, self.y as i32, self.x as i32],
+                &[0, 0, 0],
+                Order::C,
+                MPI_BYTE,
+            ),
+            Construction::Hvector => {
+                // row → plane of rows → box of planes
+                let row = ctx.type_contiguous(self.x as i32, MPI_BYTE)?;
+                let plane = ctx.type_create_hvector(self.y as i32, 1, self.alloc as i64, row)?;
+                ctx.type_create_hvector(self.z as i32, 1, (self.alloc * self.alloc) as i64, plane)
+            }
+            Construction::VectorOfSubarray => {
+                // a 2-D subarray plane, repeated by a vector — MVAPICH's
+                // specialized fast path (root combiner is Vector)
+                let plane = ctx.type_create_subarray(
+                    &[a, a],
+                    &[self.y as i32, self.x as i32],
+                    &[0, 0],
+                    Order::C,
+                    MPI_BYTE,
+                )?;
+                // plane extent = alloc² bytes = exactly one plane
+                ctx.type_vector(self.z as i32, 1, 1, plane)
+            }
+            other => panic!("construction {other:?} not applicable to 3-D objects"),
+        }
+    }
+
+    /// The Fig. 7c sweep within an `alloc³` allocation.
+    pub fn sweep(alloc: usize) -> Vec<Obj3d> {
+        let e = alloc / 2;
+        vec![
+            Obj3d {
+                alloc,
+                x: 4,
+                y: e,
+                z: e,
+            },
+            Obj3d {
+                alloc,
+                x: 16,
+                y: e,
+                z: e,
+            },
+            Obj3d {
+                alloc,
+                x: 64,
+                y: e,
+                z: e,
+            },
+            Obj3d {
+                alloc,
+                x: e,
+                y: 4,
+                z: e,
+            },
+            Obj3d {
+                alloc,
+                x: e,
+                y: e,
+                z: 4,
+            },
+            Obj3d {
+                alloc,
+                x: e,
+                y: e,
+                z: e,
+            },
+        ]
+    }
+}
+
+/// One entry of the Fig. 6 object set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig6Object {
+    /// The 2-D object (100-byte blocks × 13, stride 256) in one of its
+    /// constructions.
+    TwoD(Construction),
+    /// The Fig.-2 3-D object (100×13×47 in a 256³ allocation).
+    ThreeD(Construction),
+    /// A contiguous megabyte.
+    Contig1MiB,
+}
+
+impl Fig6Object {
+    /// Create (not commit) this object's datatype.
+    pub fn build(self, ctx: &mut RankCtx) -> MpiResult<Datatype> {
+        match self {
+            Fig6Object::TwoD(c) => Obj2d {
+                incount: 1,
+                block: 100,
+                count: 13,
+                stride: 256,
+            }
+            .build(ctx, c),
+            Fig6Object::ThreeD(c) => Obj3d {
+                alloc: 256,
+                x: 100,
+                y: 13,
+                z: 47,
+            }
+            .build(ctx, c),
+            Fig6Object::Contig1MiB => ctx.type_contiguous(1 << 20, MPI_BYTE),
+        }
+    }
+}
+
+/// The Fig. 6 object set: representative constructions whose create/commit
+/// times are broken down per implementation.
+pub fn fig6_set() -> Vec<(String, Fig6Object)> {
+    let mut v = Vec::new();
+    for c in [
+        Construction::Vector,
+        Construction::Hvector,
+        Construction::Subarray,
+    ] {
+        v.push((format!("2d-{}", c.label()), Fig6Object::TwoD(c)));
+    }
+    for c in [
+        Construction::Subarray,
+        Construction::Hvector,
+        Construction::VectorOfSubarray,
+    ] {
+        v.push((format!("3d-{}", c.label()), Fig6Object::ThreeD(c)));
+    }
+    v.push(("contig-1MiB".to_string(), Fig6Object::Contig1MiB));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::datatype::typemap::segments;
+    use mpi_sim::WorldConfig;
+
+    fn ctx() -> RankCtx {
+        RankCtx::standalone(&WorldConfig::summit(1))
+    }
+
+    #[test]
+    fn all_2d_constructions_are_equivalent() {
+        let mut ctx = ctx();
+        for obj in Obj2d::sweep(1 << 10) {
+            let mut seglists = Vec::new();
+            for c in obj.constructions() {
+                let dt = obj.build(&mut ctx, c).unwrap();
+                let reg = ctx.registry().read();
+                seglists.push((c, segments(&reg, dt).unwrap()));
+            }
+            for w in seglists.windows(2) {
+                assert_eq!(
+                    w[0].1,
+                    w[1].1,
+                    "{:?} vs {:?} differ for {}",
+                    w[0].0,
+                    w[1].0,
+                    obj.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_3d_constructions_are_equivalent() {
+        let mut ctx = ctx();
+        for obj in Obj3d::sweep(64) {
+            let mut seglists = Vec::new();
+            for c in obj.constructions() {
+                let dt = obj.build(&mut ctx, c).unwrap();
+                let reg = ctx.registry().read();
+                seglists.push((c, segments(&reg, dt).unwrap()));
+            }
+            for w in seglists.windows(2) {
+                assert_eq!(
+                    w[0].1,
+                    w[1].1,
+                    "{:?} vs {:?} differ for {}",
+                    w[0].0,
+                    w[1].0,
+                    obj.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_totals_are_exact() {
+        for obj in Obj2d::sweep(1 << 20) {
+            assert_eq!(obj.total_bytes(), 1 << 20, "{}", obj.label());
+        }
+        for obj in Obj2d::sweep(1 << 10) {
+            assert_eq!(obj.total_bytes(), 1 << 10);
+        }
+    }
+
+    #[test]
+    fn contiguous_objects_know_it() {
+        let c = Obj2d {
+            incount: 1,
+            block: 1024,
+            count: 1,
+            stride: 1024,
+        };
+        assert!(c.is_contiguous());
+        assert_eq!(c.constructions().len(), 4);
+        let s = Obj2d {
+            incount: 1,
+            block: 4,
+            count: 256,
+            stride: 8,
+        };
+        assert!(!s.is_contiguous());
+        assert_eq!(s.constructions().len(), 3);
+    }
+
+    #[test]
+    fn vector_of_subarray_root_combiner_is_vector() {
+        let mut ctx = ctx();
+        let o = Obj3d {
+            alloc: 64,
+            x: 16,
+            y: 8,
+            z: 8,
+        };
+        let dt = o.build(&mut ctx, Construction::VectorOfSubarray).unwrap();
+        assert_eq!(
+            ctx.combiner(dt).unwrap(),
+            mpi_sim::Combiner::Vector,
+            "the MVAPICH fast path keys on a vector root"
+        );
+    }
+
+    #[test]
+    fn fig6_set_builds() {
+        let mut ctx = ctx();
+        let objs = fig6_set();
+        assert_eq!(objs.len(), 7);
+        for (label, o) in objs {
+            let dt = o.build(&mut ctx).unwrap();
+            assert!(ctx.attrs(dt).unwrap().size > 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn span_covers_type_true_extent() {
+        let mut ctx = ctx();
+        for obj in Obj2d::sweep(1 << 12) {
+            for c in obj.constructions() {
+                let dt = obj.build(&mut ctx, c).unwrap();
+                let a = ctx.attrs(dt).unwrap();
+                let needed = a.true_ub + (obj.incount as i64 - 1) * a.extent();
+                assert!(
+                    obj.span() as i64 >= needed,
+                    "span {} < needed {needed} for {} {:?}",
+                    obj.span(),
+                    obj.label(),
+                    c
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! `tempi-cli` — a command-line playground for the TEMPI reproduction.
+//!
+//! ```text
+//! tempi-cli describe "<spec>"                  inspect a datatype end to end
+//! tempi-cli pack "<spec>" [--incount N] [--platform mv|op|sp]
+//!                                              virtual pack time, TEMPI vs system
+//! tempi-cli commit "<spec>" [--platform mv|op|sp]
+//!                                              Fig. 6-style create/commit breakdown
+//! tempi-cli model <bytes> <block> [--word W] [--chunk C]
+//!                                              evaluate the §5 method models
+//! tempi-cli spec-help                          the spec mini-language
+//! ```
+//!
+//! Spec examples: `vector(13, 100, 256, byte)`,
+//! `subarray([1024,512,256],[47,13,100],[0,0,0],byte)`.
+
+mod spec;
+
+use gpu_sim::PackDir;
+use mpi_sim::{RankCtx, WorldConfig};
+use tempi_bench::{commit_breakdown, fmt_speedup, measure::unpack_time, pack_time, Mode, Platform};
+use tempi_core::config::TempiConfig;
+use tempi_core::ir::strided_block::strided_block;
+use tempi_core::ir::transform::simplify;
+use tempi_core::ir::translate::{translate, Translated};
+use tempi_core::model::SendModel;
+use tempi_core::tempi::{PlanKind, Tempi};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli spec-help"
+    );
+    std::process::exit(2);
+}
+
+fn platform_arg(args: &[String]) -> Platform {
+    match flag_value(args, "--platform").as_deref() {
+        Some("mv") => Platform::Mvapich,
+        Some("op") => Platform::OpenMpi,
+        Some("sp") | None => Platform::Summit,
+        Some(other) => {
+            eprintln!("unknown platform `{other}` (use mv, op or sp)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "describe" => describe(&args[1..]),
+        "pack" => pack(&args[1..]),
+        "commit" => commit(&args[1..]),
+        "model" => model(&args[1..]),
+        "spec-help" => {
+            println!("{}", SPEC_HELP);
+        }
+        _ => usage(),
+    }
+}
+
+const SPEC_HELP: &str = r#"type spec mini-language (C storage order, dim 0 slowest):
+
+  byte | char | short | int | long | float | double
+  contiguous(COUNT, spec)
+  vector(COUNT, BLOCKLEN, STRIDE, spec)            stride in elements
+  hvector(COUNT, BLOCKLEN, STRIDE_BYTES, spec)
+  subarray([SIZES], [SUBSIZES], [STARTS], spec)
+  indexed([BLOCKLENS], [DISPLS], spec)             displs in elements
+  indexed_block(BLOCKLEN, [DISPLS], spec)
+  hindexed([BLOCKLENS], [DISPLS_BYTES], spec)
+  resized(LB, EXTENT, spec)
+  dup(spec)
+
+examples:
+  vector(13, 100, 256, byte)                        the paper's 2-D plane
+  subarray([1024,512,256],[47,13,100],[0,0,0],byte) the paper's 3-D box
+  hvector(47, 1, 131072, hvector(13, 1, 256, contiguous(100, byte)))"#;
+
+fn describe(args: &[String]) {
+    let Some(input) = args.first() else { usage() };
+    let mut ctx = RankCtx::standalone(&WorldConfig::summit(1));
+    let dt = match spec::build_str(input, &mut ctx) {
+        Ok(dt) => dt,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let attrs = ctx.attrs(dt).expect("live");
+    println!("construction : {}", ctx.describe(dt));
+    println!(
+        "size         : {} bytes   extent: {} bytes   true extent: {} bytes (lb {})",
+        attrs.size,
+        attrs.extent(),
+        attrs.true_extent(),
+        attrs.true_lb
+    );
+    let registry = ctx.registry().clone();
+    let translated = {
+        let mut reg = registry.write();
+        translate(&mut *reg, dt).expect("translate")
+    };
+    match translated {
+        Translated::Strided(tree) => {
+            println!("\ntranslated IR ({} nodes):\n{tree}", tree.node_count());
+            let (canon, passes) = simplify(tree);
+            println!(
+                "canonical after {passes} pass(es) ({} nodes):\n{canon}",
+                canon.node_count()
+            );
+            if let Some(sb) = strided_block(&canon) {
+                println!(
+                    "StridedBlock : start={} counts={:?} strides={:?}",
+                    sb.start, sb.counts, sb.strides
+                );
+            }
+        }
+        Translated::Blocks(bl) => {
+            println!(
+                "\nblock list ({} blocks, largest {} B):",
+                bl.blocks.len(),
+                bl.max_block()
+            );
+            for (off, len) in bl.blocks.iter().take(16) {
+                println!("  {off:>8} +{len}");
+            }
+            if bl.blocks.len() > 16 {
+                println!("  ... {} more", bl.blocks.len() - 16);
+            }
+        }
+        Translated::Empty => println!("\n(empty type: no bytes)"),
+        Translated::Unsupported(c) => {
+            println!("\nnot accelerated (combiner {c:?}): falls through to the system MPI")
+        }
+    }
+    // committed plan
+    let mut tempi = Tempi::default();
+    let plan = tempi.type_commit(&mut ctx, dt).expect("commit");
+    match &plan.kind {
+        PlanKind::Strided(kp) => println!(
+            "\nkernel plan  : {:?}, word W={}, block dims {}, grid(x1)={}",
+            kp.kind,
+            kp.word,
+            kp.block,
+            kp.grid_for(1)
+        ),
+        other => println!("\nkernel plan  : {other:?}"),
+    }
+    println!(
+        "commit       : {} introspection calls, {} -> {} IR nodes, {} virtual time",
+        plan.report.introspection_calls,
+        plan.report.nodes_before,
+        plan.report.nodes_after,
+        plan.report.commit_time
+    );
+}
+
+fn pack(args: &[String]) {
+    let Some(input) = args.first() else { usage() };
+    let input = input.clone();
+    let platform = platform_arg(args);
+    let incount: usize = flag_value(args, "--incount")
+        .map(|v| v.parse().expect("--incount takes an integer"))
+        .unwrap_or(1);
+    // span: build once to measure the type reach
+    let mut probe = RankCtx::standalone(&platform.world(1));
+    let dt = match spec::build_str(&input, &mut probe) {
+        Ok(dt) => dt,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let a = probe.attrs(dt).expect("live");
+    let span =
+        (a.true_ub.max(a.ub) + (incount as i64 - 1) * a.extent().max(0)).max(1) as usize + 64;
+
+    let unpack = args.iter().any(|a| a == "--unpack");
+    let measure = |mode: Mode| {
+        if unpack {
+            unpack_time(
+                platform,
+                mode,
+                TempiConfig::default(),
+                |ctx| spec::build_str(&input, ctx),
+                incount,
+                span,
+            )
+        } else {
+            pack_time(
+                platform,
+                mode,
+                TempiConfig::default(),
+                |ctx| spec::build_str(&input, ctx),
+                incount,
+                span,
+            )
+        }
+        .expect("measurement")
+    };
+    let t = measure(Mode::Tempi);
+    let s = measure(Mode::System);
+    let what = if unpack { "unpack" } else { "pack" };
+    println!("platform      : {}", platform.label());
+    println!("TEMPI {what}  : {t}");
+    println!("system {what} : {s}");
+    println!(
+        "speedup       : {}",
+        fmt_speedup(s.as_ns_f64() / t.as_ns_f64())
+    );
+}
+
+fn commit(args: &[String]) {
+    let Some(input) = args.first() else { usage() };
+    let input = input.clone();
+    let platform = platform_arg(args);
+    let b = commit_breakdown(platform, |ctx| spec::build_str(&input, ctx)).expect("breakdown");
+    println!("platform       : {}", platform.label());
+    println!("create         : {}", b.create);
+    println!("commit (system): {}", b.commit_system);
+    println!("commit (TEMPI) : {}", b.commit_tempi);
+    println!(
+        "slowdown       : {:.1}x over {} introspection calls",
+        b.slowdown(),
+        b.introspection_calls
+    );
+}
+
+fn model(args: &[String]) {
+    let (Some(bytes), Some(block)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let bytes: usize = bytes.parse().expect("bytes must be an integer");
+    let block: usize = block.parse().expect("block must be an integer");
+    let word: usize = flag_value(args, "--word")
+        .map(|v| v.parse().expect("--word takes an integer"))
+        .unwrap_or(4);
+    let m = SendModel::summit_internode();
+    println!("object {bytes} B, contiguous blocks {block} B, word W={word}\n");
+    for (name, b) in [
+        ("device  ", m.t_device(bytes, block, word)),
+        ("one-shot", m.t_oneshot(bytes, block, word)),
+        ("staged  ", m.t_staged(bytes, block, word)),
+    ] {
+        println!(
+            "{name}: pack {:>12} + transfer {:>12} + unpack {:>12} = {}",
+            format!("{}", b.pack),
+            format!("{}", b.transfer),
+            format!("{}", b.unpack),
+            b.total()
+        );
+    }
+    if let Some(chunk) = flag_value(args, "--chunk") {
+        let chunk: usize = chunk.parse().expect("--chunk takes an integer");
+        println!(
+            "pipelined({} B chunks): {}",
+            chunk,
+            m.t_pipelined(bytes, block, word, chunk)
+        );
+    }
+    println!("\nmodel choice: {:?}", m.choose(bytes, block, word));
+    // a tiny visual of the pack-direction cost curve
+    println!("\npack-kernel time vs block size (device target, this object size):");
+    for b in [4usize, 16, 64, 256, 1024, 4096] {
+        let t = m.t_pack(PackDir::Pack, gpu_sim::PackTarget::Device, bytes, b, word);
+        let bar = "#".repeat(((t.as_us_f64().log10().max(0.0)) * 12.0) as usize);
+        println!("  {b:>5} B  {t:>12}  {bar}");
+    }
+}

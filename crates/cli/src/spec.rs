@@ -1,0 +1,429 @@
+//! A textual mini-language for MPI datatype constructions, so the CLI (and
+//! curious users) can build types without writing Rust:
+//!
+//! ```text
+//! spec     := named | ctor
+//! named    := byte | char | short | int | long | float | double
+//! ctor     := name '(' arg (',' arg)* ')'
+//! arg      := integer | list | spec
+//! list     := '[' integer (',' integer)* ']'
+//!
+//! contiguous(COUNT, spec)
+//! vector(COUNT, BLOCKLEN, STRIDE, spec)          -- stride in elements
+//! hvector(COUNT, BLOCKLEN, STRIDE_BYTES, spec)
+//! subarray([SIZES], [SUBSIZES], [STARTS], spec)  -- C order, dim 0 slowest
+//! indexed([BLOCKLENS], [DISPLS], spec)           -- displs in elements
+//! indexed_block(BLOCKLEN, [DISPLS], spec)
+//! hindexed([BLOCKLENS], [DISPLS_BYTES], spec)
+//! resized(LB, EXTENT, spec)
+//! dup(spec)
+//! ```
+//!
+//! Example: `vector(13, 100, 256, byte)` — the paper's 2-D plane.
+
+use mpi_sim::consts::*;
+use mpi_sim::datatype::Order;
+use mpi_sim::{Datatype, MpiError, MpiResult, RankCtx};
+
+/// A parsed (but not yet built) spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Spec {
+    /// A named type keyword.
+    Named(String),
+    /// A constructor with raw arguments.
+    Ctor {
+        /// Constructor keyword.
+        name: String,
+        /// Arguments in order.
+        args: Vec<Arg>,
+    },
+}
+
+/// One constructor argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// An integer literal.
+    Int(i64),
+    /// A bracketed integer list.
+    List(Vec<i64>),
+    /// A nested type spec.
+    Type(Spec),
+}
+
+/// Parse a spec string.
+pub fn parse(input: &str) -> Result<Spec, String> {
+    let mut p = Parser {
+        s: input.as_bytes(),
+        pos: 0,
+    };
+    let spec = p.spec()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(spec)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of the spec",
+                c as char, self.pos
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .s
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected an identifier at byte {start}"));
+        }
+        Ok(std::str::from_utf8(&self.s[start..self.pos])
+            .expect("ascii")
+            .to_ascii_lowercase())
+    }
+
+    fn int(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.s.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.s.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos]).expect("ascii");
+        text.parse()
+            .map_err(|_| format!("expected an integer at byte {start}"))
+    }
+
+    fn spec(&mut self) -> Result<Spec, String> {
+        let name = self.ident()?;
+        if self.peek() == Some(b'(') {
+            self.eat(b'(')?;
+            let mut args = Vec::new();
+            loop {
+                args.push(self.arg()?);
+                match self.peek() {
+                    Some(b',') => self.eat(b',')?,
+                    Some(b')') => {
+                        self.eat(b')')?;
+                        break;
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ')' inside {name}(...), found {other:?}"
+                        ))
+                    }
+                }
+            }
+            Ok(Spec::Ctor { name, args })
+        } else {
+            Ok(Spec::Named(name))
+        }
+    }
+
+    fn arg(&mut self) -> Result<Arg, String> {
+        match self.peek() {
+            Some(b'[') => {
+                self.eat(b'[')?;
+                let mut v = Vec::new();
+                loop {
+                    v.push(self.int()?);
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        Some(b']') => {
+                            self.eat(b']')?;
+                            break;
+                        }
+                        other => {
+                            return Err(format!("expected ',' or ']' in list, found {other:?}"))
+                        }
+                    }
+                }
+                Ok(Arg::List(v))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => Ok(Arg::Int(self.int()?)),
+            _ => Ok(Arg::Type(self.spec()?)),
+        }
+    }
+}
+
+fn as_int(a: &Arg, what: &str) -> MpiResult<i64> {
+    match a {
+        Arg::Int(v) => Ok(*v),
+        other => Err(MpiError::InvalidArg(format!(
+            "{what} must be an integer, got {other:?}"
+        ))),
+    }
+}
+
+fn as_list(a: &Arg, what: &str) -> MpiResult<Vec<i64>> {
+    match a {
+        Arg::List(v) => Ok(v.clone()),
+        other => Err(MpiError::InvalidArg(format!(
+            "{what} must be a [list], got {other:?}"
+        ))),
+    }
+}
+
+fn as_type(a: &Arg, ctx: &mut RankCtx, what: &str) -> MpiResult<Datatype> {
+    match a {
+        Arg::Type(s) => build(s, ctx),
+        other => Err(MpiError::InvalidArg(format!(
+            "{what} must be a type spec, got {other:?}"
+        ))),
+    }
+}
+
+fn arity(name: &str, args: &[Arg], n: usize) -> MpiResult<()> {
+    if args.len() != n {
+        Err(MpiError::InvalidArg(format!(
+            "{name} takes {n} arguments, got {}",
+            args.len()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Build a parsed spec into the rank's registry.
+pub fn build(spec: &Spec, ctx: &mut RankCtx) -> MpiResult<Datatype> {
+    match spec {
+        Spec::Named(n) => match n.as_str() {
+            "byte" => Ok(MPI_BYTE),
+            "char" => Ok(MPI_CHAR),
+            "short" => Ok(MPI_SHORT),
+            "int" => Ok(MPI_INT),
+            "long" => Ok(MPI_LONG),
+            "float" => Ok(MPI_FLOAT),
+            "double" => Ok(MPI_DOUBLE),
+            other => Err(MpiError::InvalidArg(format!(
+                "unknown named type `{other}`"
+            ))),
+        },
+        Spec::Ctor { name, args } => match name.as_str() {
+            "contiguous" => {
+                arity(name, args, 2)?;
+                let count = as_int(&args[0], "count")? as i32;
+                let old = as_type(&args[1], ctx, "element type")?;
+                ctx.type_contiguous(count, old)
+            }
+            "vector" => {
+                arity(name, args, 4)?;
+                let count = as_int(&args[0], "count")? as i32;
+                let bl = as_int(&args[1], "blocklength")? as i32;
+                let stride = as_int(&args[2], "stride")? as i32;
+                let old = as_type(&args[3], ctx, "element type")?;
+                ctx.type_vector(count, bl, stride, old)
+            }
+            "hvector" => {
+                arity(name, args, 4)?;
+                let count = as_int(&args[0], "count")? as i32;
+                let bl = as_int(&args[1], "blocklength")? as i32;
+                let stride = as_int(&args[2], "stride_bytes")?;
+                let old = as_type(&args[3], ctx, "element type")?;
+                ctx.type_create_hvector(count, bl, stride, old)
+            }
+            "subarray" => {
+                arity(name, args, 4)?;
+                let sizes: Vec<i32> = as_list(&args[0], "sizes")?
+                    .iter()
+                    .map(|&v| v as i32)
+                    .collect();
+                let subsizes: Vec<i32> = as_list(&args[1], "subsizes")?
+                    .iter()
+                    .map(|&v| v as i32)
+                    .collect();
+                let starts: Vec<i32> = as_list(&args[2], "starts")?
+                    .iter()
+                    .map(|&v| v as i32)
+                    .collect();
+                let old = as_type(&args[3], ctx, "element type")?;
+                ctx.type_create_subarray(&sizes, &subsizes, &starts, Order::C, old)
+            }
+            "indexed" => {
+                arity(name, args, 3)?;
+                let bls: Vec<i32> = as_list(&args[0], "blocklengths")?
+                    .iter()
+                    .map(|&v| v as i32)
+                    .collect();
+                let displs: Vec<i32> = as_list(&args[1], "displacements")?
+                    .iter()
+                    .map(|&v| v as i32)
+                    .collect();
+                let old = as_type(&args[2], ctx, "element type")?;
+                ctx.type_indexed(&bls, &displs, old)
+            }
+            "indexed_block" => {
+                arity(name, args, 3)?;
+                let bl = as_int(&args[0], "blocklength")? as i32;
+                let displs: Vec<i32> = as_list(&args[1], "displacements")?
+                    .iter()
+                    .map(|&v| v as i32)
+                    .collect();
+                let old = as_type(&args[2], ctx, "element type")?;
+                ctx.type_create_indexed_block(bl, &displs, old)
+            }
+            "hindexed" => {
+                arity(name, args, 3)?;
+                let bls: Vec<i32> = as_list(&args[0], "blocklengths")?
+                    .iter()
+                    .map(|&v| v as i32)
+                    .collect();
+                let displs = as_list(&args[1], "displacements_bytes")?;
+                let old = as_type(&args[2], ctx, "element type")?;
+                ctx.type_create_hindexed(&bls, &displs, old)
+            }
+            "resized" => {
+                arity(name, args, 3)?;
+                let lb = as_int(&args[0], "lb")?;
+                let extent = as_int(&args[1], "extent")?;
+                let old = as_type(&args[2], ctx, "type")?;
+                ctx.type_create_resized(old, lb, extent)
+            }
+            "dup" => {
+                arity(name, args, 1)?;
+                let old = as_type(&args[0], ctx, "type")?;
+                ctx.type_dup(old)
+            }
+            other => Err(MpiError::InvalidArg(format!(
+                "unknown constructor `{other}`"
+            ))),
+        },
+    }
+}
+
+/// Parse and build in one step.
+pub fn build_str(input: &str, ctx: &mut RankCtx) -> MpiResult<Datatype> {
+    let spec = parse(input).map_err(MpiError::InvalidArg)?;
+    build(&spec, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::WorldConfig;
+
+    fn ctx() -> RankCtx {
+        RankCtx::standalone(&WorldConfig::summit(1))
+    }
+
+    #[test]
+    fn parses_named_types() {
+        assert_eq!(parse("byte").unwrap(), Spec::Named("byte".to_string()));
+        assert_eq!(parse("  FLOAT ").unwrap(), Spec::Named("float".to_string()));
+    }
+
+    #[test]
+    fn parses_nested_ctors() {
+        let s = parse("vector(13, 100, 256, byte)").unwrap();
+        match s {
+            Spec::Ctor { name, args } => {
+                assert_eq!(name, "vector");
+                assert_eq!(args.len(), 4);
+                assert_eq!(args[0], Arg::Int(13));
+                assert_eq!(args[3], Arg::Type(Spec::Named("byte".to_string())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_lists() {
+        let s = parse("subarray([1024,512,256],[47,13,100],[0,0,0],byte)").unwrap();
+        match s {
+            Spec::Ctor { args, .. } => {
+                assert_eq!(args[0], Arg::List(vec![1024, 512, 256]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_tokens() {
+        assert!(parse("byte extra").is_err());
+        assert!(parse("vector(1,2,3,byte").is_err());
+        assert!(parse("[1,2]").is_err());
+        assert!(parse("vector(1,,3,byte)").is_err());
+    }
+
+    #[test]
+    fn builds_the_paper_plane() {
+        let mut ctx = ctx();
+        let dt = build_str("vector(13, 100, 256, byte)", &mut ctx).unwrap();
+        let a = ctx.attrs(dt).unwrap();
+        assert_eq!(a.size, 1300);
+        assert_eq!(a.extent(), 12 * 256 + 100);
+    }
+
+    #[test]
+    fn builds_nested_and_matches_rust_construction() {
+        let mut ctx = ctx();
+        let via_spec = build_str(
+            "hvector(47, 1, 131072, hvector(13, 1, 256, contiguous(100, byte)))",
+            &mut ctx,
+        )
+        .unwrap();
+        let row = ctx.type_contiguous(100, MPI_BYTE).unwrap();
+        let plane = ctx.type_create_hvector(13, 1, 256, row).unwrap();
+        let via_rust = ctx.type_create_hvector(47, 1, 131072, plane).unwrap();
+        assert_eq!(ctx.attrs(via_spec).unwrap(), ctx.attrs(via_rust).unwrap());
+    }
+
+    #[test]
+    fn builds_every_constructor() {
+        let mut ctx = ctx();
+        for s in [
+            "contiguous(8, int)",
+            "vector(4, 2, 8, float)",
+            "hvector(4, 2, 64, double)",
+            "subarray([8,8],[2,4],[1,2],byte)",
+            "indexed([2,1],[0,5],int)",
+            "indexed_block(2,[0,4,8],short)",
+            "hindexed([1,2],[0,32],long)",
+            "resized(0, 64, vector(2,1,2,int))",
+            "dup(float)",
+        ] {
+            let dt = build_str(s, &mut ctx).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(ctx.attrs(dt).unwrap().size > 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn build_reports_semantic_errors() {
+        let mut ctx = ctx();
+        assert!(build_str("quux(1, byte)", &mut ctx).is_err());
+        assert!(build_str("vector(1, 2, byte, 3)", &mut ctx).is_err());
+        assert!(build_str("subarray([4],[9],[0],byte)", &mut ctx).is_err());
+        assert!(build_str("unobtainium", &mut ctx).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! TEMPI runtime configuration.
+//!
+//! The real library is configured through environment variables; here the
+//! same switches are a plain struct so experiments and ablations can set
+//! them programmatically and deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// Which Section-5 communication method a datatype send uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Pack to an intermediate *device* buffer, CUDA-aware send,
+    /// device unpack (Eq. 1).
+    Device,
+    /// Pack directly into *mapped host* memory, CPU send, unpack from
+    /// mapped memory (Eq. 2) — the method prior work preferred.
+    OneShot,
+    /// Device pack, explicit D2H, CPU send, H2D, device unpack (Eq. 3);
+    /// never competitive per Fig. 8b, included for completeness.
+    Staged,
+    /// The §8 extension: the staged composition executed in chunks so the
+    /// pack kernels, the PCIe/NVLink copies, the wire, and the unpack
+    /// kernels all overlap. Enabled by [`TempiConfig::pipeline_chunk`].
+    Pipelined,
+}
+
+/// TEMPI configuration switches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TempiConfig {
+    /// Run the canonicalization fixed point (Alg. 5) at commit. Disabling
+    /// this is the canonicalization ablation: kernels are parameterized by
+    /// the *raw translated* tree, so equivalent constructions stop being
+    /// treated equally.
+    pub canonicalize: bool,
+    /// Force the kernel word size `W` (the word-size ablation).
+    pub force_word: Option<usize>,
+    /// Force the send method instead of consulting the performance model
+    /// (the method-selection ablation).
+    pub force_method: Option<Method>,
+    /// Use the DMA engine (`cudaMemcpy2DAsync` / `cudaMemcpy3DAsync`)
+    /// instead of the 2-D/3-D kernels where applicable (paper §8 future
+    /// work: "CUDA provides native APIs to handle 2D and 3D objects using
+    /// the DMA engine").
+    pub use_dma: bool,
+    /// Translate top-level `MPI_Type_create_struct` to a block list served
+    /// by the block-list kernel instead of falling back to copy-per-block
+    /// (paper §8 future work: "extended to cover indexed and struct types
+    /// with some additional kernels").
+    pub extend_struct: bool,
+    /// Pipeline the device method: pack/send/unpack in chunks of this many
+    /// bytes so packing overlaps the wire (paper §8 future work: "prior
+    /// work also suggests that pipelining packing operations with MPI send
+    /// operations is optimal"). **Both communicating peers must have TEMPI
+    /// interposed**: a pipelined transfer arrives as multiple tagged parts
+    /// that only TEMPI's receive path reassembles (a plain system receive
+    /// rejects them with an error rather than delivering partial data).
+    pub pipeline_chunk: Option<usize>,
+}
+
+impl Default for TempiConfig {
+    fn default() -> Self {
+        TempiConfig {
+            canonicalize: true,
+            force_word: None,
+            force_method: None,
+            use_dma: false,
+            extend_struct: false,
+            pipeline_chunk: None,
+        }
+    }
+}
+
+impl TempiConfig {
+    /// Build a configuration from `TEMPI_*` environment variables, the way
+    /// the real library is configured on a cluster where the application
+    /// binary cannot be modified:
+    ///
+    /// | variable | effect |
+    /// |---|---|
+    /// | `TEMPI_NO_CANONICALIZE=1` | skip Algorithms 5–7 |
+    /// | `TEMPI_FORCE_WORD=N` | force kernel word size (1/2/4/8/16) |
+    /// | `TEMPI_METHOD=device\|oneshot\|staged\|pipelined` | force the §5 method |
+    /// | `TEMPI_USE_DMA=1` | use the 2-D/3-D DMA engine where applicable |
+    /// | `TEMPI_EXTEND_STRUCT=1` | enable the §8 struct block-list extension |
+    /// | `TEMPI_PIPELINE_CHUNK=BYTES` | enable §8 pipelining with this chunk |
+    ///
+    /// Unknown or malformed values are rejected with a message naming the
+    /// variable, rather than silently ignored.
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = TempiConfig::default();
+        let flag = |name: &str| -> bool {
+            std::env::var(name).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        };
+        cfg.canonicalize = !flag("TEMPI_NO_CANONICALIZE");
+        cfg.use_dma = flag("TEMPI_USE_DMA");
+        cfg.extend_struct = flag("TEMPI_EXTEND_STRUCT");
+        if let Ok(v) = std::env::var("TEMPI_FORCE_WORD") {
+            let w: usize = v
+                .parse()
+                .map_err(|_| format!("TEMPI_FORCE_WORD must be an integer, got `{v}`"))?;
+            if ![1, 2, 4, 8, 16].contains(&w) {
+                return Err(format!("TEMPI_FORCE_WORD must be 1/2/4/8/16, got {w}"));
+            }
+            cfg.force_word = Some(w);
+        }
+        if let Ok(v) = std::env::var("TEMPI_METHOD") {
+            cfg.force_method = Some(match v.to_ascii_lowercase().as_str() {
+                "device" => Method::Device,
+                "oneshot" | "one-shot" => Method::OneShot,
+                "staged" => Method::Staged,
+                "pipelined" => Method::Pipelined,
+                other => {
+                    return Err(format!(
+                        "TEMPI_METHOD must be device/oneshot/staged/pipelined, got `{other}`"
+                    ))
+                }
+            });
+        }
+        if let Ok(v) = std::env::var("TEMPI_PIPELINE_CHUNK") {
+            let c: usize = v
+                .parse()
+                .map_err(|_| format!("TEMPI_PIPELINE_CHUNK must be bytes, got `{v}`"))?;
+            if c == 0 {
+                return Err("TEMPI_PIPELINE_CHUNK must be positive".to_string());
+            }
+            cfg.pipeline_chunk = Some(c);
+        }
+        if cfg.force_method == Some(Method::Pipelined) && cfg.pipeline_chunk.is_none() {
+            return Err(
+                "TEMPI_METHOD=pipelined requires TEMPI_PIPELINE_CHUNK to be set".to_string(),
+            );
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: env-var tests mutate process environment; they run in one test
+    // to avoid interference under the parallel test runner.
+    #[test]
+    fn from_env_parses_and_validates() {
+        // SAFETY: single-threaded within this test; keys are unique to it.
+        unsafe {
+            std::env::set_var("TEMPI_NO_CANONICALIZE", "1");
+            std::env::set_var("TEMPI_FORCE_WORD", "8");
+            std::env::set_var("TEMPI_METHOD", "oneshot");
+            std::env::set_var("TEMPI_PIPELINE_CHUNK", "262144");
+        }
+        let cfg = TempiConfig::from_env().unwrap();
+        assert!(!cfg.canonicalize);
+        assert_eq!(cfg.force_word, Some(8));
+        assert_eq!(cfg.force_method, Some(Method::OneShot));
+        assert_eq!(cfg.pipeline_chunk, Some(262144));
+
+        unsafe {
+            std::env::set_var("TEMPI_FORCE_WORD", "3");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("TEMPI_FORCE_WORD"), "{err}");
+
+        unsafe {
+            std::env::set_var("TEMPI_FORCE_WORD", "8");
+            std::env::set_var("TEMPI_METHOD", "warp-drive");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("TEMPI_METHOD"), "{err}");
+
+        unsafe {
+            std::env::set_var("TEMPI_METHOD", "pipelined");
+            std::env::remove_var("TEMPI_PIPELINE_CHUNK");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("requires TEMPI_PIPELINE_CHUNK"), "{err}");
+
+        unsafe {
+            std::env::remove_var("TEMPI_NO_CANONICALIZE");
+            std::env::remove_var("TEMPI_FORCE_WORD");
+            std::env::remove_var("TEMPI_METHOD");
+        }
+        let cfg = TempiConfig::from_env().unwrap();
+        assert_eq!(cfg, TempiConfig::default());
+    }
+
+    #[test]
+    fn defaults_enable_the_paper_pipeline() {
+        let c = TempiConfig::default();
+        assert!(c.canonicalize);
+        assert!(c.force_word.is_none());
+        assert!(c.force_method.is_none());
+        assert!(!c.use_dma);
+        assert!(!c.extend_struct);
+        assert!(c.pipeline_chunk.is_none());
+    }
+}

@@ -1,0 +1,520 @@
+//! The library-interposer architecture (paper Section 4).
+//!
+//! The real TEMPI is a shared library exporting a *partial* MPI
+//! implementation; the dynamic linker resolves each MPI symbol either to
+//! TEMPI (when TEMPI exports it and sits earlier in the link order /
+//! `LD_PRELOAD`) or to the system MPI, and TEMPI internally `dlsym`s
+//! through to the system implementation after adding its functionality.
+//!
+//! The simulator reproduces that dispatch structure explicitly:
+//! [`Linker`] is the resolution table (which [`MpiSymbol`]s TEMPI
+//! exports), and [`InterposedMpi`] is the application-facing MPI object —
+//! every call consults the table, runs either the TEMPI or the system
+//! implementation, and records which layer served it (so tests can assert
+//! the fall-through behavior the paper's Fig. 5 describes).
+
+use std::collections::HashSet;
+
+use gpu_sim::GpuPtr;
+use mpi_sim::{Datatype, MpiResult, RankCtx, Status};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Method, TempiConfig};
+use crate::tempi::Tempi;
+
+/// MPI entry points relevant to the datatype path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MpiSymbol {
+    TypeCommit,
+    Pack,
+    Unpack,
+    PackSize,
+    Send,
+    Recv,
+    Alltoallv,
+}
+
+/// Which library a symbol resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provider {
+    /// The interposed TEMPI library.
+    Tempi,
+    /// The underlying system MPI.
+    System,
+}
+
+/// The symbol-resolution table the dynamic linker would produce.
+#[derive(Debug, Clone)]
+pub struct Linker {
+    overrides: HashSet<MpiSymbol>,
+}
+
+impl Linker {
+    /// TEMPI inserted before the system MPI (link order or `LD_PRELOAD`):
+    /// the symbols the library exports resolve to TEMPI.
+    pub fn with_tempi() -> Self {
+        Linker {
+            overrides: [
+                MpiSymbol::TypeCommit,
+                MpiSymbol::Pack,
+                MpiSymbol::Unpack,
+                MpiSymbol::PackSize,
+                MpiSymbol::Send,
+                MpiSymbol::Recv,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// No interposition (TEMPI absent from the link order): everything
+    /// resolves to the system MPI.
+    pub fn system_only() -> Self {
+        Linker {
+            overrides: HashSet::new(),
+        }
+    }
+
+    /// A custom override set (for experiments interposing a subset).
+    pub fn with_overrides(symbols: impl IntoIterator<Item = MpiSymbol>) -> Self {
+        Linker {
+            overrides: symbols.into_iter().collect(),
+        }
+    }
+
+    /// Resolve one symbol.
+    pub fn resolve(&self, sym: MpiSymbol) -> Provider {
+        if self.overrides.contains(&sym) {
+            Provider::Tempi
+        } else {
+            Provider::System
+        }
+    }
+}
+
+/// The application-facing MPI: TEMPI state + the resolution table, over a
+/// system-MPI rank context.
+pub struct InterposedMpi {
+    /// The interposed library's state.
+    pub tempi: Tempi,
+    linker: Linker,
+    /// Resolution log: which provider served each call, in order.
+    pub log: Vec<(MpiSymbol, Provider)>,
+}
+
+impl InterposedMpi {
+    /// Build with TEMPI interposed (the normal deployment).
+    pub fn new(config: TempiConfig) -> Self {
+        InterposedMpi {
+            tempi: Tempi::new(config),
+            linker: Linker::with_tempi(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Build with TEMPI interposed, configured from `TEMPI_*` environment
+    /// variables (see [`TempiConfig::from_env`]) — how the real library is
+    /// tuned without touching the application.
+    pub fn from_env() -> Result<Self, String> {
+        Ok(Self::new(TempiConfig::from_env()?))
+    }
+
+    /// Build without TEMPI in the link order (pure system MPI baseline).
+    pub fn system_only() -> Self {
+        InterposedMpi {
+            tempi: Tempi::new(TempiConfig::default()),
+            linker: Linker::system_only(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Build with a custom linker.
+    pub fn with_linker(config: TempiConfig, linker: Linker) -> Self {
+        InterposedMpi {
+            tempi: Tempi::new(config),
+            linker,
+            log: Vec::new(),
+        }
+    }
+
+    fn resolve(&mut self, sym: MpiSymbol) -> Provider {
+        let p = self.linker.resolve(sym);
+        self.log.push((sym, p));
+        p
+    }
+
+    /// `MPI_Type_commit`. TEMPI's version performs the native commit and
+    /// then the translation/transformation/kernel-selection pipeline.
+    pub fn type_commit(&mut self, ctx: &mut RankCtx, dt: Datatype) -> MpiResult<()> {
+        match self.resolve(MpiSymbol::TypeCommit) {
+            Provider::Tempi => {
+                self.tempi.type_commit(ctx, dt)?;
+                Ok(())
+            }
+            Provider::System => ctx.type_commit_native(dt),
+        }
+    }
+
+    /// `MPI_Pack`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pack(
+        &mut self,
+        ctx: &mut RankCtx,
+        inbuf: GpuPtr,
+        incount: usize,
+        dt: Datatype,
+        outbuf: GpuPtr,
+        outsize: usize,
+        position: &mut usize,
+    ) -> MpiResult<()> {
+        match self.resolve(MpiSymbol::Pack) {
+            Provider::Tempi => self
+                .tempi
+                .pack(ctx, inbuf, incount, dt, outbuf, outsize, position),
+            Provider::System => system_pack(ctx, inbuf, incount, dt, outbuf, outsize, position),
+        }
+    }
+
+    /// `MPI_Unpack`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn unpack(
+        &mut self,
+        ctx: &mut RankCtx,
+        inbuf: GpuPtr,
+        insize: usize,
+        position: &mut usize,
+        outbuf: GpuPtr,
+        outcount: usize,
+        dt: Datatype,
+    ) -> MpiResult<()> {
+        match self.resolve(MpiSymbol::Unpack) {
+            Provider::Tempi => self
+                .tempi
+                .unpack(ctx, inbuf, insize, position, outbuf, outcount, dt),
+            Provider::System => system_unpack(ctx, inbuf, insize, position, outbuf, outcount, dt),
+        }
+    }
+
+    /// `MPI_Pack_size`.
+    pub fn pack_size(
+        &mut self,
+        ctx: &mut RankCtx,
+        incount: usize,
+        dt: Datatype,
+    ) -> MpiResult<usize> {
+        match self.resolve(MpiSymbol::PackSize) {
+            Provider::Tempi => self.tempi.pack_size(ctx, incount, dt),
+            Provider::System => Ok(ctx.type_size(dt)? as usize * incount),
+        }
+    }
+
+    /// `MPI_Send`. Returns the method TEMPI used, if it accelerated the
+    /// call.
+    pub fn send(
+        &mut self,
+        ctx: &mut RankCtx,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<Option<Method>> {
+        match self.resolve(MpiSymbol::Send) {
+            Provider::Tempi => self.tempi.send(ctx, buf, count, dt, dest, tag),
+            Provider::System => {
+                ctx.send(buf, count, dt, dest, tag)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// `MPI_Recv`.
+    pub fn recv(
+        &mut self,
+        ctx: &mut RankCtx,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> MpiResult<Status> {
+        match self.resolve(MpiSymbol::Recv) {
+            Provider::Tempi => Ok(self.tempi.recv(ctx, buf, count, dt, src, tag)?.0),
+            Provider::System => ctx.recv(buf, count, dt, src, tag),
+        }
+    }
+
+    /// `MPI_Alltoallv` on bytes. TEMPI does not override this symbol — the
+    /// call demonstrates automatic fall-through to the system MPI (the
+    /// paper's stencil packs with TEMPI, then exchanges with the system
+    /// `MPI_Alltoallv`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoallv_bytes(
+        &mut self,
+        ctx: &mut RankCtx,
+        sendbuf: GpuPtr,
+        sendcounts: &[usize],
+        sdispls: &[usize],
+        recvbuf: GpuPtr,
+        recvcounts: &[usize],
+        rdispls: &[usize],
+    ) -> MpiResult<()> {
+        // not in the override set → always the system implementation
+        let _ = self.resolve(MpiSymbol::Alltoallv);
+        ctx.alltoallv_bytes(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+    }
+}
+
+/// The system MPI's `MPI_Pack` (vendor baseline behavior) — what runs when
+/// TEMPI is not interposed.
+#[allow(clippy::too_many_arguments)]
+pub fn system_pack(
+    ctx: &mut RankCtx,
+    inbuf: GpuPtr,
+    incount: usize,
+    dt: Datatype,
+    outbuf: GpuPtr,
+    outsize: usize,
+    position: &mut usize,
+) -> MpiResult<()> {
+    use mpi_sim::datatype::typemap::segments;
+    use mpi_sim::{Combiner, MpiError};
+    if !ctx.is_committed(dt)? {
+        return Err(MpiError::NotCommitted);
+    }
+    let reg = ctx.registry().clone();
+    let (segs, attrs, root_is_vector) = {
+        let reg = reg.read();
+        (
+            segments(&reg, dt)?,
+            reg.attrs(dt)?,
+            matches!(reg.get_envelope(dt)?.combiner, Combiner::Vector),
+        )
+    };
+    let bytes = attrs.size as usize * incount;
+    if *position + bytes > outsize {
+        return Err(MpiError::BufferTooSmall {
+            required: *position + bytes,
+            available: outsize,
+        });
+    }
+    if inbuf.space.device_accessible() && outbuf.space.device_accessible() {
+        let vendor = ctx.vendor.clone();
+        mpi_sim::vendor::baseline_gpu_pack(
+            &vendor,
+            &mut ctx.stream,
+            &mut ctx.clock,
+            &segs,
+            attrs.extent(),
+            root_is_vector,
+            inbuf,
+            incount,
+            outbuf.add(*position),
+            &mut 0,
+        )?;
+        *position += bytes;
+        return Ok(());
+    }
+    // host path: CPU pack
+    let mut mem = ctx.gpu.memory();
+    let mut pos = *position;
+    for item in 0..incount {
+        let base = item as i64 * attrs.extent();
+        for seg in &segs {
+            let s = inbuf
+                .offset_by(base + seg.off)
+                .ok_or_else(|| MpiError::InvalidArg("reaches before buffer".to_string()))?;
+            let data = mem.peek(s, seg.len as usize)?;
+            mem.poke(outbuf.add(pos), &data)?;
+            pos += seg.len as usize;
+        }
+    }
+    drop(mem);
+    ctx.clock
+        .advance(ctx.vendor.host_pack_time(bytes, segs.len() * incount));
+    *position = pos;
+    Ok(())
+}
+
+/// The system MPI's `MPI_Unpack` (vendor baseline behavior).
+#[allow(clippy::too_many_arguments)]
+pub fn system_unpack(
+    ctx: &mut RankCtx,
+    inbuf: GpuPtr,
+    insize: usize,
+    position: &mut usize,
+    outbuf: GpuPtr,
+    outcount: usize,
+    dt: Datatype,
+) -> MpiResult<()> {
+    use mpi_sim::datatype::typemap::segments;
+    use mpi_sim::{Combiner, MpiError};
+    if !ctx.is_committed(dt)? {
+        return Err(MpiError::NotCommitted);
+    }
+    let reg = ctx.registry().clone();
+    let (segs, attrs, root_is_vector) = {
+        let reg = reg.read();
+        (
+            segments(&reg, dt)?,
+            reg.attrs(dt)?,
+            matches!(reg.get_envelope(dt)?.combiner, Combiner::Vector),
+        )
+    };
+    let bytes = attrs.size as usize * outcount;
+    if *position + bytes > insize {
+        return Err(MpiError::BufferTooSmall {
+            required: *position + bytes,
+            available: insize,
+        });
+    }
+    if inbuf.space.device_accessible() && outbuf.space.device_accessible() {
+        let vendor = ctx.vendor.clone();
+        mpi_sim::vendor::baseline_gpu_unpack(
+            &vendor,
+            &mut ctx.stream,
+            &mut ctx.clock,
+            &segs,
+            attrs.extent(),
+            root_is_vector,
+            inbuf.add(*position),
+            &mut 0,
+            outbuf,
+            outcount,
+        )?;
+        *position += bytes;
+        return Ok(());
+    }
+    let mut mem = ctx.gpu.memory();
+    let mut pos = *position;
+    for item in 0..outcount {
+        let base = item as i64 * attrs.extent();
+        for seg in &segs {
+            let d = outbuf
+                .offset_by(base + seg.off)
+                .ok_or_else(|| MpiError::InvalidArg("reaches before buffer".to_string()))?;
+            let data = mem.peek(inbuf.add(pos), seg.len as usize)?;
+            mem.poke(d, &data)?;
+            pos += seg.len as usize;
+        }
+    }
+    drop(mem);
+    ctx.clock
+        .advance(ctx.vendor.host_pack_time(bytes, segs.len() * outcount));
+    *position = pos;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::consts::*;
+    use mpi_sim::WorldConfig;
+
+    fn ctx() -> RankCtx {
+        RankCtx::standalone(&WorldConfig::summit(1))
+    }
+
+    #[test]
+    fn linker_resolves_overridden_symbols_to_tempi() {
+        let l = Linker::with_tempi();
+        assert_eq!(l.resolve(MpiSymbol::Pack), Provider::Tempi);
+        assert_eq!(l.resolve(MpiSymbol::TypeCommit), Provider::Tempi);
+        // TEMPI does not export Alltoallv → system
+        assert_eq!(l.resolve(MpiSymbol::Alltoallv), Provider::System);
+    }
+
+    #[test]
+    fn system_only_linker_resolves_everything_to_system() {
+        let l = Linker::system_only();
+        for s in [MpiSymbol::Pack, MpiSymbol::Send, MpiSymbol::TypeCommit] {
+            assert_eq!(l.resolve(s), Provider::System);
+        }
+    }
+
+    #[test]
+    fn interposed_commit_builds_plan_and_logs() {
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let dt = ctx.type_vector(4, 2, 8, MPI_FLOAT).unwrap();
+        mpi.type_commit(&mut ctx, dt).unwrap();
+        assert!(mpi.tempi.plan(dt).is_some());
+        assert_eq!(mpi.log, vec![(MpiSymbol::TypeCommit, Provider::Tempi)]);
+        // and the system registry saw the commit too (native commit ran)
+        assert!(ctx.is_committed(dt).unwrap());
+    }
+
+    #[test]
+    fn system_only_commit_builds_no_plan() {
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::system_only();
+        let dt = ctx.type_vector(4, 2, 8, MPI_FLOAT).unwrap();
+        mpi.type_commit(&mut ctx, dt).unwrap();
+        assert!(mpi.tempi.plan(dt).is_none());
+        assert!(ctx.is_committed(dt).unwrap());
+        assert_eq!(mpi.log, vec![(MpiSymbol::TypeCommit, Provider::System)]);
+    }
+
+    #[test]
+    fn tempi_pack_beats_system_pack_on_gpu_buffers() {
+        // same operation through both resolution tables; identical bytes,
+        // very different virtual cost
+        let run = |interposed: bool| -> (Vec<u8>, gpu_sim::SimTime) {
+            let mut ctx = ctx();
+            let mut mpi = if interposed {
+                InterposedMpi::new(TempiConfig::default())
+            } else {
+                InterposedMpi::system_only()
+            };
+            let dt = ctx.type_vector(64, 4, 64, MPI_BYTE).unwrap();
+            mpi.type_commit(&mut ctx, dt).unwrap();
+            let src = ctx.gpu.malloc(64 * 64).unwrap();
+            let data: Vec<u8> = (0..64 * 64).map(|i| (i % 251) as u8).collect();
+            ctx.gpu.memory().poke(src, &data).unwrap();
+            let dst = ctx.gpu.malloc(256).unwrap();
+            let t0 = ctx.clock.now();
+            let mut pos = 0;
+            mpi.pack(&mut ctx, src, 1, dt, dst, 256, &mut pos).unwrap();
+            assert_eq!(pos, 256);
+            let bytes = ctx.gpu.memory().peek(dst, 256).unwrap();
+            (bytes, ctx.clock.now() - t0)
+        };
+        let (tempi_bytes, tempi_t) = run(true);
+        let (system_bytes, system_t) = run(false);
+        assert_eq!(tempi_bytes, system_bytes, "functional equivalence");
+        assert!(
+            tempi_t * 5 < system_t,
+            "TEMPI {tempi_t} should be far below system {system_t}"
+        );
+    }
+
+    #[test]
+    fn alltoallv_self_exchange_works_and_logs_system() {
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let send = ctx.gpu.host_alloc(8).unwrap();
+        let recv = ctx.gpu.host_alloc(8).unwrap();
+        ctx.gpu.memory().poke(send, &[9u8; 8]).unwrap();
+        mpi.alltoallv_bytes(&mut ctx, send, &[8], &[0], recv, &[8], &[0])
+            .unwrap();
+        assert_eq!(ctx.gpu.memory().peek(recv, 8).unwrap(), vec![9u8; 8]);
+        assert_eq!(
+            mpi.log.last(),
+            Some(&(MpiSymbol::Alltoallv, Provider::System))
+        );
+    }
+
+    #[test]
+    fn pack_size_both_providers_agree() {
+        let mut ctx = ctx();
+        let dt = ctx.type_vector(13, 100, 128, MPI_FLOAT).unwrap();
+        let mut a = InterposedMpi::new(TempiConfig::default());
+        let mut b = InterposedMpi::system_only();
+        a.type_commit(&mut ctx, dt).unwrap();
+        assert_eq!(
+            a.pack_size(&mut ctx, 3, dt).unwrap(),
+            b.pack_size(&mut ctx, 3, dt).unwrap()
+        );
+    }
+}

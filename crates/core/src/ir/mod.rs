@@ -1,0 +1,220 @@
+//! TEMPI's internal representation of datatypes (paper Section 3.1).
+//!
+//! A [`Type`] is a tree whose nodes carry [`TypeData`]:
+//!
+//! * [`DenseData`] — a run of contiguous bytes (the role MPI named types
+//!   play); leaf nodes.
+//! * [`StreamData`] — a strided sequence of `count` elements of the single
+//!   child type, `stride` bytes apart, starting `off` bytes from the
+//!   parent's origin.
+//!
+//! Every composition of contiguous / vector / hvector / subarray types
+//! translates to such a tree ([`translate`]); canonicalization
+//! ([`transform`]) then collapses equivalent trees to an identical form,
+//! which converts to the [`strided_block::StridedBlock`] the packing
+//! kernels consume.
+
+pub mod strided_block;
+pub mod transform;
+pub mod translate;
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of bytes (paper §3.1, "DenseData").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseData {
+    /// Bytes between the lower bound and the first byte of the run.
+    pub off: i64,
+    /// Number of contiguous bytes.
+    pub extent: i64,
+}
+
+/// A strided sequence of elements of the child type (paper §3.1,
+/// "StreamData").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamData {
+    /// Bytes between the lower bound and the first element.
+    pub off: i64,
+    /// Bytes between consecutive elements.
+    pub stride: i64,
+    /// Number of elements.
+    pub count: i64,
+}
+
+/// Discriminated node payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeData {
+    /// Contiguous bytes; leaf.
+    Dense(DenseData),
+    /// Strided repetition of the child.
+    Stream(StreamData),
+}
+
+/// A node of the IR tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Type {
+    /// Node payload.
+    pub data: TypeData,
+    /// Children (empty for Dense; exactly one for Stream in well-formed
+    /// trees).
+    pub children: Vec<Type>,
+}
+
+impl Type {
+    /// A dense leaf.
+    pub fn dense(off: i64, extent: i64) -> Type {
+        Type {
+            data: TypeData::Dense(DenseData { off, extent }),
+            children: Vec::new(),
+        }
+    }
+
+    /// A stream node over one child.
+    pub fn stream(off: i64, stride: i64, count: i64, child: Type) -> Type {
+        Type {
+            data: TypeData::Stream(StreamData { off, stride, count }),
+            children: vec![child],
+        }
+    }
+
+    /// Is this node dense?
+    pub fn is_dense(&self) -> bool {
+        matches!(self.data, TypeData::Dense(_))
+    }
+
+    /// The single child of a stream node, if well-formed.
+    pub fn child(&self) -> Option<&Type> {
+        self.children.first()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(Type::node_count).sum::<usize>()
+    }
+
+    /// Depth of the tree (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Type::depth).max().unwrap_or(0)
+    }
+
+    /// Total bytes of data the type denotes (product of stream counts times
+    /// leaf extents).
+    pub fn data_bytes(&self) -> i64 {
+        match self.data {
+            TypeData::Dense(d) => d.extent,
+            TypeData::Stream(s) => {
+                s.count * self.children.iter().map(Type::data_bytes).sum::<i64>()
+            }
+        }
+    }
+
+    /// Is the tree a well-formed chain: streams with exactly one child
+    /// each, terminated by a dense leaf? (Translation of the strided
+    /// constructors always produces chains; Alg. 8 requires one.)
+    pub fn is_chain(&self) -> bool {
+        match self.data {
+            TypeData::Dense(_) => self.children.is_empty(),
+            TypeData::Stream(_) => self.children.len() == 1 && self.children[0].is_chain(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    /// Renders like the paper's Fig. 2 annotations, parent above child.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &Type, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for _ in 0..depth {
+                write!(f, "  ")?;
+            }
+            match t.data {
+                TypeData::Dense(d) => {
+                    writeln!(f, "DenseData{{offset:{}, extent:{}}}", d.off, d.extent)?
+                }
+                TypeData::Stream(s) => writeln!(
+                    f,
+                    "StreamData{{offset:{}, count:{}, stride:{}}}",
+                    s.off, s.count, s.stride
+                )?,
+            }
+            for c in &t.children {
+                go(c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+/// A flat list of `(offset, length)` byte runs — the representation TEMPI
+/// uses for indexed-family types that are not nested strided patterns
+/// (paper §8 extension; prior work reduces *everything* to this, TEMPI only
+/// what cannot be expressed as a [`strided_block::StridedBlock`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BlockList {
+    /// `(byte offset from origin, length)` in typemap order.
+    pub blocks: Vec<(i64, u64)>,
+}
+
+impl BlockList {
+    /// Total data bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.blocks.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Largest contiguous block.
+    pub fn max_block(&self) -> u64 {
+        self.blocks.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_tree() -> Type {
+        // cuboid: 47 planes × 13 rows × 100 bytes in a 256×512×1024 alloc
+        Type::stream(0, 131072, 47, Type::stream(0, 256, 13, Type::dense(0, 100)))
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let t = fig2_tree();
+        assert!(t.is_chain());
+        assert!(!t.is_dense());
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.data_bytes(), 47 * 13 * 100);
+    }
+
+    #[test]
+    fn display_matches_paper_layout() {
+        let s = format!("{}", fig2_tree());
+        assert!(s.contains("StreamData{offset:0, count:47, stride:131072}"));
+        assert!(s.contains("  StreamData{offset:0, count:13, stride:256}"));
+        assert!(s.contains("    DenseData{offset:0, extent:100}"));
+    }
+
+    #[test]
+    fn non_chain_detected() {
+        let mut t = fig2_tree();
+        t.children.push(Type::dense(0, 4));
+        assert!(!t.is_chain());
+    }
+
+    #[test]
+    fn blocklist_stats() {
+        let b = BlockList {
+            blocks: vec![(0, 8), (100, 16), (50, 4)],
+        };
+        assert_eq!(b.data_bytes(), 28);
+        assert_eq!(b.max_block(), 16);
+        assert_eq!(BlockList::default().max_block(), 0);
+    }
+
+    #[test]
+    fn dense_leaf_data_bytes() {
+        assert_eq!(Type::dense(10, 64).data_bytes(), 64);
+    }
+}

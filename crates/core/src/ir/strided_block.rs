@@ -1,0 +1,259 @@
+//! Conversion of a canonical IR tree to a `StridedBlock` (paper §3.3,
+//! Algorithm 8).
+//!
+//! A [`StridedBlock`] is "semantically similar to an MPI subarray": a
+//! `start` byte offset, plus per-dimension `counts` and `strides`.
+//! Dimension 0 is the contiguous innermost run — `counts[0]` is its byte
+//! length and `strides[0]` is always 1 — and each higher dimension `d`
+//! repeats the structure below it `counts[d]` times, `strides[d]` bytes
+//! apart. It exists only to parameterize kernel selection: no tree or
+//! metadata ever reaches the (simulated) GPU, just these scalars.
+
+use serde::{Deserialize, Serialize};
+
+use super::{Type, TypeData};
+
+/// The canonical N-dimensional strided object (paper §3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StridedBlock {
+    /// Byte offset between the type's lower bound and the first byte.
+    pub start: i64,
+    /// `counts[0]` is bytes in the contiguous innermost run; `counts[d]`
+    /// (d ≥ 1) is the element count of dimension `d`.
+    pub counts: Vec<i64>,
+    /// `strides[0] == 1`; `strides[d]` is bytes between the starts of
+    /// dimension `d`'s repetitions.
+    pub strides: Vec<i64>,
+}
+
+impl StridedBlock {
+    /// Number of dimensions (1 = fully contiguous).
+    pub fn ndims(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Is the object a single contiguous run?
+    pub fn is_contiguous(&self) -> bool {
+        self.ndims() == 1
+    }
+
+    /// Total data bytes of one object.
+    pub fn data_bytes(&self) -> i64 {
+        self.counts.iter().product()
+    }
+
+    /// Byte length of the contiguous innermost block.
+    pub fn block_bytes(&self) -> i64 {
+        self.counts[0]
+    }
+
+    /// Number of contiguous blocks in one object.
+    pub fn block_count(&self) -> i64 {
+        self.counts[1..].iter().product()
+    }
+
+    /// Byte offset (from the type origin) of the `i`-th contiguous block
+    /// in layout order — the mixed-radix decomposition of `i` over
+    /// `counts[1..]` (dimension 1 fastest). Used by the pipelined path to
+    /// address block sub-ranges.
+    pub fn block_offset(&self, i: i64) -> i64 {
+        let mut off = self.start;
+        let mut rest = i;
+        for d in 1..self.ndims() {
+            off += (rest % self.counts[d]) * self.strides[d];
+            rest /= self.counts[d];
+        }
+        debug_assert_eq!(rest, 0, "block index {i} out of range");
+        off
+    }
+
+    /// Visit the byte offset (from the type origin) of every contiguous
+    /// innermost run, in layout order — the loop structure the packing
+    /// kernels execute.
+    pub fn for_each_block(&self, mut f: impl FnMut(i64)) {
+        let dims = self.ndims() - 1; // outer dimensions
+        let mut idx = vec![0i64; dims];
+        loop {
+            let off: i64 = self.start
+                + idx
+                    .iter()
+                    .zip(&self.strides[1..])
+                    .map(|(&i, &s)| i * s)
+                    .sum::<i64>();
+            f(off);
+            // odometer: dimension 1 (innermost outer dimension) fastest
+            let mut d = 0;
+            loop {
+                if d == dims {
+                    return;
+                }
+                idx[d] += 1;
+                if idx[d] < self.counts[d + 1] {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+/// Algorithm 8: convert a canonical chain (Dense leaf under zero or more
+/// Streams) into a [`StridedBlock`]. Returns `None` for trees that are not
+/// such a chain ("Not strided" in the paper — those fall back to other
+/// handling).
+pub fn strided_block(ty: &Type) -> Option<StridedBlock> {
+    // Walk to the leaf, collecting nodes root→leaf.
+    let mut datas: Vec<&Type> = Vec::new();
+    let mut cur = ty;
+    loop {
+        datas.push(cur);
+        match cur.children.len() {
+            0 => break,
+            1 => cur = &cur.children[0],
+            _ => return None, // not a chain
+        }
+    }
+    // Leaf-first: dimension 0 must be dense, the rest streams.
+    let mut sb = StridedBlock {
+        start: 0,
+        counts: Vec::with_capacity(datas.len()),
+        strides: Vec::with_capacity(datas.len()),
+    };
+    for (i, node) in datas.iter().rev().enumerate() {
+        match (i, &node.data) {
+            (0, TypeData::Dense(d)) => {
+                sb.start = d.off;
+                sb.counts.push(d.extent);
+                sb.strides.push(1);
+            }
+            (0, TypeData::Stream(_)) => return None, // leaf must be dense
+            (_, TypeData::Stream(s)) => {
+                sb.start += s.off;
+                sb.counts.push(s.count);
+                sb.strides.push(s.stride);
+            }
+            (_, TypeData::Dense(_)) => return None, // dense above leaf
+        }
+    }
+    Some(sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::transform::simplify;
+
+    #[test]
+    fn dense_leaf_is_1d() {
+        let sb = strided_block(&Type::dense(16, 400)).unwrap();
+        assert_eq!(
+            sb,
+            StridedBlock {
+                start: 16,
+                counts: vec![400],
+                strides: vec![1]
+            }
+        );
+        assert!(sb.is_contiguous());
+        assert_eq!(sb.data_bytes(), 400);
+        assert_eq!(sb.block_count(), 1);
+    }
+
+    #[test]
+    fn two_level_chain_is_2d() {
+        let t = Type::stream(0, 512, 13, Type::dense(0, 400));
+        let sb = strided_block(&t).unwrap();
+        assert_eq!(sb.counts, vec![400, 13]);
+        assert_eq!(sb.strides, vec![1, 512]);
+        assert_eq!(sb.block_bytes(), 400);
+        assert_eq!(sb.block_count(), 13);
+        assert_eq!(sb.data_bytes(), 5200);
+    }
+
+    #[test]
+    fn three_level_chain_is_3d_with_offsets_accumulated() {
+        let t = Type::stream(
+            1024,
+            131072,
+            47,
+            Type::stream(8, 256, 13, Type::dense(2, 100)),
+        );
+        let sb = strided_block(&t).unwrap();
+        assert_eq!(sb.start, 1024 + 8 + 2);
+        assert_eq!(sb.counts, vec![100, 13, 47]);
+        assert_eq!(sb.strides, vec![1, 256, 131072]);
+    }
+
+    #[test]
+    fn canonicalized_fig2_constructions_yield_identical_blocks() {
+        let top = Type::stream(
+            0,
+            131072,
+            47,
+            Type::stream(
+                0,
+                131072,
+                1,
+                Type::stream(0, 256, 13, Type::stream(0, 1, 100, Type::dense(0, 1))),
+            ),
+        );
+        let bottom = Type::stream(
+            0,
+            131072,
+            47,
+            Type::stream(0, 256, 13, Type::stream(0, 1, 100, Type::dense(0, 1))),
+        );
+        let a = strided_block(&simplify(top).0).unwrap();
+        let b = strided_block(&simplify(bottom).0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.counts, vec![100, 13, 47]);
+    }
+
+    #[test]
+    fn non_chain_rejected() {
+        let mut t = Type::stream(0, 8, 2, Type::dense(0, 4));
+        t.children.push(Type::dense(0, 4));
+        assert_eq!(strided_block(&t), None);
+    }
+
+    #[test]
+    fn stream_leaf_rejected() {
+        // a Stream with no children is malformed — "not strided"
+        let t = Type {
+            data: TypeData::Stream(crate::ir::StreamData {
+                off: 0,
+                stride: 4,
+                count: 4,
+            }),
+            children: vec![],
+        };
+        assert_eq!(strided_block(&t), None);
+    }
+
+    #[test]
+    fn block_offset_matches_for_each_block() {
+        let sb = StridedBlock {
+            start: 7,
+            counts: vec![16, 3, 4],
+            strides: vec![1, 100, 1000],
+        };
+        let mut seq = Vec::new();
+        sb.for_each_block(|o| seq.push(o));
+        assert_eq!(seq.len(), 12);
+        for (i, &o) in seq.iter().enumerate() {
+            assert_eq!(sb.block_offset(i as i64), o, "block {i}");
+        }
+    }
+
+    #[test]
+    fn uncanonicalized_tree_still_converts_with_extra_dims() {
+        // Without simplify, a vector's inner count-1 stream adds a
+        // dimension — legal, just worse (the canonicalization ablation
+        // measures exactly this).
+        let t = Type::stream(0, 256, 13, Type::stream(0, 1, 1, Type::dense(0, 1)));
+        let sb = strided_block(&t).unwrap();
+        assert_eq!(sb.counts, vec![1, 1, 13]);
+        assert_eq!(sb.strides, vec![1, 1, 256]);
+    }
+}

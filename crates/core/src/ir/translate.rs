@@ -1,0 +1,630 @@
+//! Type translation: MPI datatype → IR tree (paper §3.1, Algorithms 1–4).
+//!
+//! Translation sees the datatype exactly the way a real interposed library
+//! must: through the MPI introspection interface (`MPI_Type_get_envelope`,
+//! `MPI_Type_get_contents`, `MPI_Type_get_extent`, `MPI_Type_size`),
+//! abstracted here as the [`Introspect`] trait. When driven through a
+//! [`mpi_sim::RankCtx`] the calls are priced with the vendor's
+//! introspection cost — which is why Fig. 6's commit overhead differs
+//! across implementations even though TEMPI does identical work.
+
+use mpi_sim::datatype::{Combiner, Contents, Datatype, Envelope, Order};
+use mpi_sim::{MpiError, MpiResult, RankCtx, TypeRegistry};
+
+use super::{BlockList, Type};
+
+/// The introspection face of MPI that translation consumes.
+pub trait Introspect {
+    /// `MPI_Type_get_envelope`.
+    fn envelope(&mut self, dt: Datatype) -> MpiResult<Envelope>;
+    /// `MPI_Type_get_contents`.
+    fn contents(&mut self, dt: Datatype) -> MpiResult<Contents>;
+    /// `MPI_Type_get_extent` → `(lb, extent)`.
+    fn extent(&mut self, dt: Datatype) -> MpiResult<(i64, i64)>;
+    /// `MPI_Type_size`.
+    fn type_size(&mut self, dt: Datatype) -> MpiResult<u64>;
+}
+
+impl Introspect for RankCtx {
+    fn envelope(&mut self, dt: Datatype) -> MpiResult<Envelope> {
+        self.get_envelope(dt)
+    }
+    fn contents(&mut self, dt: Datatype) -> MpiResult<Contents> {
+        self.get_contents(dt)
+    }
+    fn extent(&mut self, dt: Datatype) -> MpiResult<(i64, i64)> {
+        self.get_extent(dt)
+    }
+    fn type_size(&mut self, dt: Datatype) -> MpiResult<u64> {
+        self.type_size(dt)
+    }
+}
+
+impl Introspect for TypeRegistry {
+    fn envelope(&mut self, dt: Datatype) -> MpiResult<Envelope> {
+        self.get_envelope(dt)
+    }
+    fn contents(&mut self, dt: Datatype) -> MpiResult<Contents> {
+        self.get_contents(dt)
+    }
+    fn extent(&mut self, dt: Datatype) -> MpiResult<(i64, i64)> {
+        TypeRegistry::extent(self, dt)
+    }
+    fn type_size(&mut self, dt: Datatype) -> MpiResult<u64> {
+        self.size(dt)
+    }
+}
+
+/// Wrapper that counts introspection calls (Fig. 6 reports how many MPI
+/// calls TEMPI's commit makes).
+pub struct CountingIntrospect<'a, I: Introspect> {
+    inner: &'a mut I,
+    /// Number of introspection calls made through this wrapper.
+    pub calls: u64,
+}
+
+impl<'a, I: Introspect> CountingIntrospect<'a, I> {
+    /// Wrap an introspection source.
+    pub fn new(inner: &'a mut I) -> Self {
+        CountingIntrospect { inner, calls: 0 }
+    }
+}
+
+impl<I: Introspect> Introspect for CountingIntrospect<'_, I> {
+    fn envelope(&mut self, dt: Datatype) -> MpiResult<Envelope> {
+        self.calls += 1;
+        self.inner.envelope(dt)
+    }
+    fn contents(&mut self, dt: Datatype) -> MpiResult<Contents> {
+        self.calls += 1;
+        self.inner.contents(dt)
+    }
+    fn extent(&mut self, dt: Datatype) -> MpiResult<(i64, i64)> {
+        self.calls += 1;
+        self.inner.extent(dt)
+    }
+    fn type_size(&mut self, dt: Datatype) -> MpiResult<u64> {
+        self.calls += 1;
+        self.inner.type_size(dt)
+    }
+}
+
+/// Result of translating an MPI datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Translated {
+    /// The type denotes no bytes (a count-zero construction).
+    Empty,
+    /// A nested strided pattern — the representation the paper's kernels
+    /// consume after canonicalization.
+    Strided(Type),
+    /// An irregular pattern captured as a block list (indexed-family
+    /// extension, paper §8).
+    Blocks(BlockList),
+    /// A construction TEMPI does not accelerate (struct); handling falls
+    /// through to the system MPI.
+    Unsupported(Combiner),
+}
+
+/// Translate `dt` into the IR (Algorithms 1–4, plus the hvector, resized
+/// and indexed/hindexed cases).
+pub fn translate<I: Introspect>(intro: &mut I, dt: Datatype) -> MpiResult<Translated> {
+    let env = intro.envelope(dt)?;
+    match env.combiner {
+        // Algorithm 1: named types are dense, offset 0.
+        Combiner::Named => {
+            let (_, extent) = intro.extent(dt)?;
+            Ok(Translated::Strided(Type::dense(0, extent)))
+        }
+        Combiner::Dup => {
+            let c = intro.contents(dt)?;
+            translate(intro, c.datatypes[0])
+        }
+        // Algorithm 2: a contiguous type is a stream whose stride is the
+        // element extent.
+        Combiner::Contiguous => {
+            let c = intro.contents(dt)?;
+            let count = c.integers[0];
+            let old = c.datatypes[0];
+            let (_, ex) = intro.extent(old)?;
+            wrap_stream(intro, old, &[(0, ex, count)])
+        }
+        // Algorithm 3: vector/hvector become two nested streams (blocks,
+        // then elements within a block).
+        Combiner::Vector => {
+            let c = intro.contents(dt)?;
+            let (count, blocklength, stride) = (c.integers[0], c.integers[1], c.integers[2]);
+            let old = c.datatypes[0];
+            let (_, ex) = intro.extent(old)?;
+            wrap_stream(intro, old, &[(0, ex, blocklength), (0, ex * stride, count)])
+        }
+        Combiner::Hvector => {
+            let c = intro.contents(dt)?;
+            let (count, blocklength) = (c.integers[0], c.integers[1]);
+            let stride_bytes = c.addresses[0];
+            let old = c.datatypes[0];
+            let (_, ex) = intro.extent(old)?;
+            wrap_stream(
+                intro,
+                old,
+                &[(0, ex, blocklength), (0, stride_bytes, count)],
+            )
+        }
+        // Algorithm 4: each subarray dimension is a nested stream;
+        // dimension strides are products of the faster dimensions' sizes.
+        Combiner::Subarray => {
+            let c = intro.contents(dt)?;
+            let ndims = c.integers[0] as usize;
+            let sizes = &c.integers[1..1 + ndims];
+            let subsizes = &c.integers[1 + ndims..1 + 2 * ndims];
+            let starts = &c.integers[1 + 2 * ndims..1 + 3 * ndims];
+            let order = if c.integers[1 + 3 * ndims] == 0 {
+                Order::C
+            } else {
+                Order::Fortran
+            };
+            let old = c.datatypes[0];
+            let (_, ex) = intro.extent(old)?;
+            // element stride of each dimension
+            let mut strides = vec![1i64; ndims];
+            match order {
+                Order::C => {
+                    for i in (0..ndims.saturating_sub(1)).rev() {
+                        strides[i] = strides[i + 1] * sizes[i + 1];
+                    }
+                }
+                Order::Fortran => {
+                    for i in 1..ndims {
+                        strides[i] = strides[i - 1] * sizes[i - 1];
+                    }
+                }
+            }
+            // innermost (fastest-varying) dimension first
+            let dims_inner_first: Vec<usize> = match order {
+                Order::C => (0..ndims).rev().collect(),
+                Order::Fortran => (0..ndims).collect(),
+            };
+            let specs: Vec<(i64, i64, i64)> = dims_inner_first
+                .iter()
+                .map(|&d| (starts[d] * strides[d] * ex, strides[d] * ex, subsizes[d]))
+                .collect();
+            wrap_stream(intro, old, &specs)
+        }
+        Combiner::Resized => {
+            let c = intro.contents(dt)?;
+            translate(intro, c.datatypes[0])
+        }
+        // Indexed-family extension: flatten to a block list when the
+        // element type itself reduces to a block list or dense run.
+        Combiner::Indexed => {
+            let c = intro.contents(dt)?;
+            let count = c.integers[0] as usize;
+            let bls = &c.integers[1..1 + count];
+            let displs = &c.integers[1 + count..1 + 2 * count];
+            let old = c.datatypes[0];
+            let (_, ex) = intro.extent(old)?;
+            let blocks: Vec<(i64, i64)> =
+                bls.iter().zip(displs).map(|(&b, &d)| (d * ex, b)).collect();
+            indexed_blocks(intro, old, &blocks)
+        }
+        Combiner::IndexedBlock => {
+            let c = intro.contents(dt)?;
+            let count = c.integers[0] as usize;
+            let bl = c.integers[1];
+            let displs = &c.integers[2..2 + count];
+            let old = c.datatypes[0];
+            let (_, ex) = intro.extent(old)?;
+            let blocks: Vec<(i64, i64)> = displs.iter().map(|&d| (d * ex, bl)).collect();
+            indexed_blocks(intro, old, &blocks)
+        }
+        Combiner::Hindexed => {
+            let c = intro.contents(dt)?;
+            let count = c.integers[0] as usize;
+            let bls = &c.integers[1..1 + count];
+            let old = c.datatypes[0];
+            let blocks: Vec<(i64, i64)> = bls
+                .iter()
+                .zip(&c.addresses)
+                .map(|(&b, &d)| (d, b))
+                .collect();
+            indexed_blocks(intro, old, &blocks)
+        }
+        Combiner::Struct => Ok(Translated::Unsupported(Combiner::Struct)),
+    }
+}
+
+/// Wrap the translation of `old` in a chain of streams, innermost first:
+/// each spec is `(off, stride, count)`. Handles empty and block-list
+/// children; rejects unsupported ones.
+fn wrap_stream<I: Introspect>(
+    intro: &mut I,
+    old: Datatype,
+    specs: &[(i64, i64, i64)],
+) -> MpiResult<Translated> {
+    if specs.iter().any(|&(_, _, count)| count == 0) {
+        return Ok(Translated::Empty);
+    }
+    match translate(intro, old)? {
+        Translated::Empty => Ok(Translated::Empty),
+        Translated::Unsupported(c) => Ok(Translated::Unsupported(c)),
+        Translated::Strided(mut ty) => {
+            for &(off, stride, count) in specs {
+                ty = Type::stream(off, stride, count, ty);
+            }
+            Ok(Translated::Strided(ty))
+        }
+        Translated::Blocks(inner) => {
+            // replicate the block list through each stream level
+            let mut blocks = inner.blocks;
+            for &(off, stride, count) in specs {
+                let mut next = Vec::with_capacity(blocks.len() * count as usize);
+                for i in 0..count {
+                    let base = off + i * stride;
+                    next.extend(blocks.iter().map(|&(o, l)| (base + o, l)));
+                }
+                blocks = next;
+            }
+            Ok(Translated::Blocks(BlockList { blocks }))
+        }
+    }
+}
+
+/// Build a block list for an indexed-family type with `(byte displacement,
+/// element count)` blocks of element type `old`.
+fn indexed_blocks<I: Introspect>(
+    intro: &mut I,
+    old: Datatype,
+    blocks: &[(i64, i64)],
+) -> MpiResult<Translated> {
+    let (_, ex) = intro.extent(old)?;
+    match translate(intro, old)? {
+        Translated::Empty => Ok(Translated::Empty),
+        Translated::Unsupported(c) => Ok(Translated::Unsupported(c)),
+        Translated::Strided(ty) => {
+            // Canonicalize the child, then enumerate its contiguous runs
+            // per block element (prior work reduces *all* types this way;
+            // TEMPI only does it for the indexed family).
+            let canon = super::transform::simplify(ty).0;
+            let Some(sb) = super::strided_block::strided_block(&canon) else {
+                return Ok(Translated::Unsupported(Combiner::Indexed));
+            };
+            let mut out = Vec::new();
+            for &(disp, bl) in blocks {
+                if bl == 0 {
+                    continue;
+                }
+                if sb.is_contiguous() && sb.block_bytes() == ex {
+                    // elements tile: one run per block
+                    out.push((disp + sb.start, (bl * ex) as u64));
+                } else {
+                    for j in 0..bl {
+                        let elem_base = disp + j * ex;
+                        sb.for_each_block(|off| {
+                            out.push((elem_base + off, sb.block_bytes() as u64))
+                        });
+                    }
+                }
+            }
+            if out.is_empty() {
+                Ok(Translated::Empty)
+            } else {
+                Ok(Translated::Blocks(BlockList { blocks: out }))
+            }
+        }
+        Translated::Blocks(inner) => {
+            let mut out = Vec::new();
+            for &(disp, bl) in blocks {
+                for j in 0..bl {
+                    let base = disp + j * ex;
+                    out.extend(inner.blocks.iter().map(|&(o, l)| (base + o, l)));
+                }
+            }
+            if out.is_empty() {
+                Ok(Translated::Empty)
+            } else {
+                Ok(Translated::Blocks(BlockList { blocks: out }))
+            }
+        }
+    }
+}
+
+/// Extension (paper §8): translate a *top-level* `MPI_Type_create_struct`
+/// into a block list, so the block-list kernel can serve it instead of
+/// falling back to copy-per-block. Members may be any construction that
+/// itself translates to a strided pattern or a block list; a struct nested
+/// *inside* another combiner still falls back (the paper's tree-only
+/// analysis).
+pub fn translate_struct_blocks<I: Introspect>(
+    intro: &mut I,
+    dt: Datatype,
+) -> MpiResult<Translated> {
+    let env = intro.envelope(dt)?;
+    if env.combiner != Combiner::Struct {
+        return translate(intro, dt);
+    }
+    let c = intro.contents(dt)?;
+    let count = c.integers[0] as usize;
+    let bls = &c.integers[1..1 + count];
+    let mut out: Vec<(i64, u64)> = Vec::new();
+    for ((&bl, &disp), &old) in bls.iter().zip(&c.addresses).zip(&c.datatypes) {
+        if bl == 0 {
+            continue;
+        }
+        match indexed_blocks(intro, old, &[(disp, bl)])? {
+            Translated::Empty => {}
+            Translated::Blocks(b) => out.extend(b.blocks),
+            Translated::Unsupported(u) => return Ok(Translated::Unsupported(u)),
+            Translated::Strided(_) => {
+                return Err(MpiError::Internal(
+                    "indexed_blocks returned a strided tree".to_string(),
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        Ok(Translated::Empty)
+    } else {
+        Ok(Translated::Blocks(BlockList { blocks: out }))
+    }
+}
+
+/// Convenience for tests and tools: translate expecting a strided tree.
+pub fn translate_strided<I: Introspect>(intro: &mut I, dt: Datatype) -> MpiResult<Type> {
+    match translate(intro, dt)? {
+        Translated::Strided(t) => Ok(t),
+        other => Err(MpiError::Internal(format!(
+            "expected strided translation, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::consts::*;
+
+    fn reg() -> TypeRegistry {
+        TypeRegistry::new()
+    }
+
+    #[test]
+    fn named_translates_to_dense() {
+        let mut r = reg();
+        let t = translate_strided(&mut r, MPI_FLOAT).unwrap();
+        assert_eq!(t, Type::dense(0, 4));
+    }
+
+    #[test]
+    fn contiguous_translates_to_stream_of_dense() {
+        let mut r = reg();
+        let dt = r.type_contiguous(100, MPI_FLOAT).unwrap();
+        let t = translate_strided(&mut r, dt).unwrap();
+        assert_eq!(t, Type::stream(0, 4, 100, Type::dense(0, 4)));
+    }
+
+    #[test]
+    fn vector_translates_to_two_streams() {
+        let mut r = reg();
+        // Algorithm 3: outer stride = extent × stride
+        let dt = r.type_vector(13, 100, 128, MPI_FLOAT).unwrap();
+        let t = translate_strided(&mut r, dt).unwrap();
+        assert_eq!(
+            t,
+            Type::stream(0, 4 * 128, 13, Type::stream(0, 4, 100, Type::dense(0, 4)))
+        );
+    }
+
+    #[test]
+    fn hvector_stride_taken_verbatim() {
+        let mut r = reg();
+        let dt = r.type_create_hvector(13, 1, 256, MPI_BYTE).unwrap();
+        let t = translate_strided(&mut r, dt).unwrap();
+        assert_eq!(
+            t,
+            Type::stream(0, 256, 13, Type::stream(0, 1, 1, Type::dense(0, 1)))
+        );
+    }
+
+    #[test]
+    fn fig2_top_construction() {
+        // subarray{sizes:[512,256]→(256,512 in paper's (A0,A1) order),
+        // subsizes 13,100} then vector(47,1,1,plane): the paper's first
+        // fragment. Expect the exact IR of Fig. 2 (top right).
+        let mut r = reg();
+        let plane = r
+            .type_create_subarray(&[512, 256], &[13, 100], &[0, 0], Order::C, MPI_BYTE)
+            .unwrap();
+        let cuboid = r.type_vector(47, 1, 1, plane).unwrap();
+        let t = translate_strided(&mut r, cuboid).unwrap();
+        // vector over plane: extent(plane) = 512*256 = 131072
+        assert_eq!(
+            t,
+            Type::stream(
+                0,
+                131072,
+                47,
+                Type::stream(
+                    0,
+                    131072,
+                    1,
+                    Type::stream(0, 256, 13, Type::stream(0, 1, 100, Type::dense(0, 1)))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn fig2_middle_construction() {
+        // row = vector(100,1,1,BYTE); plane = hvector(13,1,256,row);
+        // cuboid = hvector(47,1,131072,plane)
+        let mut r = reg();
+        let row = r.type_vector(100, 1, 1, MPI_BYTE).unwrap();
+        let plane = r.type_create_hvector(13, 1, 256, row).unwrap();
+        let cuboid = r.type_create_hvector(47, 1, 256 * 512, plane).unwrap();
+        let t = translate_strided(&mut r, cuboid).unwrap();
+        assert_eq!(
+            t,
+            Type::stream(
+                0,
+                131072,
+                47,
+                Type::stream(
+                    0,
+                    3172, // extent(plane) = 12*256 + 100
+                    1,
+                    Type::stream(
+                        0,
+                        256,
+                        13,
+                        Type::stream(
+                            0,
+                            100, // extent(row)
+                            1,
+                            Type::stream(0, 1, 100, Type::stream(0, 1, 1, Type::dense(0, 1)))
+                        )
+                    )
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn fig2_bottom_construction() {
+        // single 3D subarray
+        let mut r = reg();
+        let cuboid = r
+            .type_create_subarray(
+                &[1024, 512, 256],
+                &[47, 13, 100],
+                &[0, 0, 0],
+                Order::C,
+                MPI_BYTE,
+            )
+            .unwrap();
+        let t = translate_strided(&mut r, cuboid).unwrap();
+        assert_eq!(
+            t,
+            Type::stream(
+                0,
+                131072,
+                47,
+                Type::stream(0, 256, 13, Type::stream(0, 1, 100, Type::dense(0, 1)))
+            )
+        );
+    }
+
+    #[test]
+    fn subarray_starts_become_offsets() {
+        let mut r = reg();
+        let dt = r
+            .type_create_subarray(&[8, 16], &[2, 4], &[3, 5], Order::C, MPI_FLOAT)
+            .unwrap();
+        let t = translate_strided(&mut r, dt).unwrap();
+        // inner dim (fastest): stride 4, count 4, off 5*4=20
+        // outer dim: stride 16*4=64, count 2, off 3*64=192
+        assert_eq!(
+            t,
+            Type::stream(192, 64, 2, Type::stream(20, 4, 4, Type::dense(0, 4)))
+        );
+    }
+
+    #[test]
+    fn fortran_subarray_reverses_dims() {
+        let mut r = reg();
+        let c_dt = r
+            .type_create_subarray(&[16, 8], &[4, 2], &[0, 0], Order::C, MPI_BYTE)
+            .unwrap();
+        let f_dt = r
+            .type_create_subarray(&[8, 16], &[2, 4], &[0, 0], Order::Fortran, MPI_BYTE)
+            .unwrap();
+        assert_eq!(
+            translate_strided(&mut r, c_dt).unwrap(),
+            translate_strided(&mut r, f_dt).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_count_translates_to_empty() {
+        let mut r = reg();
+        let dt = r.type_contiguous(0, MPI_INT).unwrap();
+        assert_eq!(translate(&mut r, dt).unwrap(), Translated::Empty);
+        let dt = r.type_vector(0, 4, 8, MPI_INT).unwrap();
+        assert_eq!(translate(&mut r, dt).unwrap(), Translated::Empty);
+        let dt = r.type_vector(4, 0, 8, MPI_INT).unwrap();
+        assert_eq!(translate(&mut r, dt).unwrap(), Translated::Empty);
+    }
+
+    #[test]
+    fn dup_and_resized_are_transparent() {
+        let mut r = reg();
+        let v = r.type_vector(4, 2, 8, MPI_INT).unwrap();
+        let d = r.type_dup(v).unwrap();
+        let rz = r.type_create_resized(v, -8, 999).unwrap();
+        let tv = translate(&mut r, v).unwrap();
+        assert_eq!(translate(&mut r, d).unwrap(), tv);
+        assert_eq!(translate(&mut r, rz).unwrap(), tv);
+    }
+
+    #[test]
+    fn hindexed_becomes_blocklist() {
+        let mut r = reg();
+        let dt = r.type_create_hindexed(&[2, 3], &[100, 0], MPI_INT).unwrap();
+        match translate(&mut r, dt).unwrap() {
+            Translated::Blocks(b) => {
+                assert_eq!(b.blocks, vec![(100, 8), (0, 12)]);
+            }
+            other => panic!("expected blocks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_with_strided_child_flattens_per_element() {
+        let mut r = reg();
+        // element type: vector with a hole (extent 12, data 8)
+        let v = r.type_vector(2, 1, 2, MPI_FLOAT).unwrap();
+        let dt = r.type_indexed(&[2], &[1], v).unwrap();
+        match translate(&mut r, dt).unwrap() {
+            Translated::Blocks(b) => {
+                // displacement 1 element = extent(v) = 12 bytes; 2 elements,
+                // each contributing dense leaves at +0 and +8
+                assert_eq!(b.blocks, vec![(12, 4), (20, 4), (24, 4), (32, 4)]);
+            }
+            other => panic!("expected blocks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn struct_is_unsupported() {
+        let mut r = reg();
+        let dt = r
+            .type_create_struct(&[1, 1], &[0, 8], &[MPI_INT, MPI_DOUBLE])
+            .unwrap();
+        assert_eq!(
+            translate(&mut r, dt).unwrap(),
+            Translated::Unsupported(Combiner::Struct)
+        );
+    }
+
+    #[test]
+    fn vector_of_hindexed_replicates_blocks() {
+        let mut r = reg();
+        let h = r.type_create_hindexed(&[1, 1], &[4, 0], MPI_BYTE).unwrap();
+        // extent(h) = 5
+        let v = r.type_vector(2, 1, 2, h).unwrap(); // stride 2 elements = 10 B
+        match translate(&mut r, v).unwrap() {
+            Translated::Blocks(b) => {
+                assert_eq!(b.blocks, vec![(4, 1), (0, 1), (14, 1), (10, 1)]);
+            }
+            other => panic!("expected blocks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counting_introspect_counts() {
+        let mut r = reg();
+        let dt = r.type_vector(4, 2, 8, MPI_FLOAT).unwrap();
+        let mut c = CountingIntrospect::new(&mut r);
+        translate(&mut c, dt).unwrap();
+        // vector: envelope + contents + extent(old) + child: envelope + extent
+        assert_eq!(c.calls, 5);
+    }
+}

@@ -1,0 +1,59 @@
+//! # tempi-core — TEMPI: Topology Experiments for MPI (reproduction)
+//!
+//! The paper's primary contribution, implemented on the simulated
+//! substrates of [`gpu_sim`] and [`mpi_sim`]:
+//!
+//! * [`ir`] — the canonical datatype representation: translation of MPI
+//!   derived types to a `DenseData`/`StreamData` tree (Algorithms 1–4),
+//!   canonicalization by dense folding + stream elision to a fixed point
+//!   (Algorithms 5–7), and conversion to the `StridedBlock` kernel
+//!   parameterization (Algorithm 8).
+//! * [`kernels`] — kernel selection (word size `W`, power-of-two block
+//!   dimensions X→Z under the 1024-thread cap) and execution of the 2-D /
+//!   3-D / N-D strided kernels, the block-list kernel, and the
+//!   `cudaMemcpy2D` DMA alternative.
+//! * [`model`] — the Section-5 performance model (`T_device`,
+//!   `T_oneshot`, `T_staged`) and the per-send method choice.
+//! * [`tempi`] — the library state: the `MPI_Type_commit` pipeline with
+//!   its per-type plan cache, interposed `MPI_Pack`/`MPI_Unpack`, and
+//!   datatype-accelerated `MPI_Send`/`MPI_Recv` over intermediate pooled
+//!   buffers ([`buffers`]).
+//! * [`interpose`] — the Section-4 architecture: a symbol-resolution
+//!   table deciding, per MPI entry point, whether TEMPI or the system MPI
+//!   serves the call, with automatic fall-through.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpi_sim::{RankCtx, WorldConfig, consts::MPI_BYTE};
+//! use tempi_core::interpose::InterposedMpi;
+//! use tempi_core::config::TempiConfig;
+//!
+//! let mut ctx = RankCtx::standalone(&WorldConfig::summit(1));
+//! let mut mpi = InterposedMpi::new(TempiConfig::default());
+//!
+//! // a 2-D strided object: 13 rows of 100 bytes in a 256-byte pitch
+//! let dt = ctx.type_vector(13, 100, 256, MPI_BYTE).unwrap();
+//! mpi.type_commit(&mut ctx, dt).unwrap();
+//!
+//! let src = ctx.gpu.malloc(13 * 256).unwrap();
+//! let dst = ctx.gpu.malloc(1300).unwrap();
+//! let mut position = 0;
+//! mpi.pack(&mut ctx, src, 1, dt, dst, 1300, &mut position).unwrap();
+//! assert_eq!(position, 1300);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffers;
+pub mod config;
+pub mod interpose;
+pub mod ir;
+pub mod kernels;
+pub mod model;
+pub mod tempi;
+
+pub use config::{Method, TempiConfig};
+pub use interpose::{InterposedMpi, Linker, MpiSymbol, Provider};
+pub use model::{Breakdown, SendModel};
+pub use tempi::{CommitReport, PlanKind, Tempi, TempiStats, TypePlan};

@@ -1,0 +1,269 @@
+//! The Section-5 performance model of datatype-accelerated MPI primitives.
+//!
+//! The interposer cannot reach inside the system MPI, so a non-contiguous
+//! send must be composed from packing and contiguous transfers. The paper
+//! models three compositions:
+//!
+//! ```text
+//! T_device  = T_gpu-pack  + T_gpu-gpu            + T_gpu-unpack     (Eq. 1)
+//! T_oneshot = T_host-pack + T_cpu-cpu            + T_host-unpack    (Eq. 2)
+//! T_staged  = T_gpu-pack  + T_d2h + T_cpu-cpu + T_h2d + T_gpu-unpack (Eq. 3)
+//! ```
+//!
+//! and shows that — contrary to prior work's preference for one-shot — the
+//! *device* method wins for larger, less-contiguous objects, while
+//! one-shot wins for smaller, more-contiguous ones, and staged is never
+//! competitive. [`SendModel::choose`] is the decision TEMPI applies per
+//! send; the figure harnesses evaluate the same equations to regenerate
+//! Figs. 8, 10 and 11.
+
+use gpu_sim::{CopyKind, GpuCostModel, PackDir, PackTarget, SimTime};
+use mpi_sim::{NetModel, Transport};
+use serde::{Deserialize, Serialize};
+
+use crate::config::Method;
+
+/// The model, parameterized by the calibrated GPU and network models and a
+/// (source, destination) rank placement.
+#[derive(Debug, Clone)]
+pub struct SendModel {
+    /// GPU cost model (pack kernels, DMA engine).
+    pub gpu: GpuCostModel,
+    /// Fabric model.
+    pub net: NetModel,
+    /// Source rank (placement decides intra- vs inter-node).
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+}
+
+/// A modeled time split into its equation terms (for Figs. 8b/10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Pack term.
+    pub pack: SimTime,
+    /// Wire / staging terms (everything between pack and unpack).
+    pub transfer: SimTime,
+    /// Unpack term.
+    pub unpack: SimTime,
+}
+
+impl Breakdown {
+    /// Sum of the terms.
+    pub fn total(&self) -> SimTime {
+        self.pack + self.transfer + self.unpack
+    }
+}
+
+impl SendModel {
+    /// Model with both ranks on different Summit nodes (the paper's
+    /// measurement placement).
+    pub fn summit_internode() -> Self {
+        let net = NetModel::summit();
+        SendModel {
+            gpu: GpuCostModel::summit_v100(),
+            net,
+            src: 0,
+            dst: 6, // different node (6 ranks/node)
+        }
+    }
+
+    /// One pack or unpack operation: launch + kernel + synchronize.
+    pub fn t_pack(
+        &self,
+        dir: PackDir,
+        target: PackTarget,
+        bytes: usize,
+        block: usize,
+        word: usize,
+    ) -> SimTime {
+        self.gpu.kernel_launch_overhead
+            + self.gpu.pack_kernel_time(dir, target, bytes, block, word)
+            + self.gpu.stream_sync_overhead
+    }
+
+    /// CUDA-aware GPU–GPU MPI transfer of `bytes` (Fig. 8a upper curve).
+    pub fn t_gpu_gpu(&self, bytes: usize) -> SimTime {
+        self.net.send_overhead
+            + self
+                .net
+                .transfer_time(bytes, Transport::Gpu, self.src, self.dst)
+            + self.net.recv_overhead
+    }
+
+    /// CPU–CPU MPI transfer of `bytes` (Fig. 8a lower curve).
+    pub fn t_cpu_cpu(&self, bytes: usize) -> SimTime {
+        self.net.send_overhead
+            + self
+                .net
+                .transfer_time(bytes, Transport::Cpu, self.src, self.dst)
+            + self.net.recv_overhead
+    }
+
+    /// `cudaMemcpyAsync` D2H + synchronize (Fig. 8a).
+    pub fn t_d2h(&self, bytes: usize) -> SimTime {
+        self.gpu.memcpy_async_overhead
+            + self.gpu.copy_engine_time(CopyKind::D2H, bytes)
+            + self.gpu.stream_sync_overhead
+    }
+
+    /// `cudaMemcpyAsync` H2D + synchronize (Fig. 8a).
+    pub fn t_h2d(&self, bytes: usize) -> SimTime {
+        self.gpu.memcpy_async_overhead
+            + self.gpu.copy_engine_time(CopyKind::H2D, bytes)
+            + self.gpu.stream_sync_overhead
+    }
+
+    /// Equation 1: the device method.
+    pub fn t_device(&self, bytes: usize, block: usize, word: usize) -> Breakdown {
+        Breakdown {
+            pack: self.t_pack(PackDir::Pack, PackTarget::Device, bytes, block, word),
+            transfer: self.t_gpu_gpu(bytes),
+            unpack: self.t_pack(PackDir::Unpack, PackTarget::Device, bytes, block, word),
+        }
+    }
+
+    /// Equation 2: the one-shot method.
+    pub fn t_oneshot(&self, bytes: usize, block: usize, word: usize) -> Breakdown {
+        Breakdown {
+            pack: self.t_pack(PackDir::Pack, PackTarget::MappedHost, bytes, block, word),
+            transfer: self.t_cpu_cpu(bytes),
+            unpack: self.t_pack(PackDir::Unpack, PackTarget::MappedHost, bytes, block, word),
+        }
+    }
+
+    /// Equation 3: the staged method.
+    pub fn t_staged(&self, bytes: usize, block: usize, word: usize) -> Breakdown {
+        Breakdown {
+            pack: self.t_pack(PackDir::Pack, PackTarget::Device, bytes, block, word),
+            transfer: self.t_d2h(bytes) + self.t_cpu_cpu(bytes) + self.t_h2d(bytes),
+            unpack: self.t_pack(PackDir::Unpack, PackTarget::Device, bytes, block, word),
+        }
+    }
+
+    /// The §8 pipelining extension: the staged composition executed in
+    /// `chunk`-byte pieces so its four stages (pack kernel, D2H copy, CPU
+    /// wire, H2D + unpack) overlap. Classic pipeline bound: one traversal
+    /// of every stage plus `(n-1)` repetitions of the slowest stage.
+    pub fn t_pipelined(&self, bytes: usize, block: usize, word: usize, chunk: usize) -> SimTime {
+        let chunk = chunk.min(bytes).max(1);
+        let n = bytes.div_ceil(chunk) as u64;
+        let pack = self.gpu.kernel_launch_overhead
+            + self
+                .gpu
+                .pack_kernel_time(PackDir::Pack, PackTarget::Device, chunk, block, word);
+        let d2h = self.gpu.memcpy_async_overhead + self.gpu.copy_engine_time(CopyKind::D2H, chunk);
+        let wire = self.t_cpu_cpu(chunk);
+        let h2d = self.gpu.memcpy_async_overhead + self.gpu.copy_engine_time(CopyKind::H2D, chunk);
+        let unpack = self.gpu.kernel_launch_overhead
+            + self
+                .gpu
+                .pack_kernel_time(PackDir::Unpack, PackTarget::Device, chunk, block, word);
+        let fill = pack + d2h + wire + h2d + unpack;
+        let bottleneck = pack.max(d2h).max(wire).max(h2d).max(unpack);
+        fill + bottleneck * (n - 1) + self.gpu.stream_sync_overhead
+    }
+
+    /// The per-send decision: device or one-shot, whichever the model says
+    /// is faster. (Staged is excluded: Fig. 8b shows the small region where
+    /// `T_cpu-cpu < T_gpu-gpu` is not enough to pay for the D2H+H2D trips.)
+    pub fn choose(&self, bytes: usize, block: usize, word: usize) -> Method {
+        let dev = self.t_device(bytes, block, word).total();
+        let osh = self.t_oneshot(bytes, block, word).total();
+        if dev <= osh {
+            Method::Device
+        } else {
+            Method::OneShot
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> SendModel {
+        SendModel::summit_internode()
+    }
+
+    #[test]
+    fn gpu_gpu_floor_11us_cpu_cpu_floor_2_2us() {
+        let m = m();
+        let g = m.t_gpu_gpu(1).as_us_f64();
+        let c = m.t_cpu_cpu(1).as_us_f64();
+        assert!((g - 11.4).abs() < 0.1, "gpu {g}");
+        assert!((c - 2.6).abs() < 0.1, "cpu {c}");
+    }
+
+    #[test]
+    fn staged_never_beats_device() {
+        // Fig. 8b: the cpu-cpu advantage never covers D2H + H2D.
+        let m = m();
+        for bytes in [1usize << 10, 1 << 16, 1 << 20, 4 << 20, 64 << 20] {
+            for block in [8usize, 64, 512, 4096] {
+                let dev = m.t_device(bytes, block, 4).total();
+                let st = m.t_staged(bytes, block, 4).total();
+                assert!(st >= dev, "staged beat device at {bytes}/{block}");
+            }
+        }
+    }
+
+    #[test]
+    fn oneshot_wins_small_contiguous_device_wins_large_strided() {
+        let m = m();
+        // 1 MiB with large blocks: one-shot (Fig. 10a)
+        assert_eq!(m.choose(1 << 20, 4096, 8), Method::OneShot);
+        // 4 MiB with small blocks: device (Fig. 10b)
+        assert_eq!(m.choose(4 << 20, 16, 4), Method::Device);
+    }
+
+    #[test]
+    fn crossover_moves_with_block_size() {
+        // For a fixed 4 MiB object, small blocks favor device (one-shot
+        // pack suffers more from the 128 B knee), large blocks favor
+        // one-shot-or-tie.
+        let m = m();
+        let dev_small = m.t_device(4 << 20, 8, 4).total();
+        let osh_small = m.t_oneshot(4 << 20, 8, 4).total();
+        assert!(dev_small < osh_small);
+    }
+
+    #[test]
+    fn d2h_h2d_gap_at_1mib_about_80us() {
+        // Fig. 8b: around 1 MiB T_cpu-cpu beats T_gpu-gpu by ~80-100 µs,
+        // but that saving is consumed by the D2H and H2D transfers — so
+        // staged never becomes competitive.
+        let m = m();
+        let cpu_saving = m
+            .t_gpu_gpu(1 << 20)
+            .saturating_sub(m.t_cpu_cpu(1 << 20))
+            .as_us_f64();
+        assert!(
+            cpu_saving > 60.0 && cpu_saving < 130.0,
+            "saving {cpu_saving} µs"
+        );
+        let extra = (m.t_d2h(1 << 20) + m.t_h2d(1 << 20)).as_us_f64();
+        assert!(
+            extra >= cpu_saving,
+            "d2h+h2d {extra} must consume {cpu_saving}"
+        );
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let m = m();
+        let b = m.t_device(1 << 20, 64, 4);
+        assert_eq!(b.total(), b.pack + b.transfer + b.unpack);
+    }
+
+    #[test]
+    fn model_is_monotone_in_bytes() {
+        let m = m();
+        let mut last = SimTime::ZERO;
+        for bytes in [1usize << 10, 1 << 14, 1 << 18, 1 << 22] {
+            let t = m.t_oneshot(bytes, 512, 8).total();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

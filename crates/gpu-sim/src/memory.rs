@@ -1,0 +1,592 @@
+//! Simulated GPU/host memory with distinct address spaces.
+//!
+//! The simulator gives every allocation a real backing `Vec<u8>` so packing
+//! kernels move actual bytes and tests can verify functional correctness.
+//! Each allocation is tagged with a [`MemSpace`]; the runtime enforces the
+//! same visibility rules a CUDA program lives under:
+//!
+//! * **Device** memory is visible to kernels and device-side copies only.
+//!   Host code must use an explicit copy (or the documented `peek`/`poke`
+//!   debug backdoor) to touch it.
+//! * **Host** (pageable) memory is *not* visible to device code — a kernel
+//!   dereferencing it is an error in the simulator, where on real hardware
+//!   it would be a crash or silent corruption.
+//! * **Pinned** host memory is visible to the DMA engine (fast copies) but
+//!   not directly addressable by kernels.
+//! * **Mapped** (zero-copy) host memory is visible to both sides; this is
+//!   the buffer class the paper's *one-shot* method packs into.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceProps;
+use crate::error::{GpuError, GpuResult};
+
+/// Address space of an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// GPU global memory (`cudaMalloc`).
+    Device,
+    /// Ordinary pageable host memory (`malloc`).
+    Host,
+    /// Page-locked host memory (`cudaMallocHost` without mapping).
+    Pinned,
+    /// Page-locked, device-mapped ("zero-copy") host memory
+    /// (`cudaHostAlloc(..., cudaHostAllocMapped)`).
+    Mapped,
+}
+
+impl MemSpace {
+    /// Can a kernel (device code) dereference pointers in this space?
+    #[inline]
+    pub fn device_accessible(self) -> bool {
+        matches!(self, MemSpace::Device | MemSpace::Mapped)
+    }
+
+    /// Can host code dereference pointers in this space?
+    #[inline]
+    pub fn host_accessible(self) -> bool {
+        !matches!(self, MemSpace::Device)
+    }
+
+    /// Is this space on the host side of the interconnect (so device access
+    /// pays interconnect bandwidth rather than HBM bandwidth)?
+    #[inline]
+    pub fn on_host(self) -> bool {
+        !matches!(self, MemSpace::Device)
+    }
+}
+
+/// A (typed-as-bytes) pointer into simulated memory: allocation handle plus
+/// byte offset. `GpuPtr` is `Copy` and supports pointer arithmetic with
+/// [`GpuPtr::add`], like a raw `char*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GpuPtr {
+    pub(crate) alloc: u64,
+    /// Byte offset from the allocation base.
+    pub offset: usize,
+    /// Address space (cached from the allocation for cheap checks).
+    pub space: MemSpace,
+}
+
+impl GpuPtr {
+    /// Pointer `self + bytes`.
+    // named after raw-pointer `add`, deliberately mirroring CUDA-style
+    // pointer arithmetic at call sites
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    #[must_use]
+    pub fn add(self, bytes: usize) -> GpuPtr {
+        GpuPtr {
+            alloc: self.alloc,
+            offset: self.offset + bytes,
+            space: self.space,
+        }
+    }
+
+    /// Signed pointer arithmetic: `self + delta` bytes. Returns `None` if
+    /// the result would fall before the allocation base.
+    #[inline]
+    #[must_use]
+    pub fn offset_by(self, delta: i64) -> Option<GpuPtr> {
+        let off = self.offset as i64 + delta;
+        if off < 0 {
+            None
+        } else {
+            Some(GpuPtr {
+                alloc: self.alloc,
+                offset: off as usize,
+                space: self.space,
+            })
+        }
+    }
+
+    /// Alignment of this pointer, assuming (as the simulator guarantees)
+    /// that every allocation base is 256-byte aligned — the same guarantee
+    /// `cudaMalloc` provides. Returns the largest power of two ≤ 256 that
+    /// divides the address.
+    pub fn alignment(self) -> usize {
+        let mut a = 256usize;
+        while a > 1 && !self.offset.is_multiple_of(a) {
+            a /= 2;
+        }
+        a
+    }
+
+    /// The numeric id of the owning allocation (for diagnostics).
+    pub fn alloc_id(self) -> u64 {
+        self.alloc
+    }
+}
+
+struct Alloc {
+    data: Vec<u8>,
+    space: MemSpace,
+}
+
+/// The memory state of one simulated device + its host process.
+///
+/// Obtained from [`GpuContext::memory`]; kernels receive `&mut Memory` and
+/// use the checked accessors here.
+pub struct Memory {
+    allocs: HashMap<u64, Alloc>,
+    next_id: u64,
+    device_capacity: usize,
+    device_used: usize,
+}
+
+impl Memory {
+    fn new(device_capacity: usize) -> Self {
+        Memory {
+            allocs: HashMap::new(),
+            next_id: 1,
+            device_capacity,
+            device_used: 0,
+        }
+    }
+
+    fn alloc(&mut self, len: usize, space: MemSpace) -> GpuResult<GpuPtr> {
+        if space == MemSpace::Device {
+            let available = self.device_capacity - self.device_used;
+            if len > available {
+                return Err(GpuError::OutOfMemory {
+                    requested: len,
+                    available,
+                });
+            }
+            self.device_used += len;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocs.insert(
+            id,
+            Alloc {
+                data: vec![0u8; len],
+                space,
+            },
+        );
+        Ok(GpuPtr {
+            alloc: id,
+            offset: 0,
+            space,
+        })
+    }
+
+    fn free(&mut self, ptr: GpuPtr) -> GpuResult<()> {
+        match self.allocs.remove(&ptr.alloc) {
+            Some(a) => {
+                if a.space == MemSpace::Device {
+                    self.device_used -= a.data.len();
+                }
+                Ok(())
+            }
+            None => Err(GpuError::InvalidPointer { alloc: ptr.alloc }),
+        }
+    }
+
+    fn slice(&self, ptr: GpuPtr, len: usize) -> GpuResult<&[u8]> {
+        let a = self
+            .allocs
+            .get(&ptr.alloc)
+            .ok_or(GpuError::InvalidPointer { alloc: ptr.alloc })?;
+        a.data
+            .get(ptr.offset..ptr.offset + len)
+            .ok_or(GpuError::OutOfBounds {
+                alloc: ptr.alloc,
+                offset: ptr.offset,
+                len,
+                size: a.data.len(),
+            })
+    }
+
+    fn slice_mut(&mut self, ptr: GpuPtr, len: usize) -> GpuResult<&mut [u8]> {
+        let a = self
+            .allocs
+            .get_mut(&ptr.alloc)
+            .ok_or(GpuError::InvalidPointer { alloc: ptr.alloc })?;
+        let size = a.data.len();
+        a.data
+            .get_mut(ptr.offset..ptr.offset + len)
+            .ok_or(GpuError::OutOfBounds {
+                alloc: ptr.alloc,
+                offset: ptr.offset,
+                len,
+                size,
+            })
+    }
+
+    /// The address space an allocation actually lives in (authoritative,
+    /// unlike the cached tag on the pointer).
+    pub fn space_of(&self, ptr: GpuPtr) -> GpuResult<MemSpace> {
+        self.allocs
+            .get(&ptr.alloc)
+            .map(|a| a.space)
+            .ok_or(GpuError::InvalidPointer { alloc: ptr.alloc })
+    }
+
+    /// Size in bytes of the allocation `ptr` points into.
+    pub fn size_of(&self, ptr: GpuPtr) -> GpuResult<usize> {
+        self.allocs
+            .get(&ptr.alloc)
+            .map(|a| a.data.len())
+            .ok_or(GpuError::InvalidPointer { alloc: ptr.alloc })
+    }
+
+    /// Device-side read (as from a kernel): source must be device-accessible.
+    pub fn dev_read(&self, ptr: GpuPtr, out: &mut [u8]) -> GpuResult<()> {
+        let space = self.space_of(ptr)?;
+        if !space.device_accessible() {
+            return Err(GpuError::NotDeviceAccessible { space });
+        }
+        out.copy_from_slice(self.slice(ptr, out.len())?);
+        Ok(())
+    }
+
+    /// Device-side write (as from a kernel): target must be device-accessible.
+    pub fn dev_write(&mut self, ptr: GpuPtr, data: &[u8]) -> GpuResult<()> {
+        let space = self.space_of(ptr)?;
+        if !space.device_accessible() {
+            return Err(GpuError::NotDeviceAccessible { space });
+        }
+        self.slice_mut(ptr, data.len())?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Device-side copy of `len` bytes between device-accessible locations,
+    /// the primitive used by packing kernels. Handles the common
+    /// different-allocation case without an intermediate buffer; an aliasing
+    /// same-allocation copy is allowed only when the ranges are disjoint.
+    pub fn dev_copy(&mut self, dst: GpuPtr, src: GpuPtr, len: usize) -> GpuResult<()> {
+        let s_space = self.space_of(src)?;
+        if !s_space.device_accessible() {
+            return Err(GpuError::NotDeviceAccessible { space: s_space });
+        }
+        let d_space = self.space_of(dst)?;
+        if !d_space.device_accessible() {
+            return Err(GpuError::NotDeviceAccessible { space: d_space });
+        }
+        self.raw_copy(dst, src, len)
+    }
+
+    /// Copy with no space checks (used by the DMA/memcpy machinery, which
+    /// performs its own kind-specific validation).
+    pub(crate) fn raw_copy(&mut self, dst: GpuPtr, src: GpuPtr, len: usize) -> GpuResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        if dst.alloc == src.alloc {
+            // Same allocation: permit only non-overlapping ranges.
+            let lo = src.offset.min(dst.offset);
+            let hi_start = src.offset.max(dst.offset);
+            if hi_start < lo + len {
+                return Err(GpuError::OverlappingBuffers);
+            }
+            let a = self
+                .allocs
+                .get_mut(&src.alloc)
+                .ok_or(GpuError::InvalidPointer { alloc: src.alloc })?;
+            let size = a.data.len();
+            if src.offset + len > size || dst.offset + len > size {
+                let (offset, _) = if src.offset + len > size {
+                    (src.offset, len)
+                } else {
+                    (dst.offset, len)
+                };
+                return Err(GpuError::OutOfBounds {
+                    alloc: src.alloc,
+                    offset,
+                    len,
+                    size,
+                });
+            }
+            a.data.copy_within(src.offset..src.offset + len, dst.offset);
+            return Ok(());
+        }
+        // Distinct allocations: split-borrow via two map lookups.
+        // (HashMap has no get_two_mut on stable; go through raw pointers
+        // guarded by the distinct-key check above.)
+        let src_slice: *const [u8] = self.slice(src, len)?;
+        let dst_slice: *mut [u8] = self.slice_mut(dst, len)?;
+        // SAFETY: `src.alloc != dst.alloc`, so the two slices belong to
+        // different `Vec<u8>` buffers and cannot alias; both were bounds-
+        // checked by `slice`/`slice_mut`.
+        unsafe {
+            (*dst_slice).copy_from_slice(&*src_slice);
+        }
+        Ok(())
+    }
+
+    /// Host-side read: source must be host-accessible.
+    pub fn host_read(&self, ptr: GpuPtr, out: &mut [u8]) -> GpuResult<()> {
+        let space = self.space_of(ptr)?;
+        if !space.host_accessible() {
+            return Err(GpuError::NotHostAccessible);
+        }
+        out.copy_from_slice(self.slice(ptr, out.len())?);
+        Ok(())
+    }
+
+    /// Host-side write: target must be host-accessible.
+    pub fn host_write(&mut self, ptr: GpuPtr, data: &[u8]) -> GpuResult<()> {
+        let space = self.space_of(ptr)?;
+        if !space.host_accessible() {
+            return Err(GpuError::NotHostAccessible);
+        }
+        self.slice_mut(ptr, data.len())?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Debug backdoor read ignoring space rules (like a debugger). Costs no
+    /// virtual time; intended for test setup and verification only.
+    pub fn peek(&self, ptr: GpuPtr, len: usize) -> GpuResult<Vec<u8>> {
+        Ok(self.slice(ptr, len)?.to_vec())
+    }
+
+    /// Debug backdoor write ignoring space rules. Costs no virtual time;
+    /// intended for test setup only.
+    pub fn poke(&mut self, ptr: GpuPtr, data: &[u8]) -> GpuResult<()> {
+        self.slice_mut(ptr, data.len())?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn device_used(&self) -> usize {
+        self.device_used
+    }
+
+    /// Number of live allocations across all spaces.
+    pub fn live_allocations(&self) -> usize {
+        self.allocs.len()
+    }
+}
+
+/// Handle to one simulated GPU and its host process memory. Cheap to clone;
+/// all clones share the same memory state.
+#[derive(Clone)]
+pub struct GpuContext {
+    mem: Arc<Mutex<Memory>>,
+    props: Arc<DeviceProps>,
+}
+
+impl GpuContext {
+    /// Create a context for the given device model.
+    pub fn new(props: DeviceProps) -> Self {
+        let cap = props.global_mem_bytes;
+        GpuContext {
+            mem: Arc::new(Mutex::new(Memory::new(cap))),
+            props: Arc::new(props),
+        }
+    }
+
+    /// The device description this context simulates.
+    pub fn props(&self) -> &DeviceProps {
+        &self.props
+    }
+
+    /// Lock and access the memory state. Hold the guard only for the
+    /// duration of one operation.
+    pub fn memory(&self) -> parking_lot::MutexGuard<'_, Memory> {
+        self.mem.lock()
+    }
+
+    /// `cudaMalloc`: allocate device global memory.
+    pub fn malloc(&self, len: usize) -> GpuResult<GpuPtr> {
+        self.memory().alloc(len, MemSpace::Device)
+    }
+
+    /// `malloc`: allocate pageable host memory.
+    pub fn host_alloc(&self, len: usize) -> GpuResult<GpuPtr> {
+        self.memory().alloc(len, MemSpace::Host)
+    }
+
+    /// `cudaMallocHost`: allocate pinned (page-locked) host memory.
+    pub fn pinned_alloc(&self, len: usize) -> GpuResult<GpuPtr> {
+        self.memory().alloc(len, MemSpace::Pinned)
+    }
+
+    /// `cudaHostAlloc(cudaHostAllocMapped)`: allocate mapped zero-copy host
+    /// memory, addressable from kernels.
+    pub fn mapped_alloc(&self, len: usize) -> GpuResult<GpuPtr> {
+        self.memory().alloc(len, MemSpace::Mapped)
+    }
+
+    /// Free any allocation.
+    pub fn free(&self, ptr: GpuPtr) -> GpuResult<()> {
+        self.memory().free(ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> GpuContext {
+        GpuContext::new(DeviceProps::v100())
+    }
+
+    #[test]
+    fn alloc_and_backdoor_roundtrip() {
+        let c = ctx();
+        let p = c.malloc(64).unwrap();
+        c.memory().poke(p, &[7u8; 64]).unwrap();
+        assert_eq!(c.memory().peek(p, 64).unwrap(), vec![7u8; 64]);
+        c.free(p).unwrap();
+    }
+
+    #[test]
+    fn host_cannot_touch_device_memory() {
+        let c = ctx();
+        let p = c.malloc(16).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            c.memory().host_read(p, &mut buf),
+            Err(GpuError::NotHostAccessible)
+        );
+        assert_eq!(
+            c.memory().host_write(p, &buf),
+            Err(GpuError::NotHostAccessible)
+        );
+    }
+
+    #[test]
+    fn device_cannot_touch_pageable_host_memory() {
+        let c = ctx();
+        let h = c.host_alloc(16).unwrap();
+        let d = c.malloc(16).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            c.memory().dev_read(h, &mut buf),
+            Err(GpuError::NotDeviceAccessible { .. })
+        ));
+        assert!(matches!(
+            c.memory().dev_copy(d, h, 4),
+            Err(GpuError::NotDeviceAccessible { .. })
+        ));
+    }
+
+    #[test]
+    fn device_can_touch_mapped_memory() {
+        let c = ctx();
+        let m = c.mapped_alloc(16).unwrap();
+        let d = c.malloc(16).unwrap();
+        c.memory().poke(d, &[3u8; 16]).unwrap();
+        c.memory().dev_copy(m, d, 16).unwrap();
+        assert_eq!(c.memory().peek(m, 16).unwrap(), vec![3u8; 16]);
+        // and host can read mapped memory directly
+        let mut out = [0u8; 16];
+        c.memory().host_read(m, &mut out).unwrap();
+        assert_eq!(out, [3u8; 16]);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let c = ctx();
+        let p = c.malloc(8).unwrap();
+        let err = c.memory().peek(p.add(4), 8).unwrap_err();
+        assert!(matches!(
+            err,
+            GpuError::OutOfBounds {
+                offset: 4,
+                len: 8,
+                size: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let c = ctx();
+        let p = c.malloc(8).unwrap();
+        c.free(p).unwrap();
+        assert!(matches!(
+            c.memory().peek(p, 1),
+            Err(GpuError::InvalidPointer { .. })
+        ));
+        assert!(matches!(c.free(p), Err(GpuError::InvalidPointer { .. })));
+    }
+
+    #[test]
+    fn device_memory_exhaustion() {
+        let c = GpuContext::new(DeviceProps {
+            global_mem_bytes: 1024,
+            ..DeviceProps::v100()
+        });
+        let _a = c.malloc(1000).unwrap();
+        let err = c.malloc(100).unwrap_err();
+        assert!(matches!(
+            err,
+            GpuError::OutOfMemory {
+                requested: 100,
+                available: 24
+            }
+        ));
+    }
+
+    #[test]
+    fn free_returns_device_capacity() {
+        let c = GpuContext::new(DeviceProps {
+            global_mem_bytes: 1024,
+            ..DeviceProps::v100()
+        });
+        let a = c.malloc(1024).unwrap();
+        c.free(a).unwrap();
+        assert!(c.malloc(1024).is_ok());
+    }
+
+    #[test]
+    fn same_alloc_copy_disjoint_ok_overlap_err() {
+        let c = ctx();
+        let p = c.malloc(32).unwrap();
+        c.memory()
+            .poke(p, &(0..32).map(|b| b as u8).collect::<Vec<_>>())
+            .unwrap();
+        c.memory().dev_copy(p.add(16), p, 16).unwrap();
+        assert_eq!(c.memory().peek(p.add(16), 4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            c.memory().dev_copy(p.add(8), p, 16),
+            Err(GpuError::OverlappingBuffers)
+        );
+    }
+
+    #[test]
+    fn pointer_arithmetic_and_alignment() {
+        let c = ctx();
+        let p = c.malloc(1024).unwrap();
+        assert_eq!(p.alignment(), 256);
+        assert_eq!(p.add(4).alignment(), 4);
+        assert_eq!(p.add(12).alignment(), 4);
+        assert_eq!(p.add(16).alignment(), 16);
+        assert_eq!(p.add(3).alignment(), 1);
+    }
+
+    #[test]
+    fn zero_length_ops_are_fine() {
+        let c = ctx();
+        let a = c.malloc(0).unwrap();
+        let b = c.malloc(0).unwrap();
+        c.memory().dev_copy(a, b, 0).unwrap();
+        assert_eq!(c.memory().peek(a, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn space_queries() {
+        let c = ctx();
+        let d = c.malloc(1).unwrap();
+        let h = c.host_alloc(1).unwrap();
+        let p = c.pinned_alloc(1).unwrap();
+        let m = c.mapped_alloc(1).unwrap();
+        let mem = c.memory();
+        assert_eq!(mem.space_of(d).unwrap(), MemSpace::Device);
+        assert_eq!(mem.space_of(h).unwrap(), MemSpace::Host);
+        assert_eq!(mem.space_of(p).unwrap(), MemSpace::Pinned);
+        assert_eq!(mem.space_of(m).unwrap(), MemSpace::Mapped);
+        assert!(MemSpace::Mapped.device_accessible());
+        assert!(!MemSpace::Pinned.device_accessible());
+        assert!(MemSpace::Pinned.host_accessible());
+        assert!(!MemSpace::Device.on_host());
+    }
+}

@@ -1,0 +1,611 @@
+//! Streams: in-order asynchronous execution with virtual timing.
+//!
+//! A [`Stream`] models one CUDA stream. Submitting work costs the *calling
+//! CPU* its API overhead immediately (advancing the caller's [`SimClock`]);
+//! the work itself occupies the *GPU timeline*, tracked as the stream's
+//! `busy_until` instant. [`Stream::synchronize`] joins the two timelines.
+//!
+//! The functional side effect of an operation (bytes actually moving) is
+//! applied at submission time. This is sound because the simulator executes
+//! each rank's program in order — virtual timestamps, not execution order,
+//! carry all performance information.
+
+use crate::clock::{SimClock, SimTime};
+use crate::cost::{CopyKind, GpuCostModel};
+use crate::error::{GpuError, GpuResult};
+#[cfg(test)]
+use crate::kernel::Dim3;
+use crate::kernel::LaunchConfig;
+use crate::memory::{GpuContext, GpuPtr, MemSpace, Memory};
+
+/// Cumulative counters of work submitted to a stream, for tests and
+/// reporting (e.g. the baseline copy-per-block implementations are verified
+/// to issue one memcpy per contiguous block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of `memcpy_async` calls.
+    pub memcpys: u64,
+    /// Number of strided (2D) DMA copies.
+    pub memcpys_2d: u64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+    /// Number of synchronize calls.
+    pub syncs: u64,
+    /// Total payload bytes moved by copies (not kernels).
+    pub copy_bytes: u64,
+}
+
+/// A simulated CUDA stream bound to one [`GpuContext`].
+pub struct Stream {
+    ctx: GpuContext,
+    cost: GpuCostModel,
+    busy_until: SimTime,
+    stats: StreamStats,
+}
+
+impl Stream {
+    /// Create a stream on `ctx` priced by `cost`.
+    pub fn new(ctx: GpuContext, cost: GpuCostModel) -> Self {
+        Stream {
+            ctx,
+            cost,
+            busy_until: SimTime::ZERO,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The context this stream submits to.
+    pub fn context(&self) -> &GpuContext {
+        &self.ctx
+    }
+
+    /// The cost model pricing this stream's work.
+    pub fn cost_model(&self) -> &GpuCostModel {
+        &self.cost
+    }
+
+    /// Instant at which all currently submitted work completes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Counters of submitted work.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Reset counters (between benchmark repetitions).
+    pub fn reset_stats(&mut self) {
+        self.stats = StreamStats::default();
+    }
+
+    /// Reset the stream's virtual timeline to t = 0. Must accompany a
+    /// [`SimClock::reset`] of the owning agent's clock — otherwise the
+    /// next synchronize waits on a completion instant from the previous
+    /// timeline.
+    pub fn reset_timeline(&mut self) {
+        self.busy_until = SimTime::ZERO;
+    }
+
+    fn enqueue(&mut self, clock: &SimClock, gpu_time: SimTime) {
+        let start = self.busy_until.max(clock.now());
+        self.busy_until = start + gpu_time;
+    }
+
+    /// `cudaMemcpyAsync`: copy `len` bytes from `src` to `dst`, inferring
+    /// the transfer kind from the endpoint address spaces.
+    ///
+    /// Costs the caller the async-call overhead now and occupies the GPU
+    /// copy engine for the modeled transfer duration. Validates the same
+    /// things CUDA does: bounds, liveness, and that a D2D copy does not
+    /// involve pageable memory on its device-pointer side.
+    pub fn memcpy_async(
+        &mut self,
+        clock: &mut SimClock,
+        dst: GpuPtr,
+        src: GpuPtr,
+        len: usize,
+    ) -> GpuResult<CopyKind> {
+        let kind = {
+            let mut mem = self.ctx.memory();
+            let d_space = mem.space_of(dst)?;
+            let s_space = mem.space_of(src)?;
+            mem.raw_copy(dst, src, len)?;
+            CopyKind::infer(d_space, s_space)
+        };
+        clock.advance(self.cost.memcpy_async_overhead);
+        self.enqueue(clock, self.cost.copy_engine_time(kind, len));
+        self.stats.memcpys += 1;
+        self.stats.copy_bytes += len as u64;
+        Ok(kind)
+    }
+
+    /// `cudaMemcpy2DAsync`: copy a `width × height` region between two
+    /// pitched layouts. The DMA engine handles the stride, paying a per-row
+    /// overhead — the packing strategy of Wang et al. and the paper's
+    /// future-work DMA path.
+    #[allow(clippy::too_many_arguments)] // mirrors the CUDA signature
+    pub fn memcpy_2d_async(
+        &mut self,
+        clock: &mut SimClock,
+        dst: GpuPtr,
+        dpitch: usize,
+        src: GpuPtr,
+        spitch: usize,
+        width: usize,
+        height: usize,
+    ) -> GpuResult<CopyKind> {
+        if width > dpitch || width > spitch {
+            return Err(GpuError::InvalidLaunch {
+                reason: format!(
+                    "memcpy2d width {width} exceeds pitch (dpitch={dpitch}, spitch={spitch})"
+                ),
+            });
+        }
+        let kind = {
+            let mut mem = self.ctx.memory();
+            let d_space = mem.space_of(dst)?;
+            let s_space = mem.space_of(src)?;
+            for row in 0..height {
+                mem.raw_copy(dst.add(row * dpitch), src.add(row * spitch), width)?;
+            }
+            CopyKind::infer(d_space, s_space)
+        };
+        clock.advance(self.cost.memcpy_async_overhead);
+        self.enqueue(clock, self.cost.copy_engine_time_2d(kind, width, height));
+        self.stats.memcpys_2d += 1;
+        self.stats.copy_bytes += (width * height) as u64;
+        Ok(kind)
+    }
+
+    /// `cudaMemcpy3DAsync`: copy a `width × height × depth` box between
+    /// two pitched 3-D layouts. Pitches are bytes per row; `slice_*` are
+    /// bytes per 2-D slice (≥ `pitch × height`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn memcpy_3d_async(
+        &mut self,
+        clock: &mut SimClock,
+        dst: GpuPtr,
+        dpitch: usize,
+        dslice: usize,
+        src: GpuPtr,
+        spitch: usize,
+        sslice: usize,
+        width: usize,
+        height: usize,
+        depth: usize,
+    ) -> GpuResult<CopyKind> {
+        if width > dpitch || width > spitch {
+            return Err(GpuError::InvalidLaunch {
+                reason: format!(
+                    "memcpy3d width {width} exceeds pitch (dpitch={dpitch}, spitch={spitch})"
+                ),
+            });
+        }
+        if dpitch * height > dslice || spitch * height > sslice {
+            return Err(GpuError::InvalidLaunch {
+                reason: "memcpy3d slice pitch smaller than pitch x height".to_string(),
+            });
+        }
+        let kind = {
+            let mut mem = self.ctx.memory();
+            let d_space = mem.space_of(dst)?;
+            let s_space = mem.space_of(src)?;
+            for z in 0..depth {
+                for row in 0..height {
+                    mem.raw_copy(
+                        dst.add(z * dslice + row * dpitch),
+                        src.add(z * sslice + row * spitch),
+                        width,
+                    )?;
+                }
+            }
+            CopyKind::infer(d_space, s_space)
+        };
+        clock.advance(self.cost.memcpy_async_overhead);
+        self.enqueue(
+            clock,
+            self.cost.copy_engine_time_2d(kind, width, height * depth),
+        );
+        self.stats.memcpys_2d += 1;
+        self.stats.copy_bytes += (width * height * depth) as u64;
+        Ok(kind)
+    }
+
+    /// Launch a kernel.
+    ///
+    /// * `name` — for diagnostics.
+    /// * `cfg` — grid/block geometry, validated against the device limits.
+    /// * `exec_time` — on-GPU duration, priced by the caller via
+    ///   [`GpuCostModel`] (kernel cost depends on access patterns only the
+    ///   caller knows).
+    /// * `body` — the functional effect; it may only touch device-accessible
+    ///   memory through the `dev_*` accessors of [`Memory`].
+    ///
+    /// Costs the caller the launch overhead and occupies the GPU for
+    /// `exec_time`.
+    pub fn launch<F>(
+        &mut self,
+        clock: &mut SimClock,
+        name: &str,
+        cfg: LaunchConfig,
+        exec_time: SimTime,
+        body: F,
+    ) -> GpuResult<()>
+    where
+        F: FnOnce(&mut Memory) -> GpuResult<()>,
+    {
+        self.ctx
+            .props()
+            .validate_launch(cfg.grid, cfg.block)
+            .map_err(|reason| GpuError::InvalidLaunch { reason })?;
+        {
+            let mut mem = self.ctx.memory();
+            body(&mut mem).map_err(|e| GpuError::KernelFault {
+                kernel: name.to_string(),
+                source: Box::new(e),
+            })?;
+        }
+        clock.advance(self.cost.kernel_launch_overhead);
+        self.enqueue(clock, exec_time);
+        self.stats.kernel_launches += 1;
+        Ok(())
+    }
+
+    /// `cudaStreamSynchronize`: block the caller until submitted work
+    /// completes, then pay the synchronize-return overhead. The overhead is
+    /// paid even when the stream is already idle (so an async copy plus a
+    /// sync composes to the measured 11 µs floor).
+    pub fn synchronize(&mut self, clock: &mut SimClock) {
+        clock.advance_to(self.busy_until);
+        clock.advance(self.cost.stream_sync_overhead);
+        self.stats.syncs += 1;
+    }
+
+    /// `cudaStreamQuery`: has all submitted work completed by the caller's
+    /// current instant?
+    pub fn query(&self, clock: &SimClock) -> bool {
+        self.busy_until <= clock.now()
+    }
+
+    /// Convenience: synchronous `cudaMemcpy` (async + synchronize).
+    pub fn memcpy(
+        &mut self,
+        clock: &mut SimClock,
+        dst: GpuPtr,
+        src: GpuPtr,
+        len: usize,
+    ) -> GpuResult<CopyKind> {
+        let kind = self.memcpy_async(clock, dst, src, len)?;
+        self.synchronize(clock);
+        Ok(kind)
+    }
+
+    /// Upload host bytes into any allocation through the copy engine
+    /// (models `cudaMemcpyAsync` from an implicit pinned staging source,
+    /// then sync). Convenience for tests and workload setup where the
+    /// source is a Rust slice rather than simulated memory.
+    pub fn upload(&mut self, clock: &mut SimClock, dst: GpuPtr, data: &[u8]) -> GpuResult<()> {
+        {
+            let mut mem = self.ctx.memory();
+            let _ = mem.space_of(dst)?;
+            mem.poke(dst, data)?;
+        }
+        clock.advance(self.cost.memcpy_async_overhead);
+        let kind = if dst.space == MemSpace::Device {
+            CopyKind::H2D
+        } else {
+            CopyKind::H2H
+        };
+        self.enqueue(clock, self.cost.copy_engine_time(kind, data.len()));
+        self.stats.memcpys += 1;
+        self.stats.copy_bytes += data.len() as u64;
+        self.synchronize(clock);
+        Ok(())
+    }
+
+    /// Download bytes from any allocation through the copy engine into a
+    /// Rust buffer (symmetric with [`Stream::upload`]).
+    pub fn download(
+        &mut self,
+        clock: &mut SimClock,
+        src: GpuPtr,
+        len: usize,
+    ) -> GpuResult<Vec<u8>> {
+        let data = {
+            let mem = self.ctx.memory();
+            mem.peek(src, len)?
+        };
+        clock.advance(self.cost.memcpy_async_overhead);
+        let kind = if src.space == MemSpace::Device {
+            CopyKind::D2H
+        } else {
+            CopyKind::H2H
+        };
+        self.enqueue(clock, self.cost.copy_engine_time(kind, len));
+        self.stats.memcpys += 1;
+        self.stats.copy_bytes += len as u64;
+        self.synchronize(clock);
+        Ok(data)
+    }
+}
+
+/// A recorded point on a stream's timeline (`cudaEvent`-style), for
+/// measuring GPU-side durations and for cross-stream ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    at: SimTime,
+}
+
+impl Event {
+    /// Record the stream's completion frontier at the caller's now
+    /// (free-function form kept for harness ergonomics; the priced API is
+    /// [`Stream::record_event`]).
+    pub fn record(stream: &Stream, clock: &SimClock) -> Event {
+        Event {
+            at: stream.busy_until().max(clock.now()),
+        }
+    }
+
+    /// The instant the event fires on the virtual timeline.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Virtual time between two events (`cudaEventElapsedTime`).
+    pub fn elapsed_since(&self, earlier: Event) -> SimTime {
+        self.at.saturating_sub(earlier.at)
+    }
+}
+
+impl Stream {
+    /// `cudaEventRecord`: mark the stream's current completion frontier,
+    /// paying the event-record CPU overhead.
+    pub fn record_event(&mut self, clock: &mut SimClock) -> Event {
+        clock.advance(self.cost.event_overhead);
+        Event {
+            at: self.busy_until.max(clock.now()),
+        }
+    }
+
+    /// `cudaStreamWaitEvent`: all work submitted to this stream *after*
+    /// this call executes only once `event` has fired — the cross-stream
+    /// ordering primitive. Costs the caller the event overhead; the wait
+    /// itself happens on the GPU timeline, not the CPU.
+    pub fn wait_event(&mut self, clock: &mut SimClock, event: Event) {
+        clock.advance(self.cost.event_overhead);
+        self.busy_until = self.busy_until.max(event.at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProps;
+
+    fn setup() -> (GpuContext, Stream, SimClock) {
+        let ctx = GpuContext::new(DeviceProps::v100());
+        let stream = Stream::new(ctx.clone(), GpuCostModel::summit_v100());
+        (ctx, stream, SimClock::new())
+    }
+
+    #[test]
+    fn memcpy_moves_bytes_and_time() {
+        let (ctx, mut s, mut clock) = setup();
+        let h = ctx.pinned_alloc(1024).unwrap();
+        let d = ctx.malloc(1024).unwrap();
+        ctx.memory().poke(h, &[9u8; 1024]).unwrap();
+
+        let kind = s.memcpy(&mut clock, d, h, 1024).unwrap();
+        assert_eq!(kind, CopyKind::H2D);
+        assert_eq!(ctx.memory().peek(d, 1024).unwrap(), vec![9u8; 1024]);
+        // floor (11 µs) + tiny payload
+        let us = clock.now().as_us_f64();
+        assert!((11.0..12.0).contains(&us), "elapsed {us} µs");
+    }
+
+    #[test]
+    fn async_copies_pipeline_on_engine() {
+        let (ctx, mut s, mut clock) = setup();
+        let a = ctx.malloc(1 << 20).unwrap();
+        let b = ctx.malloc(1 << 20).unwrap();
+        // Submit 4 async copies: CPU pays 4×5 µs; engine runs them back to
+        // back. One final sync joins.
+        for _ in 0..4 {
+            s.memcpy_async(&mut clock, b, a, 1 << 20).unwrap();
+        }
+        let cpu_after_submit = clock.now().as_us_f64();
+        assert!((cpu_after_submit - 20.0).abs() < 0.01);
+        s.synchronize(&mut clock);
+        // engine: 4 × (1 µs setup + 1 MiB / 700 B/ns ≈ 1.5 µs) ≈ 10 µs
+        let total = clock.now().as_us_f64();
+        assert!(total >= 25.0, "total {total} µs");
+        assert_eq!(s.stats().memcpys, 4);
+        assert_eq!(s.stats().copy_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn sync_on_idle_stream_still_costs_overhead() {
+        let (_ctx, mut s, mut clock) = setup();
+        s.synchronize(&mut clock);
+        assert_eq!(clock.now(), SimTime::from_us(5));
+        assert!(s.query(&clock));
+    }
+
+    #[test]
+    fn launch_validates_geometry() {
+        let (_ctx, mut s, mut clock) = setup();
+        let bad = LaunchConfig {
+            grid: Dim3::ONE,
+            block: Dim3::new(2048, 1, 1),
+        };
+        let err = s
+            .launch(&mut clock, "k", bad, SimTime::from_us(1), |_| Ok(()))
+            .unwrap_err();
+        assert!(matches!(err, GpuError::InvalidLaunch { .. }));
+        // failed launch does not advance the clock or stats
+        assert_eq!(clock.now(), SimTime::ZERO);
+        assert_eq!(s.stats().kernel_launches, 0);
+    }
+
+    #[test]
+    fn launch_runs_body_and_prices_time() {
+        let (ctx, mut s, mut clock) = setup();
+        let d = ctx.malloc(64).unwrap();
+        let cfg = LaunchConfig {
+            grid: Dim3::ONE,
+            block: Dim3::new(64, 1, 1),
+        };
+        s.launch(&mut clock, "fill", cfg, SimTime::from_us(7), |mem| {
+            mem.dev_write(d, &[1u8; 64])
+        })
+        .unwrap();
+        assert_eq!(ctx.memory().peek(d, 64).unwrap(), vec![1u8; 64]);
+        // launch overhead 4.5 µs on CPU
+        assert!((clock.now().as_us_f64() - 4.5).abs() < 1e-9);
+        s.synchronize(&mut clock);
+        // busy_until = 4.5 + 7 = 11.5; wait to 11.5 then +5 µs sync return
+        assert!((clock.now().as_us_f64() - 16.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_fault_reports_kernel_name() {
+        let (ctx, mut s, mut clock) = setup();
+        let h = ctx.host_alloc(64).unwrap();
+        let cfg = LaunchConfig {
+            grid: Dim3::ONE,
+            block: Dim3::new(32, 1, 1),
+        };
+        let err = s
+            .launch(&mut clock, "bad_kernel", cfg, SimTime::ZERO, |mem| {
+                mem.dev_write(h, &[0u8; 4]) // device write to pageable host
+            })
+            .unwrap_err();
+        match err {
+            GpuError::KernelFault { kernel, source } => {
+                assert_eq!(kernel, "bad_kernel");
+                assert!(matches!(*source, GpuError::NotDeviceAccessible { .. }));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn memcpy2d_strided_functional_and_timed() {
+        let (ctx, mut s, mut clock) = setup();
+        let src = ctx.malloc(64).unwrap(); // 8 rows, pitch 8, width 4
+        let dst = ctx.malloc(32).unwrap(); // packed: pitch 4
+        let pattern: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        ctx.memory().poke(src, &pattern).unwrap();
+        s.memcpy_2d_async(&mut clock, dst, 4, src, 8, 4, 8).unwrap();
+        s.synchronize(&mut clock);
+        let got = ctx.memory().peek(dst, 32).unwrap();
+        let want: Vec<u8> = (0..8u8).flat_map(|r| r * 8..r * 8 + 4).collect();
+        assert_eq!(got, want);
+        assert_eq!(s.stats().memcpys_2d, 1);
+    }
+
+    #[test]
+    fn memcpy2d_rejects_width_wider_than_pitch() {
+        let (ctx, mut s, mut clock) = setup();
+        let a = ctx.malloc(64).unwrap();
+        let b = ctx.malloc(64).unwrap();
+        assert!(matches!(
+            s.memcpy_2d_async(&mut clock, a, 4, b, 8, 6, 4),
+            Err(GpuError::InvalidLaunch { .. })
+        ));
+    }
+
+    #[test]
+    fn memcpy3d_packs_a_box() {
+        let (ctx, mut s, mut clock) = setup();
+        // source: 4x4x4 allocation (pitch 4, slice 16); box: 2x2x2 at origin
+        let src = ctx.malloc(64).unwrap();
+        let dst = ctx.malloc(8).unwrap();
+        let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        ctx.memory().poke(src, &data).unwrap();
+        s.memcpy_3d_async(&mut clock, dst, 2, 4, src, 4, 16, 2, 2, 2)
+            .unwrap();
+        s.synchronize(&mut clock);
+        assert_eq!(
+            ctx.memory().peek(dst, 8).unwrap(),
+            vec![0, 1, 4, 5, 16, 17, 20, 21]
+        );
+    }
+
+    #[test]
+    fn memcpy3d_validates_pitches() {
+        let (ctx, mut s, mut clock) = setup();
+        let a = ctx.malloc(64).unwrap();
+        let b = ctx.malloc(64).unwrap();
+        assert!(matches!(
+            s.memcpy_3d_async(&mut clock, a, 2, 4, b, 4, 16, 3, 2, 2),
+            Err(GpuError::InvalidLaunch { .. })
+        ));
+        assert!(matches!(
+            s.memcpy_3d_async(&mut clock, a, 4, 4, b, 4, 16, 4, 2, 2),
+            Err(GpuError::InvalidLaunch { .. })
+        ));
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let (ctx, mut s, mut clock) = setup();
+        let d = ctx.malloc(16).unwrap();
+        s.upload(&mut clock, d, &[42u8; 16]).unwrap();
+        let got = s.download(&mut clock, d, 16).unwrap();
+        assert_eq!(got, vec![42u8; 16]);
+        let _ = ctx;
+    }
+
+    #[test]
+    fn two_streams_overlap_and_wait_event_orders_them() {
+        let ctx = GpuContext::new(DeviceProps::v100());
+        let cost = GpuCostModel::summit_v100();
+        let mut s1 = Stream::new(ctx.clone(), cost.clone());
+        let mut s2 = Stream::new(ctx.clone(), cost.clone());
+        let mut clock = SimClock::new();
+        let a = ctx.malloc(8 << 20).unwrap();
+        let b = ctx.malloc(8 << 20).unwrap();
+        let c = ctx.malloc(8 << 20).unwrap();
+
+        // two independent copies on two streams overlap: the joint
+        // completion is far less than the serial sum
+        s1.memcpy_async(&mut clock, b, a, 8 << 20).unwrap();
+        s2.memcpy_async(&mut clock, c, a, 8 << 20).unwrap();
+        let serial = cost.copy_engine_time(CopyKind::D2D, 8 << 20) * 2;
+        let joint = s1.busy_until().max(s2.busy_until());
+        assert!(joint < clock.now() + serial);
+
+        // wait_event makes s2's next work start after s1's frontier
+        let e = s1.record_event(&mut clock);
+        s2.wait_event(&mut clock, e);
+        assert!(s2.busy_until() >= e.at());
+        s2.memcpy_async(&mut clock, c, b, 1024).unwrap();
+        assert!(s2.busy_until() > e.at());
+    }
+
+    #[test]
+    fn record_and_wait_charge_cpu_overhead() {
+        let ctx = GpuContext::new(DeviceProps::v100());
+        let cost = GpuCostModel::summit_v100();
+        let mut s = Stream::new(ctx, cost.clone());
+        let mut clock = SimClock::new();
+        let e = s.record_event(&mut clock);
+        s.wait_event(&mut clock, e);
+        assert_eq!(clock.now(), cost.event_overhead * 2);
+    }
+
+    #[test]
+    fn events_measure_gpu_spans() {
+        let (ctx, mut s, mut clock) = setup();
+        let a = ctx.malloc(1 << 20).unwrap();
+        let b = ctx.malloc(1 << 20).unwrap();
+        let e0 = Event::record(&s, &clock);
+        s.memcpy_async(&mut clock, b, a, 1 << 20).unwrap();
+        s.synchronize(&mut clock);
+        let e1 = Event::record(&s, &clock);
+        assert!(e1.elapsed_since(e0) > SimTime::ZERO);
+        assert_eq!(e0.elapsed_since(e1), SimTime::ZERO); // saturates
+    }
+}

@@ -1,0 +1,240 @@
+//! MPI derived-datatype engine.
+//!
+//! This module implements the subset of the MPI datatype system the paper
+//! builds on (Section 2): named types, `MPI_Type_contiguous`,
+//! `MPI_Type_vector`, `MPI_Type_create_hvector`,
+//! `MPI_Type_create_subarray` — plus `indexed`, `hindexed`, `struct`,
+//! `resized` and `dup` so the engine is complete enough for TEMPI's
+//! fallback paths and for adversarial tests.
+//!
+//! The engine provides the two faces the paper's library consumes:
+//!
+//! * the **introspection face** (`get_envelope` / `get_contents` /
+//!   `get_extent` / `size`), which TEMPI's translation phase walks to build
+//!   its IR, exactly as the real interposer must since it only sees opaque
+//!   handles; and
+//! * the **semantics face** ([`typemap::segments`]), the ground-truth list
+//!   of `(offset, length)` contiguous byte ranges in typemap order, which
+//!   defines pack/unpack meaning and is what baseline vendor
+//!   implementations iterate copy-by-copy.
+
+pub mod named;
+pub mod pack_cpu;
+pub mod registry;
+pub mod typemap;
+
+pub use named::Named;
+pub use registry::{consts, TypeRegistry};
+pub use typemap::Segment;
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque MPI datatype handle. Handles index into a [`TypeRegistry`];
+/// the named types have fixed well-known handles (see [`registry::consts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Datatype(pub u32);
+
+/// Array storage order for `MPI_Type_create_subarray`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Order {
+    /// Row-major (`MPI_ORDER_C`): dimension 0 varies slowest.
+    C,
+    /// Column-major (`MPI_ORDER_FORTRAN`): dimension 0 varies fastest.
+    Fortran,
+}
+
+/// The construction of a datatype — the persistent record of *how* it was
+/// built, which is what `MPI_Type_get_contents` reports back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeDef {
+    /// A predefined type.
+    Named(Named),
+    /// `MPI_Type_dup`.
+    Dup {
+        /// The duplicated type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_contiguous`: `count` repetitions at `extent(oldtype)`.
+    Contiguous {
+        /// Number of repetitions.
+        count: i32,
+        /// Element type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_vector`: `count` blocks of `blocklength` elements, block
+    /// starts `stride` *elements* apart.
+    Vector {
+        /// Number of blocks.
+        count: i32,
+        /// Elements per block.
+        blocklength: i32,
+        /// Stride between block starts, in elements.
+        stride: i32,
+        /// Element type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_create_hvector`: like `Vector` but `stride` is in bytes.
+    Hvector {
+        /// Number of blocks.
+        count: i32,
+        /// Elements per block.
+        blocklength: i32,
+        /// Stride between block starts, in bytes.
+        stride_bytes: i64,
+        /// Element type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_indexed`: blocks of varying length at varying
+    /// element-granularity displacements.
+    Indexed {
+        /// Elements in each block.
+        blocklengths: Vec<i32>,
+        /// Displacement of each block, in elements.
+        displacements: Vec<i32>,
+        /// Element type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_create_indexed_block`: equal-length blocks at
+    /// element-granularity displacements.
+    IndexedBlock {
+        /// Elements per block.
+        blocklength: i32,
+        /// Displacement of each block, in elements.
+        displacements: Vec<i32>,
+        /// Element type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_create_hindexed`: like `Indexed` but displacements are in
+    /// bytes.
+    Hindexed {
+        /// Elements in each block.
+        blocklengths: Vec<i32>,
+        /// Displacement of each block, in bytes.
+        displacements_bytes: Vec<i64>,
+        /// Element type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_create_subarray`: an n-dimensional subarray of an
+    /// n-dimensional array.
+    Subarray {
+        /// Full array extent per dimension, in elements.
+        sizes: Vec<i32>,
+        /// Subarray extent per dimension, in elements.
+        subsizes: Vec<i32>,
+        /// Subarray origin per dimension, in elements.
+        starts: Vec<i32>,
+        /// Storage order.
+        order: Order,
+        /// Element type.
+        oldtype: Datatype,
+    },
+    /// `MPI_Type_create_struct`: heterogeneous blocks at byte displacements.
+    Struct {
+        /// Elements in each block.
+        blocklengths: Vec<i32>,
+        /// Displacement of each block, in bytes.
+        displacements_bytes: Vec<i64>,
+        /// Per-block element type.
+        types: Vec<Datatype>,
+    },
+    /// `MPI_Type_create_resized`: override lower bound and extent.
+    Resized {
+        /// New lower bound, bytes.
+        lb: i64,
+        /// New extent, bytes.
+        extent: i64,
+        /// Underlying type.
+        oldtype: Datatype,
+    },
+}
+
+/// The combiner tag reported by `MPI_Type_get_envelope`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Combiner {
+    Named,
+    Dup,
+    Contiguous,
+    Vector,
+    Hvector,
+    Indexed,
+    IndexedBlock,
+    Hindexed,
+    Subarray,
+    Struct,
+    Resized,
+}
+
+/// The result of `MPI_Type_get_envelope`: how many items of each kind
+/// `get_contents` will return, and the combiner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Number of integers in the contents.
+    pub num_integers: usize,
+    /// Number of addresses (byte displacements) in the contents.
+    pub num_addresses: usize,
+    /// Number of datatype handles in the contents.
+    pub num_datatypes: usize,
+    /// How the type was constructed.
+    pub combiner: Combiner,
+}
+
+/// The result of `MPI_Type_get_contents`: the constructor arguments.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Contents {
+    /// Integer arguments (counts, blocklengths, sizes, order flag, ...).
+    pub integers: Vec<i64>,
+    /// Address (byte) arguments (hvector stride, hindexed displacements, ...).
+    pub addresses: Vec<i64>,
+    /// Datatype handle arguments.
+    pub datatypes: Vec<Datatype>,
+}
+
+/// Cached layout attributes of a datatype, computed at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeAttrs {
+    /// Total bytes of data (`MPI_Type_size`).
+    pub size: u64,
+    /// Lower bound in bytes (`MPI_Type_get_extent`).
+    pub lb: i64,
+    /// Upper bound in bytes; extent is `ub - lb`.
+    pub ub: i64,
+    /// Lowest byte actually occupied by data (`MPI_Type_get_true_extent`).
+    pub true_lb: i64,
+    /// One past the highest byte actually occupied by data.
+    pub true_ub: i64,
+}
+
+impl TypeAttrs {
+    /// Extent in bytes (`ub - lb`).
+    #[inline]
+    pub fn extent(&self) -> i64 {
+        self.ub - self.lb
+    }
+
+    /// True extent in bytes (`true_ub - true_lb`).
+    #[inline]
+    pub fn true_extent(&self) -> i64 {
+        self.true_ub - self.true_lb
+    }
+
+    /// Attributes of an empty type (count-zero constructions).
+    pub const EMPTY: TypeAttrs = TypeAttrs {
+        size: 0,
+        lb: 0,
+        ub: 0,
+        true_lb: 0,
+        true_ub: 0,
+    };
+}
+
+/// A datatype record in the registry.
+#[derive(Debug, Clone)]
+pub struct TypeInfo {
+    /// How the type was constructed.
+    pub def: TypeDef,
+    /// Cached layout attributes.
+    pub attrs: TypeAttrs,
+    /// Has `MPI_Type_commit` been called?
+    pub committed: bool,
+}

@@ -1,0 +1,408 @@
+//! Typemap semantics: the ground-truth byte layout of a datatype.
+//!
+//! Every MPI datatype denotes a *typemap* — a sequence of (offset, named
+//! type) pairs. For pack/unpack purposes only the byte coverage and its
+//! order matter, so this module flattens a datatype into an ordered list of
+//! contiguous [`Segment`]s (merging adjacent ranges as it goes). This list
+//! is:
+//!
+//! * the **reference semantics** against which TEMPI's canonicalized
+//!   GPU kernels are verified, and
+//! * the loop the **baseline vendor implementations** execute — one
+//!   `cudaMemcpyAsync` per segment — whose cost TEMPI's speedups are
+//!   measured against (Section 6.2 of the paper).
+
+use super::registry::{subarray_elem_strides, TypeRegistry};
+use super::{Datatype, TypeDef};
+use crate::error::MpiResult;
+
+/// A maximal run of contiguous bytes within a datatype's layout, relative
+/// to the type's origin (the buffer address passed by the application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Byte offset from the origin. May be negative (types with negative
+    /// lower bounds).
+    pub off: i64,
+    /// Length in bytes. Always > 0.
+    pub len: u64,
+}
+
+/// Flatten `dt` into contiguous segments in typemap order.
+///
+/// Adjacent-in-order segments that touch in memory are merged, so a
+/// contiguous construction of any depth collapses to a single segment.
+/// (Segments are *not* sorted: MPI pack order is typemap order.)
+pub fn segments(reg: &TypeRegistry, dt: Datatype) -> MpiResult<Vec<Segment>> {
+    let mut out = Vec::new();
+    emit(reg, dt, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Total bytes of data (sum of segment lengths — equals `MPI_Type_size`).
+pub fn data_bytes(segs: &[Segment]) -> u64 {
+    segs.iter().map(|s| s.len).sum()
+}
+
+/// Byte length of the largest contiguous segment.
+pub fn max_block(segs: &[Segment]) -> u64 {
+    segs.iter().map(|s| s.len).max().unwrap_or(0)
+}
+
+/// Is the datatype "dense": its data occupies exactly `[lb, ub)` with no
+/// holes? Dense types can be emitted as a single segment without recursion.
+/// (Assumes the typemap is non-self-overlapping, true of every type the
+/// engine can build from non-overlapping constructors.)
+fn is_dense(reg: &TypeRegistry, dt: Datatype) -> MpiResult<bool> {
+    let a = reg.attrs(dt)?;
+    Ok(a.extent() >= 0 && a.size == a.extent() as u64 && a.lb == a.true_lb && a.ub == a.true_ub)
+}
+
+fn push_seg(out: &mut Vec<Segment>, off: i64, len: u64) {
+    if len == 0 {
+        return;
+    }
+    if let Some(last) = out.last_mut() {
+        if last.off + last.len as i64 == off {
+            last.len += len;
+            return;
+        }
+    }
+    out.push(Segment { off, len });
+}
+
+fn emit(reg: &TypeRegistry, dt: Datatype, base: i64, out: &mut Vec<Segment>) -> MpiResult<()> {
+    let info = reg.info(dt)?;
+    // Fast path: dense subtree is one segment.
+    if info.attrs.size > 0 && is_dense(reg, dt)? {
+        push_seg(out, base + info.attrs.lb, info.attrs.size);
+        return Ok(());
+    }
+    match &info.def {
+        TypeDef::Named(n) => push_seg(out, base, n.size() as u64),
+        TypeDef::Dup { oldtype } => emit(reg, *oldtype, base, out)?,
+        TypeDef::Contiguous { count, oldtype } => {
+            let ex = reg.attrs(*oldtype)?.extent();
+            for i in 0..*count as i64 {
+                emit(reg, *oldtype, base + i * ex, out)?;
+            }
+        }
+        TypeDef::Vector {
+            count,
+            blocklength,
+            stride,
+            oldtype,
+        } => {
+            let ex = reg.attrs(*oldtype)?.extent();
+            for i in 0..*count as i64 {
+                let block = base + i * *stride as i64 * ex;
+                for j in 0..*blocklength as i64 {
+                    emit(reg, *oldtype, block + j * ex, out)?;
+                }
+            }
+        }
+        TypeDef::Hvector {
+            count,
+            blocklength,
+            stride_bytes,
+            oldtype,
+        } => {
+            let ex = reg.attrs(*oldtype)?.extent();
+            for i in 0..*count as i64 {
+                let block = base + i * stride_bytes;
+                for j in 0..*blocklength as i64 {
+                    emit(reg, *oldtype, block + j * ex, out)?;
+                }
+            }
+        }
+        TypeDef::Indexed {
+            blocklengths,
+            displacements,
+            oldtype,
+        } => {
+            let ex = reg.attrs(*oldtype)?.extent();
+            for (bl, d) in blocklengths.iter().zip(displacements) {
+                let block = base + *d as i64 * ex;
+                for j in 0..*bl as i64 {
+                    emit(reg, *oldtype, block + j * ex, out)?;
+                }
+            }
+        }
+        TypeDef::IndexedBlock {
+            blocklength,
+            displacements,
+            oldtype,
+        } => {
+            let ex = reg.attrs(*oldtype)?.extent();
+            for d in displacements {
+                let block = base + *d as i64 * ex;
+                for j in 0..*blocklength as i64 {
+                    emit(reg, *oldtype, block + j * ex, out)?;
+                }
+            }
+        }
+        TypeDef::Hindexed {
+            blocklengths,
+            displacements_bytes,
+            oldtype,
+        } => {
+            let ex = reg.attrs(*oldtype)?.extent();
+            for (bl, d) in blocklengths.iter().zip(displacements_bytes) {
+                for j in 0..*bl as i64 {
+                    emit(reg, *oldtype, base + d + j * ex, out)?;
+                }
+            }
+        }
+        TypeDef::Subarray {
+            sizes,
+            subsizes,
+            starts,
+            order,
+            oldtype,
+        } => {
+            let ex = reg.attrs(*oldtype)?.extent();
+            let strides = subarray_elem_strides(sizes, *order);
+            // Odometer over the subarray indices; for C order dimension 0
+            // is slowest (varies last), for Fortran dimension 0 is fastest.
+            // We iterate so that the fastest-varying dimension is innermost
+            // — i.e., in increasing memory order for non-pathological
+            // layouts, which is also the typemap order.
+            let ndims = sizes.len();
+            let dim_order: Vec<usize> = match order {
+                super::Order::C => (0..ndims).collect(), // idx[0] outermost
+                super::Order::Fortran => (0..ndims).rev().collect(),
+            };
+            let mut idx = vec![0i64; ndims];
+            loop {
+                let off: i64 = (0..ndims)
+                    .map(|k| (starts[k] as i64 + idx[k]) * strides[k])
+                    .sum();
+                emit(reg, *oldtype, base + off * ex, out)?;
+                // increment odometer: last entry of dim_order fastest
+                let mut k = ndims;
+                loop {
+                    if k == 0 {
+                        return Ok(());
+                    }
+                    k -= 1;
+                    let d = dim_order[k];
+                    idx[d] += 1;
+                    if idx[d] < subsizes[d] as i64 {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+        }
+        TypeDef::Struct {
+            blocklengths,
+            displacements_bytes,
+            types,
+        } => {
+            for i in 0..types.len() {
+                let ex = reg.attrs(types[i])?.extent();
+                for j in 0..blocklengths[i] as i64 {
+                    emit(reg, types[i], base + displacements_bytes[i] + j * ex, out)?;
+                }
+            }
+        }
+        TypeDef::Resized { oldtype, .. } => emit(reg, *oldtype, base, out)?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::registry::consts::*;
+    use super::super::Order;
+    use super::*;
+
+    fn reg() -> TypeRegistry {
+        TypeRegistry::new()
+    }
+
+    #[test]
+    fn named_is_one_segment() {
+        let r = reg();
+        assert_eq!(
+            segments(&r, MPI_DOUBLE).unwrap(),
+            vec![Segment { off: 0, len: 8 }]
+        );
+    }
+
+    #[test]
+    fn contiguous_merges_to_one_segment() {
+        let mut r = reg();
+        let t = r.type_contiguous(1000, MPI_FLOAT).unwrap();
+        assert_eq!(
+            segments(&r, t).unwrap(),
+            vec![Segment { off: 0, len: 4000 }]
+        );
+    }
+
+    #[test]
+    fn vector_produces_count_segments() {
+        let mut r = reg();
+        let t = r.type_vector(13, 100, 128, MPI_FLOAT).unwrap();
+        let segs = segments(&r, t).unwrap();
+        assert_eq!(segs.len(), 13);
+        assert_eq!(segs[0], Segment { off: 0, len: 400 });
+        assert_eq!(segs[1], Segment { off: 512, len: 400 });
+        assert_eq!(data_bytes(&segs), 5200);
+        assert_eq!(max_block(&segs), 400);
+    }
+
+    #[test]
+    fn vector_with_touching_blocks_merges() {
+        let mut r = reg();
+        // stride == blocklength: fully contiguous
+        let t = r.type_vector(8, 16, 16, MPI_BYTE).unwrap();
+        assert_eq!(segments(&r, t).unwrap(), vec![Segment { off: 0, len: 128 }]);
+    }
+
+    #[test]
+    fn equivalent_constructions_have_equal_segments() {
+        // The paper's Section 2 equivalence list for one row of E0=100
+        // floats in an A0=256-float allocation.
+        let mut r = reg();
+        let e0 = 100;
+        let mut builds: Vec<Datatype> = vec![
+            r.type_contiguous(e0, MPI_FLOAT).unwrap(),
+            r.type_contiguous(e0 * 4, MPI_BYTE).unwrap(),
+        ];
+        builds.push(r.type_vector(e0, 1, 1, MPI_FLOAT).unwrap());
+        builds.push(r.type_vector(1, e0, 1, MPI_FLOAT).unwrap());
+        builds.push(r.type_vector(e0, 4, 4, MPI_BYTE).unwrap());
+        builds.push(r.type_vector(1, e0 * 4, e0 * 4, MPI_BYTE).unwrap());
+        builds.push(r.type_create_hvector(e0 * 4, 1, 1, MPI_BYTE).unwrap());
+        builds.push(
+            r.type_create_subarray(&[256], &[e0], &[0], Order::C, MPI_FLOAT)
+                .unwrap(),
+        );
+        builds.push(
+            r.type_create_subarray(&[256 * 4], &[e0 * 4], &[0], Order::C, MPI_BYTE)
+                .unwrap(),
+        );
+        let want = vec![Segment { off: 0, len: 400 }];
+        for t in builds {
+            assert_eq!(segments(&r, t).unwrap(), want, "{}", r.describe(t));
+        }
+    }
+
+    #[test]
+    fn fig2_constructions_agree() {
+        // The three Fig. 2 constructions of the same 3D object:
+        // A=(256,512,1024) bytes, E=(100,13,47).
+        let mut r = reg();
+        // (a) subarray plane + vector of planes
+        let plane_a = r
+            .type_create_subarray(&[512, 256], &[13, 100], &[0, 0], Order::C, MPI_BYTE)
+            .unwrap();
+        let cuboid_a = r.type_vector(47, 1, 1, plane_a).unwrap();
+        // (b) nested hvectors
+        let row_b = r.type_vector(100, 1, 1, MPI_BYTE).unwrap();
+        let plane_b = r.type_create_hvector(13, 1, 256, row_b).unwrap();
+        let cuboid_b = r.type_create_hvector(47, 1, 256 * 512, plane_b).unwrap();
+        // (c) single 3D subarray
+        let cuboid_c = r
+            .type_create_subarray(
+                &[1024, 512, 256],
+                &[47, 13, 100],
+                &[0, 0, 0],
+                Order::C,
+                MPI_BYTE,
+            )
+            .unwrap();
+        let sa = segments(&r, cuboid_a).unwrap();
+        let sb = segments(&r, cuboid_b).unwrap();
+        let sc = segments(&r, cuboid_c).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(sb, sc);
+        assert_eq!(sa.len(), 13 * 47);
+        assert_eq!(data_bytes(&sa), 100 * 13 * 47);
+        // second row of first plane starts at byte 256
+        assert_eq!(sa[1], Segment { off: 256, len: 100 });
+        // first row of second plane starts at 256*512
+        assert_eq!(sa[13].off, 256 * 512);
+    }
+
+    #[test]
+    fn subarray_vector_equivalence_2d() {
+        let mut r = reg();
+        let v = r.type_vector(13, 100, 256, MPI_BYTE).unwrap();
+        let s = r
+            .type_create_subarray(&[13, 256], &[13, 100], &[0, 0], Order::C, MPI_BYTE)
+            .unwrap();
+        assert_eq!(segments(&r, v).unwrap(), segments(&r, s).unwrap());
+    }
+
+    #[test]
+    fn fortran_order_subarray_matches_transposed_c() {
+        let mut r = reg();
+        // Fortran (dim0 fastest): sizes=[256, 512], subsizes=[100, 13]
+        let f = r
+            .type_create_subarray(&[256, 512], &[100, 13], &[0, 0], Order::Fortran, MPI_BYTE)
+            .unwrap();
+        // C (dim0 slowest): sizes=[512, 256], subsizes=[13, 100]
+        let c = r
+            .type_create_subarray(&[512, 256], &[13, 100], &[0, 0], Order::C, MPI_BYTE)
+            .unwrap();
+        assert_eq!(segments(&r, f).unwrap(), segments(&r, c).unwrap());
+    }
+
+    #[test]
+    fn hindexed_segments_in_typemap_order() {
+        let mut r = reg();
+        let t = r.type_create_hindexed(&[2, 1], &[100, 0], MPI_INT).unwrap();
+        let segs = segments(&r, t).unwrap();
+        // typemap order: block at 100 first, then block at 0 — NOT sorted
+        assert_eq!(
+            segs,
+            vec![Segment { off: 100, len: 8 }, Segment { off: 0, len: 4 }]
+        );
+    }
+
+    #[test]
+    fn struct_segments() {
+        let mut r = reg();
+        let t = r
+            .type_create_struct(&[2, 3], &[0, 32], &[MPI_INT, MPI_BYTE])
+            .unwrap();
+        assert_eq!(
+            segments(&r, t).unwrap(),
+            vec![Segment { off: 0, len: 8 }, Segment { off: 32, len: 3 }]
+        );
+    }
+
+    #[test]
+    fn vector_of_subarray_composes() {
+        let mut r = reg();
+        // subarray with nonzero start inside a vector
+        let sub = r
+            .type_create_subarray(&[8, 8], &[2, 4], &[1, 2], Order::C, MPI_BYTE)
+            .unwrap();
+        let v = r.type_vector(3, 1, 1, sub).unwrap();
+        let segs = segments(&r, v).unwrap();
+        // each subarray: rows at (1*8+2)=10 and 18, len 4; vector stride =
+        // extent = 64 bytes
+        assert_eq!(segs.len(), 6);
+        assert_eq!(segs[0], Segment { off: 10, len: 4 });
+        assert_eq!(segs[1], Segment { off: 18, len: 4 });
+        assert_eq!(segs[2], Segment { off: 74, len: 4 });
+    }
+
+    #[test]
+    fn zero_size_type_has_no_segments() {
+        let mut r = reg();
+        let t = r.type_contiguous(0, MPI_INT).unwrap();
+        assert!(segments(&r, t).unwrap().is_empty());
+        assert_eq!(max_block(&[]), 0);
+    }
+
+    #[test]
+    fn resized_does_not_change_data() {
+        let mut r = reg();
+        let v = r.type_vector(2, 1, 4, MPI_FLOAT).unwrap();
+        let t = r.type_create_resized(v, -100, 500).unwrap();
+        assert_eq!(segments(&r, t).unwrap(), segments(&r, v).unwrap());
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the simulated MPI runtime.
+
+use std::fmt;
+
+use gpu_sim::GpuError;
+
+/// Errors raised by the simulated MPI runtime — the moral equivalents of
+/// MPI error classes (`MPI_ERR_TYPE`, `MPI_ERR_ARG`, `MPI_ERR_TRUNCATE`,
+/// ...), plus propagation of simulated-GPU faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpiError {
+    /// A datatype handle does not name a live datatype (`MPI_ERR_TYPE`).
+    InvalidDatatype,
+    /// A datatype was used in communication before `MPI_Type_commit`.
+    NotCommitted,
+    /// An argument violated a precondition (`MPI_ERR_ARG`); the string says
+    /// which.
+    InvalidArg(String),
+    /// A receive matched a message longer than the posted buffer
+    /// (`MPI_ERR_TRUNCATE`).
+    Truncated {
+        /// Bytes the sender shipped.
+        sent: usize,
+        /// Bytes the receive buffer could hold.
+        capacity: usize,
+    },
+    /// Rank out of range for the communicator (`MPI_ERR_RANK`).
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// Pack/unpack output buffer too small (`MPI_ERR_BUFFER`).
+    BufferTooSmall {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available after the current position.
+        available: usize,
+    },
+    /// A simulated GPU operation failed.
+    Gpu(GpuError),
+    /// The peer rank exited before matching a pending operation.
+    PeerGone,
+    /// Internal invariant violation (a bug in the simulator, not the
+    /// application).
+    Internal(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidDatatype => write!(f, "invalid datatype handle"),
+            MpiError::NotCommitted => write!(f, "datatype used before MPI_Type_commit"),
+            MpiError::InvalidArg(s) => write!(f, "invalid argument: {s}"),
+            MpiError::Truncated { sent, capacity } => {
+                write!(
+                    f,
+                    "message truncated: {sent} bytes sent, buffer holds {capacity}"
+                )
+            }
+            MpiError::InvalidRank { rank, size } => {
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
+            }
+            MpiError::BufferTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "buffer too small: {required} bytes required, {available} available"
+            ),
+            MpiError::Gpu(e) => write!(f, "GPU error: {e}"),
+            MpiError::PeerGone => write!(f, "peer rank exited with operations pending"),
+            MpiError::Internal(s) => write!(f, "internal simulator error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpiError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for MpiError {
+    fn from(e: GpuError) -> Self {
+        MpiError::Gpu(e)
+    }
+}
+
+/// Result alias for MPI-runtime operations.
+pub type MpiResult<T> = Result<T, MpiError>;

@@ -1,0 +1,343 @@
+//! Nonblocking point-to-point: `MPI_Isend` / `MPI_Irecv` / `MPI_Wait` /
+//! `MPI_Waitall` / `MPI_Test`.
+//!
+//! The simulated transport is eager (unbounded channels), so an `Isend`
+//! performs all its work — including any baseline datatype packing — at
+//! post time and completes immediately; this matches how eager-protocol
+//! MPI implementations behave for the message sizes where non-contiguous
+//! handling matters. An `Irecv` records its arguments and matches at
+//! completion time (`wait`/`test`).
+//!
+//! **Matching-order caveat:** posted receives match messages when they are
+//! *waited on*, not when posted. Completing requests in post order
+//! (`waitall`, or `wait` in order) preserves MPI's non-overtaking
+//! semantics; waiting on same-`(source, tag)` requests out of post order
+//! would not. The simulator's experiments always complete in order.
+
+use gpu_sim::GpuPtr;
+
+use crate::datatype::Datatype;
+use crate::error::{MpiError, MpiResult};
+use crate::p2p::Status;
+use crate::runtime::RankCtx;
+
+/// A handle to an outstanding nonblocking operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request(pub(crate) usize);
+
+/// The recorded state of one request.
+pub(crate) enum PendingOp {
+    /// Eager send: already delivered; completes instantly.
+    SendDone,
+    /// Posted receive on raw bytes.
+    RecvBytes {
+        buf: GpuPtr,
+        maxlen: usize,
+        src: Option<usize>,
+        tag: Option<i32>,
+    },
+    /// Posted receive with a datatype.
+    RecvTyped {
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        src: Option<usize>,
+        tag: Option<i32>,
+    },
+}
+
+impl RankCtx {
+    fn push_request(&mut self, op: PendingOp) -> Request {
+        self.requests.push(Some(op));
+        Request(self.requests.len() - 1)
+    }
+
+    /// `MPI_Isend` on raw bytes (eager: the payload departs now).
+    pub fn isend_bytes(
+        &mut self,
+        buf: GpuPtr,
+        len: usize,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<Request> {
+        self.send_bytes(buf, len, dest, tag)?;
+        Ok(self.push_request(PendingOp::SendDone))
+    }
+
+    /// `MPI_Isend` with a datatype (eager; baseline packing happens now).
+    pub fn isend(
+        &mut self,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<Request> {
+        self.send(buf, count, dt, dest, tag)?;
+        Ok(self.push_request(PendingOp::SendDone))
+    }
+
+    /// `MPI_Irecv` on raw bytes.
+    pub fn irecv_bytes(
+        &mut self,
+        buf: GpuPtr,
+        maxlen: usize,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> MpiResult<Request> {
+        Ok(self.push_request(PendingOp::RecvBytes {
+            buf,
+            maxlen,
+            src,
+            tag,
+        }))
+    }
+
+    /// `MPI_Irecv` with a datatype.
+    pub fn irecv(
+        &mut self,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> MpiResult<Request> {
+        if !self.is_committed(dt)? {
+            return Err(MpiError::NotCommitted);
+        }
+        Ok(self.push_request(PendingOp::RecvTyped {
+            buf,
+            count,
+            dt,
+            src,
+            tag,
+        }))
+    }
+
+    /// `MPI_Test`: has the request completed by now? Nonblocking — a
+    /// pending receive completes only if a matching message has already
+    /// been delivered to this rank.
+    pub fn test(&mut self, req: Request) -> MpiResult<Option<Status>> {
+        let op = self
+            .requests
+            .get(req.0)
+            .and_then(|o| o.as_ref())
+            .ok_or_else(|| MpiError::InvalidArg(format!("dead request {req:?}")))?;
+        match op {
+            PendingOp::SendDone => Ok(Some(Status {
+                source: self.rank,
+                tag: 0,
+                bytes: 0,
+            })),
+            PendingOp::RecvBytes { src, tag, .. } | PendingOp::RecvTyped { src, tag, .. } => {
+                // drain arrivals, then check for a match without blocking
+                while let Ok(m) = self.inbox.try_recv() {
+                    self.pending.push_back(m);
+                }
+                let (src, tag) = (*src, *tag);
+                if self.peek_match(src, tag) {
+                    let st = self.complete(req)?;
+                    Ok(Some(st))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Is a matching message already queued? (no blocking, no removal)
+    fn peek_match(&mut self, src: Option<usize>, tag: Option<i32>) -> bool {
+        let internal_requested = matches!(tag, Some(t) if t < crate::p2p::MIN_USER_TAG);
+        self.pending.iter().any(|m| {
+            let src_ok = match src {
+                Some(s) => m.src == s,
+                None => m.tag >= crate::p2p::MIN_USER_TAG || internal_requested,
+            };
+            let tag_ok = match tag {
+                Some(t) => m.tag == t,
+                None => m.tag >= crate::p2p::MIN_USER_TAG,
+            };
+            src_ok && tag_ok
+        })
+    }
+
+    /// Complete one request, blocking if necessary.
+    fn complete(&mut self, req: Request) -> MpiResult<Status> {
+        let op = self
+            .requests
+            .get_mut(req.0)
+            .and_then(Option::take)
+            .ok_or_else(|| MpiError::InvalidArg(format!("dead request {req:?}")))?;
+        let st = match op {
+            PendingOp::SendDone => Status {
+                source: self.rank,
+                tag: 0,
+                bytes: 0,
+            },
+            PendingOp::RecvBytes {
+                buf,
+                maxlen,
+                src,
+                tag,
+            } => self.recv_bytes(buf, maxlen, src, tag)?,
+            PendingOp::RecvTyped {
+                buf,
+                count,
+                dt,
+                src,
+                tag,
+            } => self.recv(buf, count, dt, src, tag)?,
+        };
+        Ok(st)
+    }
+
+    /// `MPI_Wait`: block until the request completes; frees the request.
+    pub fn wait(&mut self, req: Request) -> MpiResult<Status> {
+        self.complete(req)
+    }
+
+    /// `MPI_Waitall`: complete all given requests in order.
+    pub fn waitall(&mut self, reqs: &[Request]) -> MpiResult<Vec<Status>> {
+        reqs.iter().map(|&r| self.complete(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{World, WorldConfig};
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        let cfg = WorldConfig::summit(2);
+        let results = World::run(&cfg, |ctx| {
+            let buf = ctx.gpu.host_alloc(32)?;
+            if ctx.rank == 0 {
+                ctx.gpu.memory().poke(buf, &[9u8; 32])?;
+                let r = ctx.isend_bytes(buf, 32, 1, 4)?;
+                ctx.wait(r)?;
+                Ok(0)
+            } else {
+                let r = ctx.irecv_bytes(buf, 32, Some(0), Some(4))?;
+                let st = ctx.wait(r)?;
+                assert_eq!(st.bytes, 32);
+                assert_eq!(ctx.gpu.memory().peek(buf, 32)?, vec![9u8; 32]);
+                Ok(1)
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn waitall_completes_in_post_order() {
+        let cfg = WorldConfig::summit(2);
+        let results = World::run(&cfg, |ctx| {
+            if ctx.rank == 0 {
+                let buf = ctx.gpu.host_alloc(1)?;
+                for i in 0..4u8 {
+                    ctx.gpu.memory().poke(buf, &[i])?;
+                    ctx.send_bytes(buf, 1, 1, 0)?;
+                }
+                Ok(vec![])
+            } else {
+                let bufs: Vec<_> = (0..4).map(|_| ctx.gpu.host_alloc(1).unwrap()).collect();
+                let reqs: Vec<_> = bufs
+                    .iter()
+                    .map(|&b| ctx.irecv_bytes(b, 1, Some(0), Some(0)).unwrap())
+                    .collect();
+                ctx.waitall(&reqs)?;
+                let got: Vec<u8> = bufs
+                    .iter()
+                    .map(|&b| ctx.gpu.memory().peek(b, 1).unwrap()[0])
+                    .collect();
+                Ok(got)
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        let cfg = WorldConfig::summit(2);
+        let results = World::run(&cfg, |ctx| {
+            let buf = ctx.gpu.host_alloc(8)?;
+            if ctx.rank == 0 {
+                // receive first posted before the send happens
+                let r = ctx.irecv_bytes(buf, 8, Some(1), Some(0))?;
+                let first_poll = ctx.test(r)?.is_some();
+                // tell rank 1 we're ready, then poll to completion
+                ctx.barrier();
+                let mut polls = 0u64;
+                let st = loop {
+                    if let Some(st) = ctx.test(r)? {
+                        break st;
+                    }
+                    polls += 1;
+                    std::thread::yield_now();
+                };
+                assert_eq!(st.bytes, 8);
+                Ok((first_poll, polls < u64::MAX))
+            } else {
+                ctx.barrier();
+                ctx.gpu.memory().poke(buf, &[3u8; 8])?;
+                ctx.send_bytes(buf, 8, 0, 0)?;
+                Ok((false, true))
+            }
+        })
+        .unwrap();
+        // the pre-send poll must not have completed
+        assert!(!results[0].0);
+    }
+
+    #[test]
+    fn typed_isend_irecv() {
+        let mut cfg = WorldConfig::summit(2);
+        cfg.net.ranks_per_node = 1;
+        let results = World::run(&cfg, |ctx| {
+            let dt = ctx.type_vector(4, 2, 4, crate::consts::MPI_BYTE)?;
+            ctx.type_commit_native(dt)?;
+            let buf = ctx.gpu.malloc(16)?;
+            if ctx.rank == 0 {
+                ctx.gpu.memory().poke(buf, &(0..16).collect::<Vec<u8>>())?;
+                let r = ctx.isend(buf, 1, dt, 1, 0)?;
+                ctx.wait(r)?;
+                Ok(vec![])
+            } else {
+                let r = ctx.irecv(buf, 1, dt, Some(0), Some(0))?;
+                ctx.wait(r)?;
+                let got = ctx.gpu.memory().peek(buf, 16)?;
+                assert_eq!(&got[0..2], &[0, 1]);
+                assert_eq!(&got[4..6], &[4, 5]);
+                Ok(got)
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1].len(), 16);
+    }
+
+    #[test]
+    fn irecv_requires_commit() {
+        let cfg = WorldConfig::summit(1);
+        let mut ctx = crate::runtime::RankCtx::standalone(&cfg);
+        let dt = ctx.type_vector(2, 1, 2, crate::consts::MPI_BYTE).unwrap();
+        let buf = ctx.gpu.host_alloc(8).unwrap();
+        assert_eq!(
+            ctx.irecv(buf, 1, dt, None, None).err(),
+            Some(MpiError::NotCommitted)
+        );
+    }
+
+    #[test]
+    fn double_wait_is_an_error() {
+        let cfg = WorldConfig::summit(1);
+        let mut ctx = crate::runtime::RankCtx::standalone(&cfg);
+        let buf = ctx.gpu.host_alloc(4).unwrap();
+        let r = ctx.isend_bytes(buf, 4, 0, 0).unwrap();
+        ctx.wait(r).unwrap();
+        assert!(matches!(ctx.wait(r), Err(MpiError::InvalidArg(_))));
+        // clean up the self-message
+        ctx.recv_bytes(buf, 4, Some(0), Some(0)).unwrap();
+    }
+}

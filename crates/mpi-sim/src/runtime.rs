@@ -1,0 +1,537 @@
+//! The simulated multi-rank world.
+//!
+//! [`World::run`] spawns one OS thread per MPI rank; each thread receives a
+//! [`RankCtx`] — its window onto the simulation: a private virtual clock, a
+//! private simulated GPU (one GPU per rank, as on Summit), a shared
+//! datatype registry, and channels to every peer. Virtual time composes
+//! across ranks Lamport-style: messages carry their departure instant, and
+//! a receive completes at `max(local now, departure + wire time)`.
+//!
+//! Wall-clock thread scheduling never affects results: all reported times
+//! are virtual, and matching is deterministic for the directed
+//! (source-specified) receives used throughout the experiments.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gpu_sim::{DeviceProps, GpuContext, GpuCostModel, SimClock, SimTime, Stream};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::datatype::{Combiner, Contents, Datatype, Envelope, Order, TypeAttrs, TypeRegistry};
+use crate::error::{MpiError, MpiResult};
+use crate::net::NetModel;
+use crate::p2p::Message;
+use crate::vendor::VendorProfile;
+
+/// Everything that parameterizes a simulated platform.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub size: usize,
+    /// Which system MPI the world emulates.
+    pub vendor: VendorProfile,
+    /// Fabric model.
+    pub net: NetModel,
+    /// GPU cost model (one per rank; all identical).
+    pub gpu_cost: GpuCostModel,
+    /// GPU hardware model.
+    pub device: DeviceProps,
+}
+
+impl WorldConfig {
+    /// An OLCF-Summit-like platform: Spectrum MPI, V100s, 6 ranks/node.
+    pub fn summit(size: usize) -> Self {
+        WorldConfig {
+            size,
+            vendor: VendorProfile::spectrum(),
+            net: NetModel::summit(),
+            gpu_cost: GpuCostModel::summit_v100(),
+            device: DeviceProps::v100(),
+        }
+    }
+
+    /// The paper's single-node workstation with the given MPI (openmpi or
+    /// mvapich profiles).
+    pub fn workstation(size: usize, vendor: VendorProfile) -> Self {
+        WorldConfig {
+            size,
+            vendor,
+            net: NetModel::workstation(),
+            gpu_cost: GpuCostModel::workstation_gtx1070(),
+            device: DeviceProps::gtx1070(),
+        }
+    }
+}
+
+/// A barrier that also merges virtual clocks: every participant leaves at
+/// `max(arrival clocks) + barrier_cost`.
+pub(crate) struct ClockBarrier {
+    size: usize,
+    cost: SimTime,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    max_time: SimTime,
+    release: SimTime,
+    generation: u64,
+}
+
+impl ClockBarrier {
+    fn new(size: usize, cost: SimTime) -> Self {
+        ClockBarrier {
+            size,
+            cost,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                max_time: SimTime::ZERO,
+                release: SimTime::ZERO,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enter with the caller's current virtual instant; returns the common
+    /// release instant.
+    fn wait(&self, now: SimTime) -> SimTime {
+        let mut s = self.state.lock();
+        let gen = s.generation;
+        s.max_time = s.max_time.max(now);
+        s.arrived += 1;
+        if s.arrived == self.size {
+            s.arrived = 0;
+            s.release = s.max_time + self.cost;
+            s.max_time = SimTime::ZERO;
+            s.generation += 1;
+            self.cv.notify_all();
+            s.release
+        } else {
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+            s.release
+        }
+    }
+}
+
+/// Shared all-gather board (see [`RankCtx::allgather_u64`]).
+pub(crate) struct Board {
+    slots: Mutex<Vec<u64>>,
+}
+
+/// One rank's handle on the simulated world. All MPI-facing operations in
+/// the repository go through this type (directly for "system MPI"
+/// semantics, or via the TEMPI interposer in `tempi-core`).
+pub struct RankCtx {
+    /// This rank's index.
+    pub rank: usize,
+    /// World size.
+    pub size: usize,
+    /// This rank's virtual clock.
+    pub clock: SimClock,
+    /// This rank's simulated GPU.
+    pub gpu: GpuContext,
+    /// The default stream on this rank's GPU.
+    pub stream: Stream,
+    /// The system-MPI vendor this world emulates.
+    pub vendor: VendorProfile,
+    /// The fabric model.
+    pub net: NetModel,
+    pub(crate) registry: Arc<RwLock<TypeRegistry>>,
+    pub(crate) inbox: Receiver<Message>,
+    pub(crate) peers: Vec<Sender<Message>>,
+    pub(crate) pending: VecDeque<Message>,
+    pub(crate) requests: Vec<Option<crate::nonblocking::PendingOp>>,
+    pub(crate) barrier: Arc<ClockBarrier>,
+    pub(crate) board: Arc<Board>,
+}
+
+impl RankCtx {
+    /// A standalone single-rank context — used by the non-communication
+    /// experiments (type commit, `MPI_Pack`) and by unit tests.
+    pub fn standalone(cfg: &WorldConfig) -> RankCtx {
+        let (tx, rx) = unbounded();
+        let gpu = GpuContext::new(cfg.device.clone());
+        RankCtx {
+            rank: 0,
+            size: 1,
+            clock: SimClock::new(),
+            gpu: gpu.clone(),
+            stream: Stream::new(gpu, cfg.gpu_cost.clone()),
+            vendor: cfg.vendor.clone(),
+            net: cfg.net.clone(),
+            registry: Arc::new(RwLock::new(TypeRegistry::new())),
+            inbox: rx,
+            peers: vec![tx],
+            pending: VecDeque::new(),
+            requests: Vec::new(),
+            barrier: Arc::new(ClockBarrier::new(1, cfg.net.barrier_cost)),
+            board: Arc::new(Board {
+                slots: Mutex::new(vec![0]),
+            }),
+        }
+    }
+
+    /// Validate a peer rank.
+    pub fn check_rank(&self, rank: usize) -> MpiResult<()> {
+        if rank >= self.size {
+            Err(MpiError::InvalidRank {
+                rank,
+                size: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `MPI_Barrier`: synchronize all ranks (and their virtual clocks).
+    pub fn barrier(&mut self) {
+        let release = self.barrier.wait(self.clock.now());
+        self.clock.advance_to(release);
+    }
+
+    /// All-gather one `u64` per rank (harness utility for collecting
+    /// per-rank timings; costs a barrier's worth of synchronization).
+    pub fn allgather_u64(&mut self, v: u64) -> Vec<u64> {
+        self.board.slots.lock()[self.rank] = v;
+        self.barrier();
+        let all = self.board.slots.lock().clone();
+        self.barrier();
+        all
+    }
+
+    /// Reset this rank's virtual clock *and its GPU stream timeline*
+    /// (between benchmark repetitions; in multi-rank worlds pair it with a
+    /// barrier so no in-flight message carries a pre-reset timestamp).
+    pub fn reset_clock(&mut self) {
+        self.clock.reset();
+        self.stream.reset_timeline();
+    }
+
+    // ---- datatype API (vendor-priced wrappers over the registry) -------
+
+    /// Run `f` with write access to the shared type registry, charging one
+    /// type-constructor call's CPU cost.
+    fn create_priced<T>(
+        &mut self,
+        f: impl FnOnce(&mut TypeRegistry) -> MpiResult<T>,
+    ) -> MpiResult<T> {
+        self.clock.advance(self.vendor.type_create_cost);
+        f(&mut self.registry.write())
+    }
+
+    /// `MPI_Type_contiguous`.
+    pub fn type_contiguous(&mut self, count: i32, oldtype: Datatype) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_contiguous(count, oldtype))
+    }
+
+    /// `MPI_Type_vector`.
+    pub fn type_vector(
+        &mut self,
+        count: i32,
+        blocklength: i32,
+        stride: i32,
+        oldtype: Datatype,
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_vector(count, blocklength, stride, oldtype))
+    }
+
+    /// `MPI_Type_create_hvector`.
+    pub fn type_create_hvector(
+        &mut self,
+        count: i32,
+        blocklength: i32,
+        stride_bytes: i64,
+        oldtype: Datatype,
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_create_hvector(count, blocklength, stride_bytes, oldtype))
+    }
+
+    /// `MPI_Type_create_subarray`.
+    pub fn type_create_subarray(
+        &mut self,
+        sizes: &[i32],
+        subsizes: &[i32],
+        starts: &[i32],
+        order: Order,
+        oldtype: Datatype,
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_create_subarray(sizes, subsizes, starts, order, oldtype))
+    }
+
+    /// `MPI_Type_indexed`.
+    pub fn type_indexed(
+        &mut self,
+        blocklengths: &[i32],
+        displacements: &[i32],
+        oldtype: Datatype,
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_indexed(blocklengths, displacements, oldtype))
+    }
+
+    /// `MPI_Type_create_indexed_block`.
+    pub fn type_create_indexed_block(
+        &mut self,
+        blocklength: i32,
+        displacements: &[i32],
+        oldtype: Datatype,
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_create_indexed_block(blocklength, displacements, oldtype))
+    }
+
+    /// `MPI_Type_create_hindexed`.
+    pub fn type_create_hindexed(
+        &mut self,
+        blocklengths: &[i32],
+        displacements_bytes: &[i64],
+        oldtype: Datatype,
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_create_hindexed(blocklengths, displacements_bytes, oldtype))
+    }
+
+    /// `MPI_Type_create_struct`.
+    pub fn type_create_struct(
+        &mut self,
+        blocklengths: &[i32],
+        displacements_bytes: &[i64],
+        types: &[Datatype],
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_create_struct(blocklengths, displacements_bytes, types))
+    }
+
+    /// `MPI_Type_create_resized`.
+    pub fn type_create_resized(
+        &mut self,
+        oldtype: Datatype,
+        lb: i64,
+        extent: i64,
+    ) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_create_resized(oldtype, lb, extent))
+    }
+
+    /// `MPI_Type_dup`.
+    pub fn type_dup(&mut self, oldtype: Datatype) -> MpiResult<Datatype> {
+        self.create_priced(|r| r.type_dup(oldtype))
+    }
+
+    /// `MPI_Type_free`.
+    pub fn type_free(&mut self, dt: Datatype) -> MpiResult<()> {
+        self.registry.write().free(dt)
+    }
+
+    /// The *system MPI's* `MPI_Type_commit` (native work only; the TEMPI
+    /// layer in `tempi-core` adds its translation/transformation on top).
+    pub fn type_commit_native(&mut self, dt: Datatype) -> MpiResult<()> {
+        self.clock.advance(self.vendor.type_commit_cost);
+        self.registry.write().commit(dt)
+    }
+
+    // ---- priced introspection (what TEMPI's translation calls) ---------
+
+    /// `MPI_Type_get_envelope`, priced per the vendor.
+    pub fn get_envelope(&mut self, dt: Datatype) -> MpiResult<Envelope> {
+        self.clock.advance(self.vendor.introspection_call_cost);
+        self.registry.read().get_envelope(dt)
+    }
+
+    /// `MPI_Type_get_contents`, priced per the vendor.
+    pub fn get_contents(&mut self, dt: Datatype) -> MpiResult<Contents> {
+        self.clock.advance(self.vendor.introspection_call_cost);
+        self.registry.read().get_contents(dt)
+    }
+
+    /// `MPI_Type_get_extent`, priced per the vendor.
+    pub fn get_extent(&mut self, dt: Datatype) -> MpiResult<(i64, i64)> {
+        self.clock.advance(self.vendor.introspection_call_cost);
+        self.registry.read().extent(dt)
+    }
+
+    /// `MPI_Type_size`, priced per the vendor.
+    pub fn type_size(&mut self, dt: Datatype) -> MpiResult<u64> {
+        self.clock.advance(self.vendor.introspection_call_cost);
+        self.registry.read().size(dt)
+    }
+
+    // ---- unpriced registry access (simulator-internal) ------------------
+
+    /// Unpriced attribute lookup (for the simulator's own bookkeeping —
+    /// *not* for code modeling real MPI calls).
+    pub fn attrs(&self, dt: Datatype) -> MpiResult<TypeAttrs> {
+        self.registry.read().attrs(dt)
+    }
+
+    /// Unpriced combiner lookup.
+    pub fn combiner(&self, dt: Datatype) -> MpiResult<Combiner> {
+        Ok(self.registry.read().get_envelope(dt)?.combiner)
+    }
+
+    /// Unpriced committed check.
+    pub fn is_committed(&self, dt: Datatype) -> MpiResult<bool> {
+        self.registry.read().is_committed(dt)
+    }
+
+    /// Shared registry handle (read-mostly; the TEMPI layer caches per
+    /// committed type).
+    pub fn registry(&self) -> &Arc<RwLock<TypeRegistry>> {
+        &self.registry
+    }
+
+    /// A human-readable description of a type (figure labels).
+    pub fn describe(&self, dt: Datatype) -> String {
+        self.registry.read().describe(dt)
+    }
+}
+
+/// The simulated MPI world.
+pub struct World;
+
+impl World {
+    /// Run `body` on every rank of a world configured by `cfg`; returns the
+    /// per-rank results in rank order. Panics in any rank propagate.
+    pub fn run<F, T>(cfg: &WorldConfig, body: F) -> MpiResult<Vec<T>>
+    where
+        F: Fn(&mut RankCtx) -> MpiResult<T> + Sync,
+        T: Send,
+    {
+        let size = cfg.size;
+        assert!(size > 0, "world size must be positive");
+        let registry = Arc::new(RwLock::new(TypeRegistry::new()));
+        let barrier = Arc::new(ClockBarrier::new(size, cfg.net.barrier_cost));
+        let board = Arc::new(Board {
+            slots: Mutex::new(vec![0; size]),
+        });
+        let mut txs = Vec::with_capacity(size);
+        let mut rxs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut ctxs: Vec<RankCtx> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                let gpu = GpuContext::new(cfg.device.clone());
+                RankCtx {
+                    rank,
+                    size,
+                    clock: SimClock::new(),
+                    gpu: gpu.clone(),
+                    stream: Stream::new(gpu, cfg.gpu_cost.clone()),
+                    vendor: cfg.vendor.clone(),
+                    net: cfg.net.clone(),
+                    registry: Arc::clone(&registry),
+                    inbox,
+                    peers: txs.clone(),
+                    pending: VecDeque::new(),
+                    requests: Vec::new(),
+                    barrier: Arc::clone(&barrier),
+                    board: Arc::clone(&board),
+                }
+            })
+            .collect();
+
+        let body = &body;
+        let results: Vec<MpiResult<T>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ctxs
+                .iter_mut()
+                .map(|ctx| scope.spawn(move |_| body(ctx)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("a rank thread panicked");
+
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::consts::*;
+
+    #[test]
+    fn standalone_rank_builds_types() {
+        let mut ctx = RankCtx::standalone(&WorldConfig::summit(1));
+        let t = ctx.type_vector(4, 2, 8, MPI_FLOAT).unwrap();
+        ctx.type_commit_native(t).unwrap();
+        assert!(ctx.is_committed(t).unwrap());
+        // create + commit charged virtual time
+        let expect = ctx.vendor.type_create_cost + ctx.vendor.type_commit_cost;
+        assert_eq!(ctx.clock.now(), expect);
+    }
+
+    #[test]
+    fn introspection_is_priced() {
+        let mut ctx = RankCtx::standalone(&WorldConfig::summit(1));
+        let t = ctx.type_contiguous(8, MPI_INT).unwrap();
+        let before = ctx.clock.now();
+        let env = ctx.get_envelope(t).unwrap();
+        assert_eq!(env.combiner, Combiner::Contiguous);
+        let _ = ctx.get_contents(t).unwrap();
+        let _ = ctx.get_extent(t).unwrap();
+        let _ = ctx.type_size(t).unwrap();
+        assert_eq!(
+            ctx.clock.now() - before,
+            ctx.vendor.introspection_call_cost * 4
+        );
+    }
+
+    #[test]
+    fn world_runs_all_ranks() {
+        let cfg = WorldConfig::summit(4);
+        let results = World::run(&cfg, |ctx| Ok(ctx.rank * 10)).unwrap();
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn barrier_merges_clocks() {
+        let cfg = WorldConfig::summit(3);
+        let results = World::run(&cfg, |ctx| {
+            // rank r works for r*10 µs, then all meet at a barrier
+            ctx.clock.advance(SimTime::from_us(ctx.rank as u64 * 10));
+            ctx.barrier();
+            Ok(ctx.clock.now())
+        })
+        .unwrap();
+        let expect = SimTime::from_us(20) + NetModel::summit().barrier_cost;
+        assert!(results.iter().all(|&t| t == expect), "{results:?}");
+    }
+
+    #[test]
+    fn allgather_collects_values() {
+        let cfg = WorldConfig::summit(4);
+        let results = World::run(&cfg, |ctx| Ok(ctx.allgather_u64(ctx.rank as u64 * 7))).unwrap();
+        for r in results {
+            assert_eq!(r, vec![0, 7, 14, 21]);
+        }
+    }
+
+    #[test]
+    fn shared_registry_across_ranks() {
+        // all ranks create the same type concurrently; handles may differ
+        // but each rank's own handle must be valid
+        let cfg = WorldConfig::summit(4);
+        let results = World::run(&cfg, |ctx| {
+            let t = ctx.type_vector(4, 1, 2, MPI_INT)?;
+            ctx.type_commit_native(t)?;
+            ctx.type_size(t)
+        })
+        .unwrap();
+        assert!(results.iter().all(|&s| s == 16));
+    }
+
+    #[test]
+    fn check_rank_bounds() {
+        let ctx = RankCtx::standalone(&WorldConfig::summit(1));
+        assert!(ctx.check_rank(0).is_ok());
+        assert_eq!(
+            ctx.check_rank(1),
+            Err(MpiError::InvalidRank { rank: 1, size: 1 })
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Halo region geometry and datatype construction.
+//!
+//! The local array on each rank is `(lx+2r) × (ly+2r) × (lz+2r)` floats
+//! (interior plus a ghost shell of radius `r`). For each of the 26
+//! directions the paper's stencil defines the *send* region (the interior
+//! cells the neighbor's ghost shell needs) and the *recv* region (this
+//! rank's ghost cells) — each "defined in a separate MPI derived datatype"
+//! (§6.4), built here as `MPI_Type_create_subarray` over the local array.
+
+use mpi_sim::datatype::Order;
+use mpi_sim::{Datatype, MpiResult, RankCtx};
+use serde::{Deserialize, Serialize};
+
+use crate::decomp::DIRS;
+
+/// Stencil geometry parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HaloConfig {
+    /// Interior extent per rank (x, y, z) in gridpoints.
+    pub local: [usize; 3],
+    /// Ghost-shell radius (the paper uses 2).
+    pub radius: usize,
+}
+
+impl HaloConfig {
+    /// The paper's configuration: `512³` gridpoints per rank, radius 2.
+    pub fn paper() -> Self {
+        HaloConfig {
+            local: [512, 512, 512],
+            radius: 2,
+        }
+    }
+
+    /// A scaled-down configuration for tests and CI-sized runs.
+    pub fn small(n: usize) -> Self {
+        HaloConfig {
+            local: [n, n, n],
+            radius: 2,
+        }
+    }
+
+    /// Allocated extent per dimension (interior + ghosts).
+    pub fn alloc_dims(&self) -> [usize; 3] {
+        [
+            self.local[0] + 2 * self.radius,
+            self.local[1] + 2 * self.radius,
+            self.local[2] + 2 * self.radius,
+        ]
+    }
+
+    /// Bytes of the local allocation (f32 cells).
+    pub fn alloc_bytes(&self) -> usize {
+        let a = self.alloc_dims();
+        a[0] * a[1] * a[2] * 4
+    }
+
+    /// Linear cell index of `(x, y, z)` in the local allocation
+    /// (x fastest).
+    pub fn cell_index(&self, x: usize, y: usize, z: usize) -> usize {
+        let a = self.alloc_dims();
+        x + a[0] * (y + a[1] * z)
+    }
+
+    /// The subarray `(subsizes, starts)` of the *send* region for
+    /// direction `d` (per dimension: the first `r` interior cells for −1,
+    /// the whole interior for 0, the last `r` interior cells for +1).
+    pub fn send_region(&self, d: [i32; 3]) -> ([usize; 3], [usize; 3]) {
+        let r = self.radius;
+        let mut sub = [0usize; 3];
+        let mut start = [0usize; 3];
+        for i in 0..3 {
+            match d[i] {
+                -1 => {
+                    sub[i] = r;
+                    start[i] = r;
+                }
+                0 => {
+                    sub[i] = self.local[i];
+                    start[i] = r;
+                }
+                1 => {
+                    sub[i] = r;
+                    start[i] = self.local[i]; // last r interior cells
+                }
+                _ => unreachable!("directions are in {{-1,0,1}}"),
+            }
+        }
+        (sub, start)
+    }
+
+    /// The subarray `(subsizes, starts)` of the *recv* (ghost) region for
+    /// direction `d`.
+    pub fn recv_region(&self, d: [i32; 3]) -> ([usize; 3], [usize; 3]) {
+        let r = self.radius;
+        let mut sub = [0usize; 3];
+        let mut start = [0usize; 3];
+        for i in 0..3 {
+            match d[i] {
+                -1 => {
+                    sub[i] = r;
+                    start[i] = 0;
+                }
+                0 => {
+                    sub[i] = self.local[i];
+                    start[i] = r;
+                }
+                1 => {
+                    sub[i] = r;
+                    start[i] = self.local[i] + r;
+                }
+                _ => unreachable!(),
+            }
+        }
+        (sub, start)
+    }
+
+    /// Number of cells in a region.
+    pub fn region_cells(sub: [usize; 3]) -> usize {
+        sub[0] * sub[1] * sub[2]
+    }
+}
+
+/// The 26 send and 26 recv datatypes of one rank, committed through the
+/// given context (`MPI_FLOAT` subarrays in C order: dimension 0 slowest,
+/// so we pass (z, y, x)).
+#[derive(Debug, Clone)]
+pub struct HaloTypes {
+    /// Send datatype per direction, in [`DIRS`] order.
+    pub send: Vec<Datatype>,
+    /// Recv datatype per direction, in [`DIRS`] order.
+    pub recv: Vec<Datatype>,
+    /// Packed bytes per direction (same for send and recv of a direction's
+    /// opposite pair).
+    pub bytes: Vec<usize>,
+}
+
+impl HaloTypes {
+    /// Build and (natively) create all 52 datatypes; the caller commits
+    /// them through whichever `MPI_Type_commit` is interposed.
+    pub fn create(ctx: &mut RankCtx, cfg: &HaloConfig) -> MpiResult<HaloTypes> {
+        let a = cfg.alloc_dims();
+        let sizes = [a[2] as i32, a[1] as i32, a[0] as i32]; // z, y, x
+        let mut send = Vec::with_capacity(26);
+        let mut recv = Vec::with_capacity(26);
+        let mut bytes = Vec::with_capacity(26);
+        for &d in &DIRS {
+            let (ssub, sstart) = cfg.send_region(d);
+            let (rsub, rstart) = cfg.recv_region(d);
+            let s = ctx.type_create_subarray(
+                &sizes,
+                &[ssub[2] as i32, ssub[1] as i32, ssub[0] as i32],
+                &[sstart[2] as i32, sstart[1] as i32, sstart[0] as i32],
+                Order::C,
+                mpi_sim::consts::MPI_FLOAT,
+            )?;
+            let r = ctx.type_create_subarray(
+                &sizes,
+                &[rsub[2] as i32, rsub[1] as i32, rsub[0] as i32],
+                &[rstart[2] as i32, rstart[1] as i32, rstart[0] as i32],
+                Order::C,
+                mpi_sim::consts::MPI_FLOAT,
+            )?;
+            send.push(s);
+            recv.push(r);
+            bytes.push(HaloConfig::region_cells(ssub) * 4);
+        }
+        Ok(HaloTypes { send, recv, bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::{dir_index, opposite};
+    use mpi_sim::WorldConfig;
+
+    #[test]
+    fn regions_have_matching_sizes_for_opposite_dirs() {
+        let cfg = HaloConfig::small(8);
+        for &d in &DIRS {
+            let (ssub, _) = cfg.send_region(d);
+            let (rsub, _) = cfg.recv_region(opposite(d));
+            assert_eq!(ssub, rsub, "send {d:?} must fill recv {:?}", opposite(d));
+        }
+    }
+
+    #[test]
+    fn face_edge_corner_cell_counts() {
+        let cfg = HaloConfig::small(8); // 8³ interior, r=2
+                                        // face (+x): 2×8×8 = 128 cells
+        let (sub, _) = cfg.send_region([1, 0, 0]);
+        assert_eq!(HaloConfig::region_cells(sub), 2 * 8 * 8);
+        // edge (+x,+y): 2×2×8
+        let (sub, _) = cfg.send_region([1, 1, 0]);
+        assert_eq!(HaloConfig::region_cells(sub), 2 * 2 * 8);
+        // corner: 2×2×2
+        let (sub, _) = cfg.send_region([1, 1, 1]);
+        assert_eq!(HaloConfig::region_cells(sub), 8);
+    }
+
+    #[test]
+    fn send_and_recv_regions_are_disjoint_in_each_direction() {
+        // send regions live in the interior, recv regions in the ghost
+        let cfg = HaloConfig::small(4);
+        let r = cfg.radius;
+        for &d in &DIRS {
+            let (ssub, sstart) = cfg.send_region(d);
+            let (rsub, rstart) = cfg.recv_region(d);
+            for i in 0..3 {
+                // send entirely within interior
+                assert!(sstart[i] >= r);
+                assert!(sstart[i] + ssub[i] <= r + cfg.local[i]);
+                // recv entirely within allocation
+                assert!(rstart[i] + rsub[i] <= cfg.alloc_dims()[i]);
+            }
+            // recv region for a ±1 component lies in the ghost shell
+            for i in 0..3 {
+                if d[i] == -1 {
+                    assert_eq!(rstart[i], 0);
+                }
+                if d[i] == 1 {
+                    assert_eq!(rstart[i], cfg.local[i] + r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn types_commit_and_have_right_sizes() {
+        let mut ctx = mpi_sim::RankCtx::standalone(&WorldConfig::summit(1));
+        let cfg = HaloConfig::small(4);
+        let types = HaloTypes::create(&mut ctx, &cfg).unwrap();
+        assert_eq!(types.send.len(), 26);
+        for (i, &d) in DIRS.iter().enumerate() {
+            let sz = ctx.attrs(types.send[i]).unwrap().size as usize;
+            assert_eq!(sz, types.bytes[i], "direction {d:?}");
+            let rz = ctx.attrs(types.recv[dir_index(opposite(d))]).unwrap().size as usize;
+            assert_eq!(rz, sz);
+        }
+        // +x face with l=4, r=2: 2×4×4 = 32 cells = 128 bytes
+        assert_eq!(types.bytes[dir_index([1, 0, 0])], 32 * 4);
+    }
+
+    #[test]
+    fn alloc_dims_and_indexing() {
+        let cfg = HaloConfig::small(4);
+        assert_eq!(cfg.alloc_dims(), [8, 8, 8]);
+        assert_eq!(cfg.alloc_bytes(), 8 * 8 * 8 * 4);
+        assert_eq!(cfg.cell_index(0, 0, 0), 0);
+        assert_eq!(cfg.cell_index(1, 0, 0), 1);
+        assert_eq!(cfg.cell_index(0, 1, 0), 8);
+        assert_eq!(cfg.cell_index(0, 0, 1), 64);
+    }
+
+    #[test]
+    fn paper_config_is_512_cubed_radius_2() {
+        let p = HaloConfig::paper();
+        assert_eq!(p.local, [512, 512, 512]);
+        assert_eq!(p.radius, 2);
+        assert_eq!(p.alloc_dims(), [516, 516, 516]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Distributed matrix transpose — the other classic derived-datatype
+//! workload: every rank owns a band of rows of an `N × N` matrix of f32,
+//! and the transpose sends each rank a *column band*, which is exactly a
+//! strided `MPI_Type_vector` on the sender. TEMPI's packing accelerates
+//! precisely those column-band packs.
+//!
+//! Run: `cargo run --release --example matrix_transpose`
+
+use tempi::prelude::*;
+
+const N: usize = 256; // matrix edge (divisible by the rank count)
+const P: usize = 4;
+
+fn value(row: usize, col: usize) -> f32 {
+    (row * N + col) as f32
+}
+
+fn run(interposed: bool) -> MpiResult<Vec<SimTime>> {
+    let mut cfg = WorldConfig::summit(P);
+    cfg.net.ranks_per_node = 2;
+    World::run(&cfg, |ctx| {
+        let mut mpi = if interposed {
+            InterposedMpi::new(TempiConfig::default())
+        } else {
+            InterposedMpi::system_only()
+        };
+        let rows = N / ctx.size; // my row band height
+        let row_bytes = N * 4;
+
+        // my band: rows [rank*rows, (rank+1)*rows)
+        let band = ctx.gpu.malloc(rows * row_bytes)?;
+        let mut data = Vec::with_capacity(rows * row_bytes);
+        for r in 0..rows {
+            for c in 0..N {
+                data.extend_from_slice(&value(ctx.rank * rows + r, c).to_le_bytes());
+            }
+        }
+        ctx.gpu.memory().poke(band, &data)?;
+
+        // the column band destined for rank j: `rows` columns starting at
+        // j*rows — a vector of `rows` rows, each a `rows`-float block,
+        // strided by the full row
+        let colband =
+            ctx.type_vector(rows as i32, (rows * 4) as i32, row_bytes as i32, MPI_BYTE)?;
+        mpi.type_commit(ctx, colband)?;
+
+        let chunk = rows * rows * 4;
+        let sendbuf = ctx.gpu.malloc(chunk * ctx.size)?;
+        let recvbuf = ctx.gpu.malloc(chunk * ctx.size)?;
+
+        ctx.barrier();
+        let t0 = ctx.clock.now();
+        // pack one column band per destination (TEMPI kernel or baseline)
+        let mut pos = 0usize;
+        for j in 0..ctx.size {
+            let origin = band.add(j * rows * 4);
+            mpi.pack(ctx, origin, 1, colband, sendbuf, chunk * ctx.size, &mut pos)?;
+        }
+        // exchange
+        let counts = vec![chunk; ctx.size];
+        let displs: Vec<usize> = (0..ctx.size).map(|j| j * chunk).collect();
+        mpi.alltoallv_bytes(ctx, sendbuf, &counts, &displs, recvbuf, &counts, &displs)?;
+        let elapsed = ctx.clock.now() - t0;
+
+        // verify: chunk j holds the transpose tile T[rank-band rows][j rows]
+        // = original rows j*rows.. of columns rank*rows.. — laid out as
+        // `rows` runs of `rows` floats (sender's pack order: its rows)
+        let got = ctx.gpu.memory().peek(recvbuf, chunk * ctx.size)?;
+        for j in 0..ctx.size {
+            for sr in 0..rows {
+                for sc in 0..rows {
+                    let i = j * chunk + (sr * rows + sc) * 4;
+                    let v = f32::from_le_bytes(got[i..i + 4].try_into().expect("4 bytes"));
+                    let want = value(j * rows + sr, ctx.rank * rows + sc);
+                    assert_eq!(v, want, "rank {} tile {j} ({sr},{sc})", ctx.rank);
+                }
+            }
+        }
+        Ok(elapsed)
+    })
+}
+
+fn main() -> MpiResult<()> {
+    println!("distributed transpose of a {N} x {N} f32 matrix over {P} ranks\n");
+    let base = run(false)?;
+    let tempi = run(true)?;
+    let worst = |ts: &[SimTime]| ts.iter().copied().max().expect("ranks");
+    let (b, t) = (worst(&base), worst(&tempi));
+    println!("baseline (Spectrum MPI) transpose: {b}");
+    println!("TEMPI transpose:                   {t}");
+    println!("speedup: {:.0}x", b.as_ns_f64() / t.as_ns_f64());
+    println!("\nall tiles verified on every rank ✓");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Quickstart: commit a strided datatype, pack it on the simulated GPU
+//! with TEMPI, and compare against the system-MPI baseline.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use tempi::prelude::*;
+
+fn main() -> MpiResult<()> {
+    // A single simulated Summit rank (Spectrum MPI, V100).
+    let cfg = WorldConfig::summit(1);
+
+    // --- with TEMPI interposed -----------------------------------------
+    // configured like the real library: TEMPI_* environment variables
+    // (TEMPI_METHOD, TEMPI_FORCE_WORD, TEMPI_NO_CANONICALIZE, ...)
+    let mut ctx = RankCtx::standalone(&cfg);
+    let mut tempi_mpi = InterposedMpi::from_env().unwrap_or_else(|e| {
+        eprintln!("bad TEMPI_* configuration: {e}");
+        std::process::exit(2);
+    });
+
+    // A 1 MiB 2-D object: 16 KiB blocks of 64 B, 128 B apart.
+    let dt = ctx.type_vector(16384, 64, 128, MPI_BYTE)?;
+    tempi_mpi.type_commit(&mut ctx, dt)?;
+
+    // Inspect the plan TEMPI built at commit.
+    let plan = tempi_mpi.tempi.plan(dt).expect("committed");
+    println!("committed plan: {:?}", plan.kind_summary());
+    println!(
+        "  size = {} bytes, block = {} bytes, word W = {}",
+        plan.size,
+        plan.block_bytes(),
+        plan.word()
+    );
+
+    // Fill a device buffer and pack.
+    let span = 16384 * 128;
+    let src = ctx.gpu.malloc(span)?;
+    let data: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+    ctx.gpu.memory().poke(src, &data)?;
+    let dst = ctx.gpu.malloc(1 << 20)?;
+
+    let t0 = ctx.clock.now();
+    let mut pos = 0;
+    tempi_mpi.pack(&mut ctx, src, 1, dt, dst, 1 << 20, &mut pos)?;
+    let tempi_time = ctx.clock.now() - t0;
+    println!("\nTEMPI   MPI_Pack: {tempi_time}");
+
+    // sanity: first block of packed output equals the first strided block
+    let packed = ctx.gpu.memory().peek(dst, 64)?;
+    assert_eq!(&packed[..], &data[..64]);
+
+    // --- same pack through the plain system MPI -------------------------
+    let mut ctx = RankCtx::standalone(&cfg);
+    let mut system_mpi = InterposedMpi::system_only();
+    let dt = ctx.type_vector(16384, 64, 128, MPI_BYTE)?;
+    system_mpi.type_commit(&mut ctx, dt)?;
+    let src = ctx.gpu.malloc(span)?;
+    ctx.gpu.memory().poke(src, &data)?;
+    let dst = ctx.gpu.malloc(1 << 20)?;
+
+    let t0 = ctx.clock.now();
+    let mut pos = 0;
+    system_mpi.pack(&mut ctx, src, 1, dt, dst, 1 << 20, &mut pos)?;
+    let system_time = ctx.clock.now() - t0;
+    println!("Spectrum MPI_Pack: {system_time}");
+    println!(
+        "speedup: {:.0}x",
+        system_time.as_ns_f64() / tempi_time.as_ns_f64()
+    );
+    Ok(())
+}
+
+/// Small helper so the example prints something readable for the plan.
+trait KindSummary {
+    fn kind_summary(&self) -> String;
+}
+
+impl KindSummary for tempi::core::TypePlan {
+    fn kind_summary(&self) -> String {
+        match &self.kind {
+            PlanKind::Strided(kp) => format!(
+                "{:?} kernel, counts {:?}, strides {:?}",
+                kp.kind, kp.sb.counts, kp.sb.strides
+            ),
+            other => format!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Shared helpers for the integration tests: a property-based generator of
+//! random (bounded) MPI derived datatypes and buffer utilities.
+//!
+//! Each integration-test binary includes this module separately, and not
+//! every binary uses every helper.
+#![allow(dead_code)]
+
+use mpi_sim::consts::*;
+use mpi_sim::datatype::Order;
+use mpi_sim::{Datatype, MpiResult, RankCtx};
+use proptest::prelude::*;
+
+/// A buildable description of a derived datatype (so proptest can shrink
+/// structurally).
+#[derive(Debug, Clone)]
+pub enum TypeDesc {
+    /// One of a few named types.
+    Named(u8),
+    /// `MPI_Type_contiguous`.
+    Contig { count: u8, inner: Box<TypeDesc> },
+    /// `MPI_Type_vector`.
+    Vector {
+        count: u8,
+        blocklength: u8,
+        stride_extra: u8,
+        inner: Box<TypeDesc>,
+    },
+    /// `MPI_Type_create_hvector` with a byte stride ≥ the child extent.
+    Hvector {
+        count: u8,
+        stride_extra: u8,
+        inner: Box<TypeDesc>,
+    },
+    /// A 2-D subarray of bytes.
+    Subarray2d {
+        sizes: [u8; 2],
+        frac: [u8; 2],
+        inner: Box<TypeDesc>,
+    },
+    /// `MPI_Type_create_hindexed` with small displacements.
+    Hindexed {
+        blocks: Vec<(u8, u8)>,
+        inner: Box<TypeDesc>,
+    },
+    /// `MPI_Type_create_indexed_block` with non-overlapping displacements.
+    IndexedBlock {
+        blocklength: u8,
+        gaps: Vec<u8>,
+        inner: Box<TypeDesc>,
+    },
+}
+
+impl TypeDesc {
+    /// Build the datatype in the rank's registry.
+    pub fn build(&self, ctx: &mut RankCtx) -> MpiResult<Datatype> {
+        match self {
+            TypeDesc::Named(n) => {
+                let named = [MPI_BYTE, MPI_INT, MPI_FLOAT, MPI_DOUBLE, MPI_SHORT];
+                Ok(named[*n as usize % named.len()])
+            }
+            TypeDesc::Contig { count, inner } => {
+                let old = inner.build(ctx)?;
+                ctx.type_contiguous(1 + (*count as i32 % 6), old)
+            }
+            TypeDesc::Vector {
+                count,
+                blocklength,
+                stride_extra,
+                inner,
+            } => {
+                let old = inner.build(ctx)?;
+                let bl = 1 + (*blocklength as i32 % 4);
+                // stride ≥ blocklength keeps blocks non-overlapping
+                ctx.type_vector(
+                    1 + (*count as i32 % 5),
+                    bl,
+                    bl + (*stride_extra as i32 % 4),
+                    old,
+                )
+            }
+            TypeDesc::Hvector {
+                count,
+                stride_extra,
+                inner,
+            } => {
+                let old = inner.build(ctx)?;
+                let (_, ex) = ctx.attrs(old).map(|a| (a.lb, a.extent()))?;
+                ctx.type_create_hvector(
+                    1 + (*count as i32 % 5),
+                    1,
+                    ex + (*stride_extra as i64 % 16),
+                    old,
+                )
+            }
+            TypeDesc::Subarray2d { sizes, frac, inner } => {
+                let old = inner.build(ctx)?;
+                let s0 = 2 + (sizes[0] as i32 % 6);
+                let s1 = 2 + (sizes[1] as i32 % 6);
+                let sub0 = 1 + (frac[0] as i32 % s0);
+                let sub1 = 1 + (frac[1] as i32 % s1);
+                let st0 = (frac[1] as i32 % (s0 - sub0 + 1)).min(s0 - sub0);
+                let st1 = (frac[0] as i32 % (s1 - sub1 + 1)).min(s1 - sub1);
+                ctx.type_create_subarray(&[s0, s1], &[sub0, sub1], &[st0, st1], Order::C, old)
+            }
+            TypeDesc::Hindexed { blocks, inner } => {
+                let old = inner.build(ctx)?;
+                let (_, ex) = ctx.attrs(old).map(|a| (a.lb, a.extent()))?;
+                // place blocks at non-overlapping, increasing displacements
+                let mut bls = Vec::new();
+                let mut displs = Vec::new();
+                let mut at = 0i64;
+                for (bl, gap) in blocks {
+                    let bl = 1 + (*bl as i32 % 3);
+                    displs.push(at);
+                    bls.push(bl);
+                    at += bl as i64 * ex + (*gap as i64 % 8);
+                }
+                ctx.type_create_hindexed(&bls, &displs, old)
+            }
+            TypeDesc::IndexedBlock {
+                blocklength,
+                gaps,
+                inner,
+            } => {
+                let old = inner.build(ctx)?;
+                let bl = 1 + (*blocklength as i32 % 3);
+                // increasing element displacements with gaps
+                let mut displs = Vec::new();
+                let mut at = 0i32;
+                for g in gaps {
+                    displs.push(at);
+                    at += bl + (*g as i32 % 4);
+                }
+                ctx.type_create_indexed_block(bl, &displs, old)
+            }
+        }
+    }
+}
+
+/// Strategy for a random datatype description of bounded depth.
+pub fn arb_typedesc() -> impl Strategy<Value = TypeDesc> {
+    let leaf = any::<u8>().prop_map(TypeDesc::Named);
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone()).prop_map(|(count, i)| TypeDesc::Contig {
+                count,
+                inner: Box::new(i)
+            }),
+            (any::<u8>(), any::<u8>(), any::<u8>(), inner.clone()).prop_map(
+                |(count, blocklength, stride_extra, i)| TypeDesc::Vector {
+                    count,
+                    blocklength,
+                    stride_extra,
+                    inner: Box::new(i)
+                }
+            ),
+            (any::<u8>(), any::<u8>(), inner.clone()).prop_map(|(count, stride_extra, i)| {
+                TypeDesc::Hvector {
+                    count,
+                    stride_extra,
+                    inner: Box::new(i),
+                }
+            }),
+            (any::<[u8; 2]>(), any::<[u8; 2]>(), inner.clone()).prop_map(|(sizes, frac, i)| {
+                TypeDesc::Subarray2d {
+                    sizes,
+                    frac,
+                    inner: Box::new(i),
+                }
+            }),
+            (
+                proptest::collection::vec((any::<u8>(), any::<u8>()), 1..4),
+                inner.clone()
+            )
+                .prop_map(|(blocks, i)| TypeDesc::Hindexed {
+                    blocks,
+                    inner: Box::new(i)
+                }),
+            (
+                any::<u8>(),
+                proptest::collection::vec(any::<u8>(), 1..4),
+                inner
+            )
+                .prop_map(|(blocklength, gaps, i)| TypeDesc::IndexedBlock {
+                    blocklength,
+                    gaps,
+                    inner: Box::new(i)
+                }),
+        ]
+    })
+}
+
+/// Bytes a buffer must have so `incount` items of `dt` (placed at origin 0)
+/// fit, including trailing slack.
+pub fn span_of(ctx: &RankCtx, dt: Datatype, incount: usize) -> usize {
+    let a = ctx.attrs(dt).expect("live type");
+    let end = a.true_ub.max(a.ub) + (incount.max(1) as i64 - 1) * a.extent().max(0);
+    (end.max(1) as usize) + 64
+}
+
+/// Deterministic fill pattern.
+pub fn pattern(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i % 249) as u8 ^ 0x3C).collect()
+}

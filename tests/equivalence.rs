@@ -1,0 +1,205 @@
+//! The paper's central claim, tested end to end: *equivalent objects get
+//! equal treatment*. Any composition of contiguous / vector / hvector /
+//! subarray types that denotes the same bytes must canonicalize to the
+//! identical kernel plan and must pack in the identical virtual time.
+
+mod common;
+
+use common::pattern;
+use gpu_sim::SimTime;
+use mpi_sim::consts::MPI_BYTE;
+use mpi_sim::datatype::Order;
+use mpi_sim::{Datatype, MpiResult, RankCtx, WorldConfig};
+use proptest::prelude::*;
+use tempi_core::config::TempiConfig;
+use tempi_core::interpose::InterposedMpi;
+use tempi_core::tempi::PlanKind;
+
+fn ctx() -> RankCtx {
+    RankCtx::standalone(&WorldConfig::summit(1))
+}
+
+/// Build all the Section-2 representations of one row of `e0` floats in an
+/// allocation of `a0` floats.
+fn row_constructions(ctx: &mut RankCtx, e0: i32, a0: i32) -> MpiResult<Vec<Datatype>> {
+    use mpi_sim::consts::MPI_FLOAT;
+    Ok(vec![
+        ctx.type_contiguous(e0, MPI_FLOAT)?,
+        ctx.type_contiguous(e0 * 4, MPI_BYTE)?,
+        ctx.type_vector(e0, 1, 1, MPI_FLOAT)?,
+        ctx.type_vector(1, e0, 1, MPI_FLOAT)?,
+        ctx.type_vector(e0, 4, 4, MPI_BYTE)?,
+        ctx.type_vector(1, e0 * 4, e0 * 4, MPI_BYTE)?,
+        ctx.type_create_hvector(e0 * 4, 1, 1, MPI_BYTE)?,
+        ctx.type_create_subarray(&[a0], &[e0], &[0], Order::C, MPI_FLOAT)?,
+        ctx.type_create_subarray(&[a0 * 4], &[e0 * 4], &[0], Order::C, MPI_BYTE)?,
+    ])
+}
+
+#[test]
+fn section2_row_list_all_one_plan() {
+    let mut ctx = ctx();
+    let mut mpi = InterposedMpi::new(TempiConfig::default());
+    let types = row_constructions(&mut ctx, 100, 256).unwrap();
+    let mut plans = Vec::new();
+    for dt in &types {
+        mpi.type_commit(&mut ctx, *dt).unwrap();
+        plans.push(mpi.tempi.plan(*dt).unwrap());
+    }
+    for (i, p) in plans.iter().enumerate() {
+        assert_eq!(
+            p.kind,
+            plans[0].kind,
+            "construction {i} ({}) diverged",
+            ctx.describe(types[i])
+        );
+        // a row is contiguous: one Dense run of 400 bytes
+        match &p.kind {
+            PlanKind::Strided(kp) => {
+                assert!(kp.sb.is_contiguous());
+                assert_eq!(kp.sb.block_bytes(), 400);
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn fig2_constructions_one_plan_and_equal_pack_time() {
+    let mut ctx = ctx();
+    let mut mpi = InterposedMpi::new(TempiConfig::default());
+    // the three constructions from Fig. 2
+    let plane = ctx
+        .type_create_subarray(&[512, 256], &[13, 100], &[0, 0], Order::C, MPI_BYTE)
+        .unwrap();
+    let c1 = ctx.type_vector(47, 1, 1, plane).unwrap();
+    let row = ctx.type_vector(100, 1, 1, MPI_BYTE).unwrap();
+    let p2 = ctx.type_create_hvector(13, 1, 256, row).unwrap();
+    let c2 = ctx.type_create_hvector(47, 1, 256 * 512, p2).unwrap();
+    let c3 = ctx
+        .type_create_subarray(
+            &[1024, 512, 256],
+            &[47, 13, 100],
+            &[0, 0, 0],
+            Order::C,
+            MPI_BYTE,
+        )
+        .unwrap();
+
+    let span = 256 * 512 * 47 + 4096;
+    let src = ctx.gpu.malloc(span).unwrap();
+    ctx.gpu.memory().poke(src, &pattern(span)).unwrap();
+    let size = 100 * 13 * 47;
+    let dst = ctx.gpu.malloc(size).unwrap();
+
+    let mut times: Vec<SimTime> = Vec::new();
+    let mut outputs: Vec<Vec<u8>> = Vec::new();
+    for dt in [c1, c2, c3] {
+        mpi.type_commit(&mut ctx, dt).unwrap();
+        // warm-up then measure
+        let mut pos = 0;
+        mpi.pack(&mut ctx, src, 1, dt, dst, size, &mut pos).unwrap();
+        let t0 = ctx.clock.now();
+        let mut pos = 0;
+        mpi.pack(&mut ctx, src, 1, dt, dst, size, &mut pos).unwrap();
+        times.push(ctx.clock.now() - t0);
+        outputs.push(ctx.gpu.memory().peek(dst, size).unwrap());
+    }
+    assert_eq!(times[0], times[1], "vector-of-plane vs nested hvector");
+    assert_eq!(times[1], times[2], "nested hvector vs 3-D subarray");
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}
+
+#[test]
+fn mvapich_baseline_is_construction_sensitive_tempi_is_not() {
+    // the paper's fragility observation: mvapich handles a root vector
+    // hundreds of times faster than the same object as a subarray; TEMPI
+    // treats both identically.
+    let pack_time = |interposed: bool, use_vector: bool| -> SimTime {
+        let cfg = WorldConfig::workstation(1, mpi_sim::VendorProfile::mvapich());
+        let mut ctx = RankCtx::standalone(&cfg);
+        let mut mpi = if interposed {
+            InterposedMpi::new(TempiConfig::default())
+        } else {
+            InterposedMpi::system_only()
+        };
+        let dt = if use_vector {
+            ctx.type_vector(512, 64, 128, MPI_BYTE).unwrap()
+        } else {
+            ctx.type_create_subarray(&[512, 128], &[512, 64], &[0, 0], Order::C, MPI_BYTE)
+                .unwrap()
+        };
+        mpi.type_commit(&mut ctx, dt).unwrap();
+        let src = ctx.gpu.malloc(512 * 128).unwrap();
+        let dst = ctx.gpu.malloc(512 * 64).unwrap();
+        let mut pos = 0;
+        mpi.pack(&mut ctx, src, 1, dt, dst, 512 * 64, &mut pos)
+            .unwrap();
+        let t0 = ctx.clock.now();
+        let mut pos = 0;
+        mpi.pack(&mut ctx, src, 1, dt, dst, 512 * 64, &mut pos)
+            .unwrap();
+        ctx.clock.now() - t0
+    };
+    // baseline: vector fast (specialized kernel), subarray slow
+    let mv_vec = pack_time(false, true);
+    let mv_sub = pack_time(false, false);
+    assert!(
+        mv_sub.as_ns_f64() > 50.0 * mv_vec.as_ns_f64(),
+        "mvapich should collapse on subarray: vec {mv_vec}, sub {mv_sub}"
+    );
+    // TEMPI: identical either way
+    let t_vec = pack_time(true, true);
+    let t_sub = pack_time(true, false);
+    assert_eq!(t_vec, t_sub);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For random 2-D geometry, the vector / hvector / subarray / (nested
+    /// contiguous-hvector) constructions all produce the same committed
+    /// plan.
+    #[test]
+    fn random_2d_objects_one_plan(
+        count in 1i32..32,
+        block in 1i32..64,
+        gap in 0i32..32,
+    ) {
+        let stride = block + gap;
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let v = ctx.type_vector(count, block, stride, MPI_BYTE).unwrap();
+        let row = ctx.type_contiguous(block, MPI_BYTE).unwrap();
+        let h = ctx.type_create_hvector(count, 1, stride as i64, row).unwrap();
+        let s = ctx
+            .type_create_subarray(&[count, stride], &[count, block], &[0, 0], Order::C, MPI_BYTE)
+            .unwrap();
+        let mut kinds = Vec::new();
+        for dt in [v, h, s] {
+            mpi.type_commit(&mut ctx, dt).unwrap();
+            kinds.push(mpi.tempi.plan(dt).unwrap().kind.clone());
+        }
+        prop_assert_eq!(&kinds[0], &kinds[1]);
+        prop_assert_eq!(&kinds[1], &kinds[2]);
+    }
+
+    /// Wrapping any type in `contiguous(1, ...)`, `vector(1,1,1, ...)` or
+    /// `dup` never changes the committed plan.
+    #[test]
+    fn identity_wrappers_are_invisible(desc in common::arb_typedesc()) {
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let base = desc.build(&mut ctx).unwrap();
+        let c1 = ctx.type_contiguous(1, base).unwrap();
+        let v1 = ctx.type_vector(1, 1, 1, base).unwrap();
+        let d1 = ctx.type_dup(base).unwrap();
+        mpi.type_commit(&mut ctx, base).unwrap();
+        let want = mpi.tempi.plan(base).unwrap().kind.clone();
+        for dt in [c1, v1, d1] {
+            mpi.type_commit(&mut ctx, dt).unwrap();
+            prop_assert_eq!(&mpi.tempi.plan(dt).unwrap().kind, &want);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Shape regression tests: the qualitative findings each paper figure
+//! rests on, asserted at small scale so CI catches any calibration or
+//! logic change that would break the reproduction's conclusions.
+
+mod common;
+
+use tempi_bench::{
+    commit_breakdown, pack_time, send_pair_time, Construction, Mode, Obj2d, Platform,
+};
+use tempi_core::config::{Method, TempiConfig};
+use tempi_core::model::SendModel;
+
+fn obj(total: usize, block: usize) -> Obj2d {
+    Obj2d {
+        incount: 1,
+        block,
+        count: total / block,
+        stride: block * 2,
+    }
+}
+
+fn speedup(platform: Platform, o: Obj2d, c: Construction) -> f64 {
+    let t = pack_time(
+        platform,
+        Mode::Tempi,
+        TempiConfig::default(),
+        |ctx| o.build(ctx, c),
+        o.incount,
+        o.span(),
+    )
+    .expect("tempi");
+    let s = pack_time(
+        platform,
+        Mode::System,
+        TempiConfig::default(),
+        |ctx| o.build(ctx, c),
+        o.incount,
+        o.span(),
+    )
+    .expect("system");
+    s.as_ns_f64() / t.as_ns_f64()
+}
+
+// ---- Fig. 6 shapes -------------------------------------------------------
+
+#[test]
+fn fig6_commit_slowdown_ordering_mv_op_sp() {
+    let o = obj(1 << 10, 64);
+    let slow = |p: Platform| {
+        commit_breakdown(p, |ctx| o.build(ctx, Construction::Subarray))
+            .expect("breakdown")
+            .slowdown()
+    };
+    let (mv, op, sp) = (
+        slow(Platform::Mvapich),
+        slow(Platform::OpenMpi),
+        slow(Platform::Summit),
+    );
+    assert!(mv < op && op < sp, "mv {mv} < op {op} < sp {sp}");
+    // the paper's outer envelope: 2.1x .. 11.6x
+    assert!(mv > 1.5 && sp < 15.0, "mv {mv}, sp {sp}");
+}
+
+// ---- Fig. 7 shapes -------------------------------------------------------
+
+#[test]
+fn fig7_speedup_grows_as_blocks_shrink() {
+    let mut last = 0.0f64;
+    for block in [4096usize, 256, 16, 1] {
+        let s = speedup(Platform::Summit, obj(1 << 20, block), Construction::Hvector);
+        assert!(
+            s > last,
+            "block {block}: {s} should exceed larger-block speedup {last}"
+        );
+        last = s;
+    }
+}
+
+#[test]
+fn fig7_speedup_grows_with_object_size() {
+    let small = speedup(Platform::Summit, obj(1 << 10, 16), Construction::Vector);
+    let large = speedup(Platform::Summit, obj(1 << 20, 16), Construction::Vector);
+    assert!(large > small * 5.0, "1 MiB {large} vs 1 KiB {small}");
+}
+
+#[test]
+fn fig7_platform_ordering_spectrum_worst() {
+    let o = obj(1 << 18, 32);
+    let mv = speedup(Platform::Mvapich, o, Construction::Hvector);
+    let op = speedup(Platform::OpenMpi, o, Construction::Hvector);
+    let sp = speedup(Platform::Summit, o, Construction::Hvector);
+    assert!(sp > op && op > mv, "sp {sp} > op {op} > mv {mv}");
+}
+
+#[test]
+fn fig7_contiguous_speedup_near_one() {
+    for platform in [Platform::OpenMpi, Platform::Summit] {
+        let o = Obj2d {
+            incount: 1,
+            block: 1 << 16,
+            count: 1,
+            stride: 1 << 16,
+        };
+        let s = speedup(platform, o, Construction::Contiguous);
+        assert!(s > 0.85 && s < 1.5, "{platform:?} contiguous speedup {s}");
+    }
+}
+
+#[test]
+fn fig7_mvapich_vector_near_one_but_subarray_huge() {
+    let o = obj(1 << 18, 16);
+    let vec = speedup(Platform::Mvapich, o, Construction::Vector);
+    let sub = speedup(Platform::Mvapich, o, Construction::Subarray);
+    assert!(vec > 0.85 && vec < 1.1, "specialized vector path {vec}");
+    assert!(sub > 100.0, "subarray fallback {sub}");
+}
+
+// ---- Fig. 8 / §5 model shapes -------------------------------------------
+
+#[test]
+fn fig8_floors() {
+    let m = SendModel::summit_internode();
+    assert!((m.t_cpu_cpu(1).as_us_f64() - 2.6).abs() < 0.2);
+    assert!((m.t_gpu_gpu(1).as_us_f64() - 11.4).abs() < 0.5);
+    assert!((m.t_d2h(1).as_us_f64() - 11.0).abs() < 0.5);
+}
+
+#[test]
+fn fig8_staged_never_wins_anywhere() {
+    let m = SendModel::summit_internode();
+    for p in 8..27 {
+        let bytes = 1usize << p;
+        for block in [16usize, 256, 4096] {
+            let st = m.t_staged(bytes, block, 4).total();
+            let dev = m.t_device(bytes, block, 4).total();
+            let osh = m.t_oneshot(bytes, block, 4).total();
+            assert!(
+                st >= dev.min(osh),
+                "staged won at 2^{p} B / {block} B blocks"
+            );
+        }
+    }
+}
+
+// ---- Fig. 10 shapes ------------------------------------------------------
+
+#[test]
+fn fig10_crossover_oneshot_1mib_device_4mib() {
+    let m = SendModel::summit_internode();
+    // large blocks (the regime the paper's figure sweeps)
+    assert_eq!(m.choose(1 << 20, 4096, 8), Method::OneShot);
+    assert_eq!(m.choose(4 << 20, 4096, 8), Method::Device);
+    // tiny blocks always device
+    assert_eq!(m.choose(1 << 20, 8, 4), Method::Device);
+}
+
+// ---- Fig. 11 shapes ------------------------------------------------------
+
+#[test]
+fn fig11_send_speedup_far_below_pack_speedup() {
+    let o = obj(1 << 20, 64);
+    let pack = speedup(Platform::Summit, o, Construction::Vector);
+    let t = send_pair_time(
+        Platform::Summit,
+        Mode::Tempi,
+        TempiConfig::default(),
+        |ctx| o.build(ctx, Construction::Vector),
+        1,
+        o.span(),
+    )
+    .expect("t");
+    let s = send_pair_time(
+        Platform::Summit,
+        Mode::System,
+        TempiConfig::default(),
+        |ctx| o.build(ctx, Construction::Vector),
+        1,
+        o.span(),
+    )
+    .expect("s");
+    let send = s.as_ns_f64() / t.as_ns_f64();
+    assert!(send > 10.0, "send speedup {send} must still be large");
+    assert!(
+        send < pack / 2.0,
+        "send speedup {send} must sit well below pack speedup {pack} \
+         (the un-accelerated contiguous transfer dominates)"
+    );
+}
+
+// ---- §8 pipelining shape -------------------------------------------------
+
+#[test]
+fn pipelining_beats_all_methods_at_16mib() {
+    let o = obj(16 << 20, 4096);
+    let run = |cfg: TempiConfig| {
+        send_pair_time(
+            Platform::Summit,
+            Mode::Tempi,
+            cfg,
+            |ctx| o.build(ctx, Construction::Vector),
+            1,
+            o.span(),
+        )
+        .expect("send")
+    };
+    let pipe = run(TempiConfig {
+        force_method: Some(Method::Pipelined),
+        pipeline_chunk: Some(256 << 10),
+        ..TempiConfig::default()
+    });
+    for m in [Method::OneShot, Method::Device, Method::Staged] {
+        let t = run(TempiConfig {
+            force_method: Some(m),
+            ..TempiConfig::default()
+        });
+        assert!(pipe < t, "pipelined {pipe} must beat {m:?} {t}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests: TEMPI's GPU pack/unpack agree with the CPU typemap
+//! oracle for arbitrary bounded derived datatypes, and unpack inverts
+//! pack.
+
+mod common;
+
+use common::{arb_typedesc, pattern, span_of, TypeDesc};
+use mpi_sim::datatype::pack_cpu;
+use mpi_sim::{RankCtx, WorldConfig};
+use proptest::prelude::*;
+use tempi_core::config::TempiConfig;
+use tempi_core::interpose::InterposedMpi;
+
+fn ctx() -> RankCtx {
+    RankCtx::standalone(&WorldConfig::summit(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For any generated datatype, TEMPI's GPU MPI_Pack produces exactly
+    /// the bytes the reference CPU pack produces.
+    #[test]
+    fn gpu_pack_matches_cpu_oracle(desc in arb_typedesc(), incount in 1usize..3) {
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let dt = desc.build(&mut ctx).unwrap();
+        mpi.type_commit(&mut ctx, dt).unwrap();
+
+        let size = ctx.attrs(dt).unwrap().size as usize * incount;
+        prop_assume!(size > 0 && size < 1 << 20);
+        let span = span_of(&ctx, dt, incount);
+        let data = pattern(span);
+
+        // GPU pack through TEMPI
+        let src = ctx.gpu.malloc(span).unwrap();
+        ctx.gpu.memory().poke(src, &data).unwrap();
+        let dst = ctx.gpu.malloc(size).unwrap();
+        let mut pos = 0;
+        mpi.pack(&mut ctx, src, incount, dt, dst, size, &mut pos).unwrap();
+        prop_assert_eq!(pos, size);
+        let gpu_out = ctx.gpu.memory().peek(dst, size).unwrap();
+
+        // CPU oracle
+        let reg = ctx.registry().read();
+        let mut cpu_out = vec![0u8; size];
+        let mut p = 0;
+        pack_cpu::pack(&reg, &data, 0, incount, dt, &mut cpu_out, &mut p).unwrap();
+        prop_assert_eq!(gpu_out, cpu_out);
+    }
+
+    /// Unpack after pack restores every byte the datatype covers.
+    #[test]
+    fn unpack_inverts_pack(desc in arb_typedesc()) {
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let dt = desc.build(&mut ctx).unwrap();
+        mpi.type_commit(&mut ctx, dt).unwrap();
+        let size = ctx.attrs(dt).unwrap().size as usize;
+        prop_assume!(size > 0 && size < 1 << 20);
+        let span = span_of(&ctx, dt, 1);
+        let data = pattern(span);
+
+        let src = ctx.gpu.malloc(span).unwrap();
+        ctx.gpu.memory().poke(src, &data).unwrap();
+        let packed = ctx.gpu.malloc(size).unwrap();
+        let out = ctx.gpu.malloc(span).unwrap();
+
+        let mut pos = 0;
+        mpi.pack(&mut ctx, src, 1, dt, packed, size, &mut pos).unwrap();
+        let mut pos = 0;
+        mpi.unpack(&mut ctx, packed, size, &mut pos, out, 1, dt).unwrap();
+
+        // every covered byte equals the source
+        let reg = ctx.registry().read();
+        let segs = mpi_sim::datatype::typemap::segments(&reg, dt).unwrap();
+        let got = ctx.gpu.memory().peek(out, span).unwrap();
+        for seg in segs {
+            let o = seg.off as usize;
+            let l = seg.len as usize;
+            prop_assert_eq!(&got[o..o + l], &data[o..o + l]);
+        }
+    }
+
+    /// The system-MPI pack (copy-per-block baseline) and TEMPI's pack are
+    /// byte-identical — speed differs, semantics must not.
+    #[test]
+    fn tempi_and_system_pack_agree(desc in arb_typedesc()) {
+        let run = |interposed: bool, desc: &TypeDesc| -> Option<Vec<u8>> {
+            let mut ctx = ctx();
+            let mut mpi = if interposed {
+                InterposedMpi::new(TempiConfig::default())
+            } else {
+                InterposedMpi::system_only()
+            };
+            let dt = desc.build(&mut ctx).unwrap();
+            mpi.type_commit(&mut ctx, dt).unwrap();
+            let size = ctx.attrs(dt).unwrap().size as usize;
+            if size == 0 || size >= 1 << 20 {
+                return None;
+            }
+            let span = span_of(&ctx, dt, 1);
+            let data = pattern(span);
+            let src = ctx.gpu.malloc(span).unwrap();
+            ctx.gpu.memory().poke(src, &data).unwrap();
+            let dst = ctx.gpu.malloc(size).unwrap();
+            let mut pos = 0;
+            mpi.pack(&mut ctx, src, 1, dt, dst, size, &mut pos).unwrap();
+            let out = ctx.gpu.memory().peek(dst, size).unwrap();
+            Some(out)
+        };
+        let a = run(true, &desc);
+        let b = run(false, &desc);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The DMA (`cudaMemcpy2D`) configuration produces the same bytes as
+    /// the kernel path for 2-D plans.
+    #[test]
+    fn dma_path_agrees_with_kernel_path(
+        count in 2usize..32,
+        block in 1usize..64,
+        gap in 0usize..32,
+    ) {
+        let stride = block + gap;
+        let run = |use_dma: bool| {
+            let mut ctx = ctx();
+            let mut mpi = InterposedMpi::new(TempiConfig {
+                use_dma,
+                ..TempiConfig::default()
+            });
+            let dt = ctx
+                .type_vector(count as i32, block as i32, stride as i32, mpi_sim::consts::MPI_BYTE)
+                .unwrap();
+            mpi.type_commit(&mut ctx, dt).unwrap();
+            let span = count * stride + 64;
+            let data = pattern(span);
+            let src = ctx.gpu.malloc(span).unwrap();
+            ctx.gpu.memory().poke(src, &data).unwrap();
+            let size = count * block;
+            let dst = ctx.gpu.malloc(size).unwrap();
+            let mut pos = 0;
+            mpi.pack(&mut ctx, src, 1, dt, dst, size, &mut pos).unwrap();
+            let out = ctx.gpu.memory().peek(dst, size).unwrap();
+            out
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// The 3-D DMA (`cudaMemcpy3D`) configuration produces the same bytes
+    /// as the 3-D kernel path.
+    #[test]
+    fn dma_3d_path_agrees_with_kernel_path(
+        x in 1usize..16,
+        y in 1usize..8,
+        z in 1usize..8,
+        pad in 0usize..8,
+    ) {
+        let ax = (x + pad) as i32;
+        let ay = (y + 1) as i32;
+        let az = (z + 1) as i32;
+        let run = |use_dma: bool| {
+            let mut ctx = ctx();
+            let mut mpi = InterposedMpi::new(TempiConfig {
+                use_dma,
+                ..TempiConfig::default()
+            });
+            let dt = ctx
+                .type_create_subarray(
+                    &[az, ay, ax],
+                    &[z as i32, y as i32, x as i32],
+                    &[0, 0, 0],
+                    mpi_sim::Order::C,
+                    mpi_sim::consts::MPI_BYTE,
+                )
+                .unwrap();
+            mpi.type_commit(&mut ctx, dt).unwrap();
+            let span = (ax * ay * az) as usize;
+            let data = pattern(span);
+            let src = ctx.gpu.malloc(span).unwrap();
+            ctx.gpu.memory().poke(src, &data).unwrap();
+            let size = x * y * z;
+            let dst = ctx.gpu.malloc(size).unwrap();
+            let mut pos = 0;
+            mpi.pack(&mut ctx, src, 1, dt, dst, size, &mut pos).unwrap();
+            let out = ctx.gpu.memory().peek(dst, size).unwrap();
+            out
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-layer property tests: TEMPI's committed plans must denote exactly
+//! the bytes the MPI typemap semantics define, for arbitrary datatypes.
+
+mod common;
+
+use common::arb_typedesc;
+use mpi_sim::datatype::typemap::segments;
+use mpi_sim::{RankCtx, WorldConfig};
+use proptest::prelude::*;
+use tempi_core::config::TempiConfig;
+use tempi_core::tempi::{PlanKind, Tempi};
+
+fn ctx() -> RankCtx {
+    RankCtx::standalone(&WorldConfig::summit(1))
+}
+
+/// Merge adjacent-in-order contiguous runs (both the plan enumeration and
+/// the typemap oracle are normalized this way before comparison).
+fn normalize(runs: Vec<(i64, u64)>) -> Vec<(i64, u64)> {
+    let mut out: Vec<(i64, u64)> = Vec::new();
+    for (off, len) in runs {
+        if len == 0 {
+            continue;
+        }
+        if let Some(last) = out.last_mut() {
+            if last.0 + last.1 as i64 == off {
+                last.1 += len;
+                continue;
+            }
+        }
+        out.push((off, len));
+    }
+    out
+}
+
+/// Enumerate the byte runs a committed plan denotes, in plan order.
+fn plan_runs(plan: &tempi_core::TypePlan) -> Option<Vec<(i64, u64)>> {
+    match &plan.kind {
+        PlanKind::Empty => Some(Vec::new()),
+        PlanKind::Strided(kp) => {
+            let mut v = Vec::new();
+            let len = kp.sb.block_bytes() as u64;
+            kp.sb.for_each_block(|off| v.push((off, len)));
+            Some(v)
+        }
+        PlanKind::Blocks(bl) => Some(bl.blocks.clone()),
+        PlanKind::Fallback(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// THE invariant: for any datatype TEMPI accelerates, the committed
+    /// plan's block enumeration covers exactly the typemap's byte runs, in
+    /// the same order.
+    #[test]
+    fn committed_plan_equals_typemap_oracle(desc in arb_typedesc()) {
+        let mut ctx = ctx();
+        let mut tempi = Tempi::default();
+        let dt = desc.build(&mut ctx).unwrap();
+        let plan = tempi.type_commit(&mut ctx, dt).unwrap();
+        let Some(runs) = plan_runs(&plan) else {
+            // fallback plans delegate to the system MPI, which walks the
+            // typemap directly — nothing to compare
+            return Ok(());
+        };
+        let oracle: Vec<(i64, u64)> = {
+            let reg = ctx.registry().read();
+            segments(&reg, dt)
+                .unwrap()
+                .into_iter()
+                .map(|s| (s.off, s.len))
+                .collect()
+        };
+        prop_assert_eq!(normalize(runs), normalize(oracle));
+    }
+
+    /// Plan metadata is consistent: size equals the denoted bytes, and the
+    /// strided block geometry multiplies out.
+    #[test]
+    fn plan_metadata_consistent(desc in arb_typedesc()) {
+        let mut ctx = ctx();
+        let mut tempi = Tempi::default();
+        let dt = desc.build(&mut ctx).unwrap();
+        let plan = tempi.type_commit(&mut ctx, dt).unwrap();
+        let attrs = ctx.attrs(dt).unwrap();
+        prop_assert_eq!(plan.size, attrs.size);
+        prop_assert_eq!(plan.extent, attrs.extent());
+        if let PlanKind::Strided(kp) = &plan.kind {
+            prop_assert_eq!(kp.sb.data_bytes() as u64, plan.size);
+            prop_assert_eq!(
+                kp.sb.block_bytes() * kp.sb.block_count(),
+                kp.sb.data_bytes()
+            );
+            // word divides the block and every outer stride
+            let w = kp.word as i64;
+            prop_assert_eq!(kp.sb.block_bytes() % w, 0);
+            for &s in &kp.sb.strides[1..] {
+                prop_assert_eq!(s % w, 0);
+            }
+            // block dims within device limits
+            prop_assert!(kp.block.count() <= 1024);
+        }
+    }
+
+    /// Canonicalization never changes what a type denotes: plans with and
+    /// without it cover the same bytes (only the kernel parameterization
+    /// differs).
+    #[test]
+    fn canonicalization_preserves_semantics(desc in arb_typedesc()) {
+        let mut ctx = ctx();
+        let dt = desc.build(&mut ctx).unwrap();
+        let mut canon = Tempi::default();
+        let mut raw = Tempi::new(TempiConfig {
+            canonicalize: false,
+            ..TempiConfig::default()
+        });
+        let p1 = canon.type_commit(&mut ctx, dt).unwrap();
+        let p2 = raw.type_commit(&mut ctx, dt).unwrap();
+        // raw trees may fail StridedBlock conversion and fall back; that
+        // is allowed — semantics then come from the system MPI
+        if let (Some(a), Some(b)) = (plan_runs(&p1), plan_runs(&p2)) {
+            prop_assert_eq!(normalize(a), normalize(b));
+        }
+    }
+
+    /// Committing twice (same handle) is idempotent and returns the same
+    /// plan object.
+    #[test]
+    fn commit_idempotent(desc in arb_typedesc()) {
+        let mut ctx = ctx();
+        let mut tempi = Tempi::default();
+        let dt = desc.build(&mut ctx).unwrap();
+        let a = tempi.type_commit(&mut ctx, dt).unwrap();
+        let b = tempi.type_commit(&mut ctx, dt).unwrap();
+        prop_assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+}
