@@ -8,6 +8,11 @@
 //!                                              Fig. 6-style create/commit breakdown
 //! tempi-cli model <bytes> <block> [--word W] [--chunk C]
 //!                                              evaluate the §5 method models
+//! tempi-cli send "<spec>" [--incount N] [--method device|oneshot|staged]
+//!                [--faults "<plan>"]           2-rank send/recv, optionally
+//!                                              under a deterministic fault
+//!                                              plan; prints the degradation
+//!                                              log and fault statistics
 //! tempi-cli spec-help                          the spec mini-language
 //! ```
 //!
@@ -17,9 +22,11 @@
 mod spec;
 
 use gpu_sim::PackDir;
-use mpi_sim::{RankCtx, WorldConfig};
+use mpi_sim::datatype::pack_cpu;
+use mpi_sim::{FaultPlan, RankCtx, World, WorldConfig};
 use tempi_bench::{commit_breakdown, fmt_speedup, measure::unpack_time, pack_time, Mode, Platform};
-use tempi_core::config::TempiConfig;
+use tempi_core::config::{Method, TempiConfig};
+use tempi_core::interpose::InterposedMpi;
 use tempi_core::ir::strided_block::strided_block;
 use tempi_core::ir::transform::simplify;
 use tempi_core::ir::translate::{translate, Translated};
@@ -28,7 +35,7 @@ use tempi_core::tempi::{PlanKind, Tempi};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli spec-help"
+        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--faults \"<plan>\"]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
     );
     std::process::exit(2);
 }
@@ -59,6 +66,7 @@ fn main() {
         "pack" => pack(&args[1..]),
         "commit" => commit(&args[1..]),
         "model" => model(&args[1..]),
+        "send" => send(&args[1..]),
         "spec-help" => {
             println!("{}", SPEC_HELP);
         }
@@ -273,5 +281,125 @@ fn model(args: &[String]) {
         let t = m.t_pack(PackDir::Pack, gpu_sim::PackTarget::Device, bytes, b, word);
         let bar = "#".repeat(((t.as_us_f64().log10().max(0.0)) * 12.0) as usize);
         println!("  {b:>5} B  {t:>12}  {bar}");
+    }
+}
+
+/// Deterministic fill for the `send` subcommand's source buffer.
+fn fill(n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(7))
+        .collect()
+}
+
+fn send(args: &[String]) {
+    let Some(input) = args.first() else { usage() };
+    let input = input.clone();
+    let incount: usize = flag_value(args, "--incount")
+        .map(|v| v.parse().expect("--incount takes an integer"))
+        .unwrap_or(1);
+    let method = match flag_value(args, "--method").as_deref() {
+        None => None,
+        Some("device") => Some(Method::Device),
+        Some("oneshot") | Some("one-shot") => Some(Method::OneShot),
+        Some("staged") => Some(Method::Staged),
+        Some(other) => {
+            eprintln!("unknown method `{other}` (use device, oneshot or staged)");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = WorldConfig::summit(2);
+    cfg.net.ranks_per_node = 1;
+    if let Some(spec) = flag_value(args, "--faults") {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => cfg.faults = Some(plan),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let results = World::run(&cfg, |ctx| {
+        let mut mpi = InterposedMpi::new(TempiConfig {
+            force_method: method,
+            ..TempiConfig::default()
+        });
+        let dt = spec::build_str(&input, ctx)?;
+        mpi.type_commit(ctx, dt)?;
+        let a = ctx.attrs(dt)?;
+        let span =
+            (a.true_ub.max(a.ub) + (incount as i64 - 1) * a.extent().max(0)).max(1) as usize + 64;
+        let packed_len = a.size as usize * incount;
+        let buf = ctx.gpu.malloc(span)?;
+        let (label, ok) = if ctx.rank == 0 {
+            ctx.gpu.memory().poke(buf, &fill(span))?;
+            let m = mpi.send(ctx, buf, incount, dt, 1, 0)?;
+            (
+                m.map_or("system fall-through".to_string(), |m| format!("{m:?}")),
+                true,
+            )
+        } else {
+            let st = mpi.recv(ctx, buf, incount, dt, Some(0), Some(0))?;
+            // verify the typed bytes against the CPU pack oracle
+            let raw = ctx.gpu.memory().peek(buf, span)?;
+            let reg = ctx.registry().clone();
+            let reg = reg.read();
+            let mut got = vec![0u8; packed_len];
+            let mut pos = 0;
+            pack_cpu::pack(&reg, &raw, 0, incount, dt, &mut got, &mut pos)?;
+            let mut want = vec![0u8; packed_len];
+            let mut pos = 0;
+            pack_cpu::pack(&reg, &fill(span), 0, incount, dt, &mut want, &mut pos)?;
+            ("recv".to_string(), st.bytes == packed_len && got == want)
+        };
+        Ok((
+            label,
+            ok,
+            packed_len,
+            ctx.clock.now(),
+            ctx.faults.stats.clone(),
+        ))
+    });
+    let results = match results {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "world         : 2 ranks, rank 0 -> rank 1, {}",
+        if cfg.faults.is_some() {
+            "fault plan active"
+        } else {
+            "fault-free"
+        }
+    );
+    println!("send method   : {}", results[0].0);
+    println!(
+        "payload       : {} packed bytes — {}",
+        results[1].2,
+        if results[1].1 {
+            "verified against the CPU pack oracle"
+        } else {
+            "MISMATCH vs the CPU pack oracle"
+        }
+    );
+    for (rank, (_, _, _, clock, stats)) in results.iter().enumerate() {
+        println!(
+            "rank {rank}        : clock {clock}, send faults {}, recv faults {}, retries {} (backoff {}), delays {} (+{}), peer-gone {}",
+            stats.send_faults,
+            stats.recv_faults,
+            stats.retries,
+            stats.backoff_time,
+            stats.delays,
+            stats.delay_time,
+            stats.peer_gone
+        );
+        for ev in &stats.events {
+            println!("  degrade     : {ev}");
+        }
+    }
+    if !results[1].1 {
+        std::process::exit(1);
     }
 }

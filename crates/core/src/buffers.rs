@@ -26,12 +26,13 @@ impl BufferPool {
         Self::default()
     }
 
-    fn list(&mut self, space: MemSpace) -> &mut Vec<(GpuPtr, usize)> {
+    fn list(&mut self, space: MemSpace) -> Option<&mut Vec<(GpuPtr, usize)>> {
         match space {
-            MemSpace::Device => &mut self.device,
-            MemSpace::Mapped => &mut self.mapped,
-            MemSpace::Pinned => &mut self.pinned,
-            MemSpace::Host => unreachable!("pool never manages pageable host buffers"),
+            MemSpace::Device => Some(&mut self.device),
+            MemSpace::Mapped => Some(&mut self.mapped),
+            MemSpace::Pinned => Some(&mut self.pinned),
+            // The pool never manages pageable host buffers.
+            MemSpace::Host => None,
         }
     }
 
@@ -44,7 +45,11 @@ impl BufferPool {
         space: MemSpace,
         len: usize,
     ) -> MpiResult<(GpuPtr, usize)> {
-        let list = self.list(space);
+        let Some(list) = self.list(space) else {
+            return Err(mpi_sim::MpiError::InvalidArg(
+                "the buffer pool does not manage pageable host buffers".to_string(),
+            ));
+        };
         // best fit: smallest pooled buffer that is large enough
         let mut best: Option<usize> = None;
         for (i, &(_, sz)) in list.iter().enumerate() {
@@ -61,14 +66,22 @@ impl BufferPool {
             MemSpace::Device => ctx.gpu.malloc(len)?,
             MemSpace::Mapped => ctx.gpu.mapped_alloc(len)?,
             MemSpace::Pinned => ctx.gpu.pinned_alloc(len)?,
-            MemSpace::Host => unreachable!(),
+            MemSpace::Host => {
+                return Err(mpi_sim::MpiError::InvalidArg(
+                    "the buffer pool does not manage pageable host buffers".to_string(),
+                ))
+            }
         };
         Ok((ptr, len))
     }
 
-    /// Return a buffer taken with [`BufferPool::take`].
+    /// Return a buffer taken with [`BufferPool::take`]. Buffers in spaces
+    /// the pool does not manage are silently dropped (it never hands such
+    /// buffers out, so nothing is lost).
     pub fn put(&mut self, ptr: GpuPtr, size: usize) {
-        self.list(ptr.space).push((ptr, size));
+        if let Some(list) = self.list(ptr.space) {
+            list.push((ptr, size));
+        }
     }
 
     /// Number of buffers currently pooled across all spaces.

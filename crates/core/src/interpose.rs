@@ -284,19 +284,17 @@ pub fn system_pack(
         return Err(MpiError::NotCommitted);
     }
     let reg = ctx.registry().clone();
-    let (segs, attrs, root_is_vector) = {
+    let (segs, attrs, envelope) = {
         let reg = reg.read();
-        (
-            segments(&reg, dt)?,
-            reg.attrs(dt)?,
-            matches!(reg.get_envelope(dt)?.combiner, Combiner::Vector),
-        )
+        (segments(&reg, dt)?, reg.attrs(dt)?, reg.get_envelope(dt)?)
     };
+    let root_is_vector = matches!(envelope.combiner, Combiner::Vector);
     let bytes = attrs.size as usize * incount;
     if *position + bytes > outsize {
         return Err(MpiError::BufferTooSmall {
             required: *position + bytes,
             available: outsize,
+            envelope: Some(envelope),
         });
     }
     if inbuf.space.device_accessible() && outbuf.space.device_accessible() {
@@ -354,19 +352,17 @@ pub fn system_unpack(
         return Err(MpiError::NotCommitted);
     }
     let reg = ctx.registry().clone();
-    let (segs, attrs, root_is_vector) = {
+    let (segs, attrs, envelope) = {
         let reg = reg.read();
-        (
-            segments(&reg, dt)?,
-            reg.attrs(dt)?,
-            matches!(reg.get_envelope(dt)?.combiner, Combiner::Vector),
-        )
+        (segments(&reg, dt)?, reg.attrs(dt)?, reg.get_envelope(dt)?)
     };
+    let root_is_vector = matches!(envelope.combiner, Combiner::Vector);
     let bytes = attrs.size as usize * outcount;
     if *position + bytes > insize {
         return Err(MpiError::BufferTooSmall {
             required: *position + bytes,
             available: insize,
+            envelope: Some(envelope),
         });
     }
     if inbuf.space.device_accessible() && outbuf.space.device_accessible() {

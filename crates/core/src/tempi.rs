@@ -7,12 +7,12 @@
 //! selection (Alg. 8 + §3.3) — and caches the resulting [`TypePlan`].
 //! Pack/unpack and send/recv then dispatch on the cached plan.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use gpu_sim::{GpuPtr, MemSpace, PackDir, SimTime};
 use mpi_sim::datatype::typemap::segments;
-use mpi_sim::{Combiner, Datatype, MpiError, MpiResult, RankCtx, Status};
+use mpi_sim::{Combiner, Datatype, DegradeEvent, MpiError, MpiResult, RankCtx, Status};
 use serde::{Deserialize, Serialize};
 
 use crate::buffers::BufferPool;
@@ -128,6 +128,34 @@ pub struct TempiStats {
     pub pipelined_recvs: u64,
     /// Operations that fell through to the system MPI.
     pub fallbacks: u64,
+    /// Sends that were downgraded to a different method after a transient
+    /// failure (each also appends a [`DegradeEvent`] to the rank's log).
+    pub degraded_sends: u64,
+    /// Pack/unpack operations whose kernel path was downgraded to the CPU
+    /// copy path after a transient failure.
+    pub degraded_xfers: u64,
+}
+
+/// Human-readable method name for degradation events.
+fn method_name(m: Method) -> &'static str {
+    match m {
+        Method::Device => "Device",
+        Method::OneShot => "OneShot",
+        Method::Staged => "Staged",
+        Method::Pipelined => "Pipelined",
+    }
+}
+
+/// Append one downgrade to the rank's degradation-event log.
+fn record_degrade(ctx: &mut RankCtx, dt: Datatype, from: &str, to: &str, err: &MpiError) {
+    let ev = DegradeEvent {
+        at: ctx.clock.now(),
+        datatype: ctx.describe(dt),
+        from: from.to_string(),
+        to: to.to_string(),
+        cause: err.to_string(),
+    };
+    ctx.faults.stats.record(ev);
 }
 
 /// Per-rank TEMPI library state.
@@ -139,6 +167,12 @@ pub struct Tempi {
     /// Operation counters.
     pub stats: TempiStats,
     cache: HashMap<Datatype, Arc<TypePlan>>,
+    /// Send methods that failed transiently for a datatype; subsequent
+    /// sends of that type skip them (part of the degradation ladder).
+    quarantine: HashSet<(Datatype, Method)>,
+    /// Datatypes whose kernel pack/unpack path failed transiently;
+    /// subsequent pack/unpack calls go straight to the CPU copy path.
+    pack_quarantine: HashSet<Datatype>,
 }
 
 impl Default for Tempi {
@@ -155,7 +189,14 @@ impl Tempi {
             pool: BufferPool::new(),
             stats: TempiStats::default(),
             cache: HashMap::new(),
+            quarantine: HashSet::new(),
+            pack_quarantine: HashSet::new(),
         }
+    }
+
+    /// Is `method` quarantined for `dt` (a previous transient failure)?
+    pub fn is_quarantined(&self, dt: Datatype, method: Method) -> bool {
+        self.quarantine.contains(&(dt, method))
     }
 
     /// The cached plan for a committed type, if any.
@@ -331,6 +372,7 @@ impl Tempi {
             return Err(MpiError::BufferTooSmall {
                 required: *position + bytes,
                 available: packed_size,
+                envelope: ctx.registry().read().get_envelope(dt).ok(),
             });
         }
         if bytes == 0 {
@@ -340,42 +382,93 @@ impl Tempi {
         let strided_dev = strided.space.device_accessible();
         let packed_dev = packed.space.device_accessible();
 
-        if strided_dev && packed_dev {
-            self.gpu_xfer(ctx, dir, &plan, strided, count, dt, packed, *position)?;
-            *position += bytes;
-            return Ok(());
-        }
-
-        if strided_dev && !packed_dev {
-            // Strided data on the GPU, contiguous side in plain host
-            // memory: run the kernel into a pooled device buffer, then a
-            // single engine copy across (or the reverse for unpack).
-            let (tmp, sz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
-            match dir {
-                PackDir::Pack => {
-                    self.gpu_xfer(ctx, dir, &plan, strided, count, dt, tmp, 0)?;
-                    ctx.stream
-                        .memcpy_async(&mut ctx.clock, packed.add(*position), tmp, bytes)
-                        .map_err(MpiError::Gpu)?;
-                    ctx.stream.synchronize(&mut ctx.clock);
+        if strided_dev && !self.pack_quarantine.contains(&dt) {
+            let r = if packed_dev {
+                self.gpu_xfer(ctx, dir, &plan, strided, count, dt, packed, *position)
+            } else {
+                self.staged_host_xfer(
+                    ctx, dir, &plan, strided, count, dt, packed, *position, bytes,
+                )
+            };
+            match r {
+                Ok(()) => {
+                    *position += bytes;
+                    return Ok(());
                 }
-                PackDir::Unpack => {
-                    ctx.stream
-                        .memcpy_async(&mut ctx.clock, tmp, packed.add(*position), bytes)
-                        .map_err(MpiError::Gpu)?;
-                    ctx.stream.synchronize(&mut ctx.clock);
-                    self.gpu_xfer(ctx, dir, &plan, strided, count, dt, tmp, 0)?;
+                Err(e) if e.is_transient() => {
+                    // Kernel path hit an injected GPU fault: quarantine it
+                    // for this datatype and fall back to the CPU copy path,
+                    // which touches no GPU resources.
+                    self.pack_quarantine.insert(dt);
+                    self.stats.degraded_xfers += 1;
+                    record_degrade(ctx, dt, "Kernel", "HostCopy", &e);
                 }
+                Err(e) => return Err(e),
             }
-            self.pool.put(tmp, sz);
-            *position += bytes;
-            return Ok(());
         }
 
-        // Host-side strided data: CPU pack/unpack (the system MPI path —
-        // TEMPI does not accelerate host-resident datatypes).
+        // Host-side strided data (or a quarantined kernel path): CPU
+        // pack/unpack, as the system MPI would do — TEMPI does not
+        // accelerate host-resident datatypes.
         self.host_xfer(ctx, dir, &plan, strided, count, dt, packed, *position)?;
         *position += bytes;
+        Ok(())
+    }
+
+    /// Kernel pack/unpack when the contiguous side lives in plain host
+    /// memory: run the kernel against a pooled device buffer and bridge
+    /// with a single engine copy (reversed for unpack).
+    #[allow(clippy::too_many_arguments)]
+    fn staged_host_xfer(
+        &mut self,
+        ctx: &mut RankCtx,
+        dir: PackDir,
+        plan: &TypePlan,
+        strided: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        packed: GpuPtr,
+        packed_off: usize,
+        bytes: usize,
+    ) -> MpiResult<()> {
+        let (tmp, sz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
+        let r = self.staged_host_xfer_body(
+            ctx, dir, plan, strided, count, dt, packed, packed_off, bytes, tmp,
+        );
+        self.pool.put(tmp, sz);
+        r
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn staged_host_xfer_body(
+        &mut self,
+        ctx: &mut RankCtx,
+        dir: PackDir,
+        plan: &TypePlan,
+        strided: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        packed: GpuPtr,
+        packed_off: usize,
+        bytes: usize,
+        tmp: GpuPtr,
+    ) -> MpiResult<()> {
+        match dir {
+            PackDir::Pack => {
+                self.gpu_xfer(ctx, dir, plan, strided, count, dt, tmp, 0)?;
+                ctx.stream
+                    .memcpy_async(&mut ctx.clock, packed.add(packed_off), tmp, bytes)
+                    .map_err(MpiError::Gpu)?;
+                ctx.stream.synchronize(&mut ctx.clock);
+            }
+            PackDir::Unpack => {
+                ctx.stream
+                    .memcpy_async(&mut ctx.clock, tmp, packed.add(packed_off), bytes)
+                    .map_err(MpiError::Gpu)?;
+                ctx.stream.synchronize(&mut ctx.clock);
+                self.gpu_xfer(ctx, dir, plan, strided, count, dt, tmp, 0)?;
+            }
+        }
         Ok(())
     }
 
@@ -656,7 +749,9 @@ impl Tempi {
             if method == Method::Pipelined && !viable {
                 method = Method::Staged;
             } else if self.config.force_method.is_none() && viable {
-                let chunk = self.config.pipeline_chunk.expect("viable implies set");
+                let chunk = self.config.pipeline_chunk.ok_or_else(|| {
+                    MpiError::Internal("pipeline viability computed without a chunk size".into())
+                })?;
                 let m = self.send_model(ctx, dest);
                 let current = match method {
                     Method::Device => m.t_device(bytes, plan.block_bytes(), plan.word()).total(),
@@ -667,101 +762,236 @@ impl Tempi {
                 }
             }
         }
-        match method {
-            Method::Device => {
-                self.stats.device_sends += 1;
-                let (tmp, sz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
-                self.gpu_xfer(ctx, PackDir::Pack, &plan, buf, count, dt, tmp, 0)?;
-                ctx.send_bytes(tmp, bytes, dest, tag)?;
-                self.pool.put(tmp, sz);
-            }
-            Method::Pipelined => {
-                // §8 extension: chunked staged pipeline. Each chunk is
-                // packed by an async kernel into a device staging buffer,
-                // copied D2H by the engine, and its message departs when
-                // that copy completes on the GPU timeline — so kernel k+1
-                // and copy k+1 overlap chunk k's wire time.
-                let Some(chunk) = self.config.pipeline_chunk else {
-                    return Err(MpiError::InvalidArg(
-                        "pipelined method requires pipeline_chunk".to_string(),
-                    ));
-                };
-                let PlanKind::Strided(kp) = &plan.kind else {
-                    return Err(MpiError::Internal(
-                        "pipelined send needs a strided plan".to_string(),
-                    ));
-                };
-                let kp = kp.clone();
-                let block_len = kp.sb.block_bytes() as usize;
-                let total_blocks = kp.sb.block_count() * count as i64;
-                let blocks_per_chunk = (chunk / block_len).max(1) as i64;
-                let nparts = (total_blocks + blocks_per_chunk - 1) / blocks_per_chunk;
-                let (dev, dsz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
-                let (pin, psz) = self.pool.take(ctx, MemSpace::Pinned, bytes)?;
-                let mut first = 0i64;
-                let mut off = 0usize;
-                let mut index = 0u32;
-                while first < total_blocks {
-                    let n = blocks_per_chunk.min(total_blocks - first);
-                    let len = n as usize * block_len;
-                    crate::kernels::execute_strided_range_async(
-                        &kp,
-                        &mut ctx.stream,
-                        &mut ctx.clock,
-                        PackDir::Pack,
-                        buf,
-                        plan.extent,
-                        dev,
-                        off,
-                        first,
-                        n,
-                    )?;
-                    // D2H of this chunk queues after its pack kernel
-                    ctx.stream
-                        .memcpy_async(&mut ctx.clock, pin.add(off), dev.add(off), len)
-                        .map_err(MpiError::Gpu)?;
-                    let ready = ctx.stream.busy_until();
-                    ctx.send_bytes_part(
-                        pin.add(off),
-                        len,
-                        dest,
-                        tag,
-                        ready,
-                        mpi_sim::PartInfo {
-                            index,
-                            total: nparts as u32,
-                        },
-                    )?;
-                    first += n;
-                    off += len;
-                    index += 1;
+        if method == Method::Pipelined {
+            // Mid-pipeline degradation is unsafe — the receiver has already
+            // seen parts and expects the rest — so the pipelined method is
+            // not a rung on the ladder; its errors propagate.
+            self.send_pipelined(ctx, &plan, buf, count, dt, dest, tag, bytes)?;
+            return Ok(Some(Method::Pipelined));
+        }
+
+        // Degradation ladder (most GPU-dependent first). Start at the
+        // chosen method, skip quarantined rungs, and on a transient
+        // failure step down; past the last rung, fall through to the
+        // system MPI, which needs no TEMPI resources at all.
+        let rungs: Vec<Method> = [Method::Device, Method::OneShot, Method::Staged]
+            .into_iter()
+            .skip_while(|&m| m != method)
+            .filter(|&m| !self.quarantine.contains(&(dt, m)))
+            .collect();
+        let mut idx = 0usize;
+        loop {
+            let Some(&current) = rungs.get(idx) else {
+                // Ladder exhausted (or every rung quarantined): system MPI.
+                self.stats.fallbacks += 1;
+                ctx.send(buf, count, dt, dest, tag)?;
+                return Ok(None);
+            };
+            match self.send_via(ctx, current, &plan, bytes, buf, count, dt, dest, tag) {
+                Ok(()) => return Ok(Some(current)),
+                Err(e) if e.is_transient() => {
+                    self.quarantine.insert((dt, current));
+                    self.stats.degraded_sends += 1;
+                    let to = rungs.get(idx + 1).map_or("SystemMpi", |&m| method_name(m));
+                    record_degrade(ctx, dt, method_name(current), to, &e);
+                    idx += 1;
                 }
-                self.stats.pipelined_sends += 1;
-                self.pool.put(dev, dsz);
-                self.pool.put(pin, psz);
-            }
-            Method::OneShot => {
-                self.stats.oneshot_sends += 1;
-                let (tmp, sz) = self.pool.take(ctx, MemSpace::Mapped, bytes)?;
-                self.gpu_xfer(ctx, PackDir::Pack, &plan, buf, count, dt, tmp, 0)?;
-                ctx.send_bytes(tmp, bytes, dest, tag)?;
-                self.pool.put(tmp, sz);
-            }
-            Method::Staged => {
-                self.stats.staged_sends += 1;
-                let (dev, dsz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
-                let (pin, psz) = self.pool.take(ctx, MemSpace::Pinned, bytes)?;
-                self.gpu_xfer(ctx, PackDir::Pack, &plan, buf, count, dt, dev, 0)?;
-                ctx.stream
-                    .memcpy_async(&mut ctx.clock, pin, dev, bytes)
-                    .map_err(MpiError::Gpu)?;
-                ctx.stream.synchronize(&mut ctx.clock);
-                ctx.send_bytes(pin, bytes, dest, tag)?;
-                self.pool.put(dev, dsz);
-                self.pool.put(pin, psz);
+                Err(e) => return Err(e),
             }
         }
-        Ok(Some(method))
+    }
+
+    /// One rung of the send ladder: pack with `method`'s buffer space and
+    /// ship. Pool buffers are returned even on failure so a degraded rung
+    /// leaks nothing. Per-method stats count successes only.
+    #[allow(clippy::too_many_arguments)]
+    fn send_via(
+        &mut self,
+        ctx: &mut RankCtx,
+        method: Method,
+        plan: &Arc<TypePlan>,
+        bytes: usize,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<()> {
+        match method {
+            Method::Device | Method::OneShot => {
+                let space = if method == Method::Device {
+                    MemSpace::Device
+                } else {
+                    MemSpace::Mapped
+                };
+                let (tmp, sz) = self.pool.take(ctx, space, bytes)?;
+                let r = self.pack_and_ship(ctx, plan, buf, count, dt, tmp, bytes, dest, tag);
+                self.pool.put(tmp, sz);
+                r?;
+                if method == Method::Device {
+                    self.stats.device_sends += 1;
+                } else {
+                    self.stats.oneshot_sends += 1;
+                }
+            }
+            Method::Staged => {
+                let (dev, dsz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
+                let pin = match self.pool.take(ctx, MemSpace::Pinned, bytes) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.pool.put(dev, dsz);
+                        return Err(e);
+                    }
+                };
+                let (pin, psz) = pin;
+                let r =
+                    self.staged_send_body(ctx, plan, buf, count, dt, dev, pin, bytes, dest, tag);
+                self.pool.put(dev, dsz);
+                self.pool.put(pin, psz);
+                r?;
+                self.stats.staged_sends += 1;
+            }
+            Method::Pipelined => {
+                return Err(MpiError::Internal(
+                    "pipelined is not a ladder rung".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pack into `tmp` with the kernel path and send it as raw bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn pack_and_ship(
+        &mut self,
+        ctx: &mut RankCtx,
+        plan: &Arc<TypePlan>,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        tmp: GpuPtr,
+        bytes: usize,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.gpu_xfer(ctx, PackDir::Pack, plan, buf, count, dt, tmp, 0)?;
+        ctx.send_bytes(tmp, bytes, dest, tag)
+    }
+
+    /// Staged rung body: kernel pack into `dev`, engine D2H into `pin`,
+    /// then ship the pinned buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn staged_send_body(
+        &mut self,
+        ctx: &mut RankCtx,
+        plan: &Arc<TypePlan>,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        dev: GpuPtr,
+        pin: GpuPtr,
+        bytes: usize,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<()> {
+        self.gpu_xfer(ctx, PackDir::Pack, plan, buf, count, dt, dev, 0)?;
+        ctx.stream
+            .memcpy_async(&mut ctx.clock, pin, dev, bytes)
+            .map_err(MpiError::Gpu)?;
+        ctx.stream.synchronize(&mut ctx.clock);
+        ctx.send_bytes(pin, bytes, dest, tag)
+    }
+
+    /// §8 extension: chunked staged pipeline. Each chunk is packed by an
+    /// async kernel into a device staging buffer, copied D2H by the engine,
+    /// and its message departs when that copy completes on the GPU timeline
+    /// — so kernel k+1 and copy k+1 overlap chunk k's wire time.
+    #[allow(clippy::too_many_arguments)]
+    fn send_pipelined(
+        &mut self,
+        ctx: &mut RankCtx,
+        plan: &Arc<TypePlan>,
+        buf: GpuPtr,
+        count: usize,
+        _dt: Datatype,
+        dest: usize,
+        tag: i32,
+        bytes: usize,
+    ) -> MpiResult<()> {
+        let Some(chunk) = self.config.pipeline_chunk else {
+            return Err(MpiError::InvalidArg(
+                "pipelined method requires pipeline_chunk".to_string(),
+            ));
+        };
+        let PlanKind::Strided(kp) = &plan.kind else {
+            return Err(MpiError::Internal(
+                "pipelined send needs a strided plan".to_string(),
+            ));
+        };
+        let kp = kp.clone();
+        let block_len = kp.sb.block_bytes() as usize;
+        let total_blocks = kp.sb.block_count() * count as i64;
+        let blocks_per_chunk = (chunk / block_len).max(1) as i64;
+        let nparts = (total_blocks + blocks_per_chunk - 1) / blocks_per_chunk;
+        let (dev, dsz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
+        let pin = match self.pool.take(ctx, MemSpace::Pinned, bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                self.pool.put(dev, dsz);
+                return Err(e);
+            }
+        };
+        let (pin, psz) = pin;
+        let extent = plan.extent;
+        // The chunk loop touches only `ctx`, so an immediately-invoked
+        // closure scopes its `?`s and lets the pool buffers be returned on
+        // every path.
+        let r = (|| -> MpiResult<()> {
+            let mut first = 0i64;
+            let mut off = 0usize;
+            let mut index = 0u32;
+            while first < total_blocks {
+                let n = blocks_per_chunk.min(total_blocks - first);
+                let len = n as usize * block_len;
+                crate::kernels::execute_strided_range_async(
+                    &kp,
+                    &mut ctx.stream,
+                    &mut ctx.clock,
+                    PackDir::Pack,
+                    buf,
+                    extent,
+                    dev,
+                    off,
+                    first,
+                    n,
+                )?;
+                // D2H of this chunk queues after its pack kernel
+                ctx.stream
+                    .memcpy_async(&mut ctx.clock, pin.add(off), dev.add(off), len)
+                    .map_err(MpiError::Gpu)?;
+                let ready = ctx.stream.busy_until();
+                ctx.send_bytes_part(
+                    pin.add(off),
+                    len,
+                    dest,
+                    tag,
+                    ready,
+                    mpi_sim::PartInfo {
+                        index,
+                        total: nparts as u32,
+                    },
+                )?;
+                first += n;
+                off += len;
+                index += 1;
+            }
+            Ok(())
+        })();
+        self.pool.put(dev, dsz);
+        self.pool.put(pin, psz);
+        r?;
+        self.stats.pipelined_sends += 1;
+        Ok(())
     }
 
     /// TEMPI's `MPI_Recv`. Probes the matched message to learn the
@@ -797,6 +1027,7 @@ impl Tempi {
             return Err(MpiError::Truncated {
                 sent: info.bytes,
                 capacity,
+                envelope: ctx.registry().read().get_envelope(dt).ok(),
             });
         }
         let items = if plan.size == 0 {
@@ -811,26 +1042,82 @@ impl Tempi {
             _ => (MemSpace::Mapped, Method::OneShot),
         };
         let (tmp, sz) = self.pool.take(ctx, space, info.bytes)?;
-        let st = ctx.recv_bytes(tmp, info.bytes, Some(info.source), Some(info.tag))?;
+        let st = match ctx.recv_bytes(tmp, info.bytes, Some(info.source), Some(info.tag)) {
+            Ok(st) => st,
+            Err(e) => {
+                self.pool.put(tmp, sz);
+                return Err(e);
+            }
+        };
+        // Unpack ladder: a quarantined (or transiently failing) kernel path
+        // degrades to the CPU copy path, which reads the staging buffer
+        // with host-side accessors and touches no further GPU resources.
+        let r = if self.pack_quarantine.contains(&dt) {
+            self.host_xfer(ctx, PackDir::Unpack, &plan, buf, items, dt, tmp, 0)
+        } else {
+            match self.unpack_payload(ctx, method, &plan, buf, items, dt, tmp, info.bytes) {
+                Ok(()) => Ok(()),
+                Err(e) if e.is_transient() => {
+                    self.pack_quarantine.insert(dt);
+                    self.stats.degraded_xfers += 1;
+                    record_degrade(ctx, dt, method_name(method), "HostCopy", &e);
+                    self.host_xfer(ctx, PackDir::Unpack, &plan, buf, items, dt, tmp, 0)
+                }
+                Err(e) => Err(e),
+            }
+        };
+        self.pool.put(tmp, sz);
+        r?;
+        Ok((st, Some(method)))
+    }
+
+    /// Kernel-path unpack of a received payload, chosen by the sender's
+    /// buffer space. Pool buffers are returned even on failure.
+    #[allow(clippy::too_many_arguments)]
+    fn unpack_payload(
+        &mut self,
+        ctx: &mut RankCtx,
+        method: Method,
+        plan: &Arc<TypePlan>,
+        buf: GpuPtr,
+        items: usize,
+        dt: Datatype,
+        tmp: GpuPtr,
+        bytes: usize,
+    ) -> MpiResult<()> {
         match method {
             Method::Device | Method::OneShot => {
-                self.gpu_xfer(ctx, PackDir::Unpack, &plan, buf, items, dt, tmp, 0)?;
-                self.pool.put(tmp, sz);
+                self.gpu_xfer(ctx, PackDir::Unpack, plan, buf, items, dt, tmp, 0)
             }
             Method::Staged | Method::Pipelined => {
                 // non-part-tagged pinned payload: plain staged unpack
                 // (a true pipelined transfer is handled by recv_pipelined)
-                let (dev, dsz) = self.pool.take(ctx, MemSpace::Device, info.bytes)?;
-                ctx.stream
-                    .memcpy_async(&mut ctx.clock, dev, tmp, info.bytes)
-                    .map_err(MpiError::Gpu)?;
-                ctx.stream.synchronize(&mut ctx.clock);
-                self.gpu_xfer(ctx, PackDir::Unpack, &plan, buf, items, dt, dev, 0)?;
+                let (dev, dsz) = self.pool.take(ctx, MemSpace::Device, bytes)?;
+                let r = self.staged_unpack_body(ctx, plan, buf, items, dt, tmp, dev, bytes);
                 self.pool.put(dev, dsz);
-                self.pool.put(tmp, sz);
+                r
             }
         }
-        Ok((st, Some(method)))
+    }
+
+    /// Staged unpack body: engine H2D into `dev`, then kernel unpack.
+    #[allow(clippy::too_many_arguments)]
+    fn staged_unpack_body(
+        &mut self,
+        ctx: &mut RankCtx,
+        plan: &Arc<TypePlan>,
+        buf: GpuPtr,
+        items: usize,
+        dt: Datatype,
+        tmp: GpuPtr,
+        dev: GpuPtr,
+        bytes: usize,
+    ) -> MpiResult<()> {
+        ctx.stream
+            .memcpy_async(&mut ctx.clock, dev, tmp, bytes)
+            .map_err(MpiError::Gpu)?;
+        ctx.stream.synchronize(&mut ctx.clock);
+        self.gpu_xfer(ctx, PackDir::Unpack, plan, buf, items, dt, dev, 0)
     }
 
     /// Consume a pipelined multi-part transfer: receive each chunk into a
@@ -850,7 +1137,37 @@ impl Tempi {
     ) -> MpiResult<Status> {
         let capacity = plan.size as usize * count;
         let (pin, psz) = self.pool.take(ctx, MemSpace::Pinned, capacity)?;
-        let (tmp, sz) = self.pool.take(ctx, MemSpace::Device, capacity)?;
+        let tmp = match self.pool.take(ctx, MemSpace::Device, capacity) {
+            Ok(t) => t,
+            Err(e) => {
+                self.pool.put(pin, psz);
+                return Err(e);
+            }
+        };
+        let (tmp, sz) = tmp;
+        let r = self.recv_pipelined_body(ctx, buf, dt, plan, &info, &part, pin, tmp, capacity);
+        self.pool.put(tmp, sz);
+        self.pool.put(pin, psz);
+        let st = r?;
+        self.stats.pipelined_recvs += 1;
+        Ok(st)
+    }
+
+    /// The chunk loop of [`Tempi::recv_pipelined`], split out so the pool
+    /// buffers can be returned on every exit path.
+    #[allow(clippy::too_many_arguments)]
+    fn recv_pipelined_body(
+        &mut self,
+        ctx: &mut RankCtx,
+        buf: GpuPtr,
+        dt: Datatype,
+        plan: &TypePlan,
+        info: &mpi_sim::ProbeInfo,
+        part: &mpi_sim::PartInfo,
+        pin: GpuPtr,
+        tmp: GpuPtr,
+        capacity: usize,
+    ) -> MpiResult<Status> {
         let mut received = 0usize;
         let mut per_chunk_unpack: Option<(KernelPlan, i64)> = match &plan.kind {
             PlanKind::Strided(kp) if kp.sb.block_bytes() > 0 => {
@@ -909,6 +1226,7 @@ impl Tempi {
             return Err(MpiError::Truncated {
                 sent: received,
                 capacity,
+                envelope: ctx.registry().read().get_envelope(dt).ok(),
             });
         }
         if per_chunk_unpack.is_some() {
@@ -922,9 +1240,6 @@ impl Tempi {
             };
             self.gpu_xfer(ctx, PackDir::Unpack, plan, buf, items, dt, tmp, 0)?;
         }
-        self.pool.put(tmp, sz);
-        self.pool.put(pin, psz);
-        self.stats.pipelined_recvs += 1;
         Ok(Status {
             source: last.source,
             tag: last.tag,
@@ -1550,9 +1865,11 @@ mod tests {
     }
 
     #[test]
-    fn send_fails_cleanly_on_device_oom() {
-        // a device too small for the intermediate buffer: the pool's
-        // allocation error must surface as Gpu(OutOfMemory), not a panic
+    fn send_degrades_to_oneshot_on_device_oom() {
+        // a device too small for the intermediate buffer: the ladder must
+        // step Device -> OneShot (mapped host memory needs no device
+        // bytes), log exactly one downgrade, and quarantine Device so the
+        // second send goes straight to OneShot without a new event
         let mut cfg = WorldConfig::summit(2);
         cfg.net.ranks_per_node = 1;
         cfg.device.global_mem_bytes = 160 << 10; // 160 KiB device
@@ -1563,19 +1880,29 @@ mod tests {
             });
             let dt = ctx.type_vector(1024, 64, 128, MPI_BYTE)?; // 64 KiB data
             tempi.type_commit(ctx, dt)?;
+            let buf = ctx.gpu.malloc(128 << 10)?; // leaves only 32 KiB free
             if ctx.rank == 0 {
-                let buf = ctx.gpu.malloc(128 << 10)?; // leaves only 32 KiB free
-                let r = tempi.send(ctx, buf, 1, dt, 1, 0);
-                Ok(matches!(
-                    r,
-                    Err(MpiError::Gpu(gpu_sim::GpuError::OutOfMemory { .. }))
-                ))
+                let m1 = tempi.send(ctx, buf, 1, dt, 1, 0)?;
+                let logged = ctx.faults.stats.events.len() == 1
+                    && ctx.faults.stats.events[0].from == "Device"
+                    && ctx.faults.stats.events[0].to == "OneShot";
+                let m2 = tempi.send(ctx, buf, 1, dt, 1, 1)?;
+                Ok(m1 == Some(Method::OneShot)
+                    && m2 == Some(Method::OneShot)
+                    && logged
+                    && ctx.faults.stats.events.len() == 1 // quarantine is silent
+                    && tempi.stats.degraded_sends == 1)
             } else {
-                Ok(true) // nothing arrives; just exit
+                let (st1, m1) = tempi.recv(ctx, buf, 1, dt, Some(0), Some(0))?;
+                let (st2, _) = tempi.recv(ctx, buf, 1, dt, Some(0), Some(1))?;
+                Ok(st1.bytes == (64 << 10)
+                    && st2.bytes == (64 << 10)
+                    && m1 == Some(Method::OneShot))
             }
         })
         .unwrap();
-        assert!(results[0], "OOM must propagate as an error");
+        assert!(results[0], "rank 0 must degrade Device -> OneShot cleanly");
+        assert!(results[1], "rank 1 must receive both degraded sends");
     }
 
     #[test]

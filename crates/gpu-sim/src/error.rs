@@ -59,6 +59,36 @@ pub enum GpuError {
         /// Underlying error.
         source: Box<GpuError>,
     },
+    /// An asynchronous stream operation (kernel launch or copy) failed
+    /// transiently — the class of driver/stream hiccup the fault injector
+    /// models. Real CUDA surfaces these as sticky stream errors; the
+    /// simulator keeps them per-operation so callers can retry or degrade.
+    StreamFault {
+        /// The operation that failed (kernel name or copy primitive).
+        op: String,
+    },
+}
+
+impl GpuError {
+    /// Is this error *transient* — a resource-pressure or stream condition
+    /// that a caller may reasonably retry or degrade around — rather than
+    /// a program error?
+    ///
+    /// Transient: [`GpuError::OutOfMemory`] (device pressure can subside
+    /// when staging buffers are returned, and a smaller/host-side path can
+    /// be chosen instead) and [`GpuError::StreamFault`] (injected async
+    /// hiccups). A [`GpuError::KernelFault`] inherits the classification
+    /// of its source. Everything else — bad pointers, out-of-bounds,
+    /// space violations, bad launch geometry — is a program error and
+    /// must propagate.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GpuError::OutOfMemory { .. } | GpuError::StreamFault { .. } => true,
+            GpuError::KernelFault { source, .. } => source.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for GpuError {
@@ -99,6 +129,9 @@ impl fmt::Display for GpuError {
             }
             GpuError::KernelFault { kernel, source } => {
                 write!(f, "fault in kernel `{kernel}`: {source}")
+            }
+            GpuError::StreamFault { op } => {
+                write!(f, "transient stream fault in `{op}`")
             }
         }
     }

@@ -44,6 +44,7 @@ pub mod clock;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod stream;
@@ -52,6 +53,7 @@ pub use clock::{SimClock, SimStopwatch, SimTime};
 pub use cost::{CopyKind, GpuCostModel, PackDir, PackTarget};
 pub use device::DeviceProps;
 pub use error::{GpuError, GpuResult};
+pub use fault::{GpuFaultInjector, GpuFaultSite, GpuFaultSpec, SiteSpec};
 pub use kernel::{div_ceil, next_pow2, Dim3, LaunchConfig};
 pub use memory::{GpuContext, GpuPtr, MemSpace, Memory};
 pub use stream::{Event, Stream, StreamStats};

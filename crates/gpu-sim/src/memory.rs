@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceProps;
 use crate::error::{GpuError, GpuResult};
+use crate::fault::{GpuFaultInjector, GpuFaultSite};
 
 /// Address space of an allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -136,6 +137,7 @@ pub struct Memory {
     next_id: u64,
     device_capacity: usize,
     device_used: usize,
+    faults: Option<Arc<GpuFaultInjector>>,
 }
 
 impl Memory {
@@ -145,12 +147,21 @@ impl Memory {
             next_id: 1,
             device_capacity,
             device_used: 0,
+            faults: None,
         }
     }
 
     fn alloc(&mut self, len: usize, space: MemSpace) -> GpuResult<GpuPtr> {
         if space == MemSpace::Device {
             let available = self.device_capacity - self.device_used;
+            if let Some(f) = &self.faults {
+                if f.should_fail(GpuFaultSite::AllocOom) {
+                    return Err(GpuError::OutOfMemory {
+                        requested: len,
+                        available,
+                    });
+                }
+            }
             if len > available {
                 return Err(GpuError::OutOfMemory {
                     requested: len,
@@ -352,6 +363,18 @@ impl Memory {
         Ok(())
     }
 
+    /// Install (or, with `None`, remove) a deterministic fault injector.
+    /// Every clone of the owning [`GpuContext`] and every stream bound to
+    /// it observes the change, since they all share this `Memory`.
+    pub fn set_fault_injector(&mut self, inj: Option<Arc<GpuFaultInjector>>) {
+        self.faults = inj;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<GpuFaultInjector>> {
+        self.faults.clone()
+    }
+
     /// Bytes of device memory currently allocated.
     pub fn device_used(&self) -> usize {
         self.device_used
@@ -416,6 +439,17 @@ impl GpuContext {
     /// Free any allocation.
     pub fn free(&self, ptr: GpuPtr) -> GpuResult<()> {
         self.memory().free(ptr)
+    }
+
+    /// Install (or, with `None`, remove) a deterministic fault injector on
+    /// this device. Convenience for [`Memory::set_fault_injector`].
+    pub fn set_fault_injector(&self, inj: Option<Arc<GpuFaultInjector>>) {
+        self.memory().set_fault_injector(inj);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<GpuFaultInjector>> {
+        self.memory().fault_injector()
     }
 }
 
@@ -524,6 +558,30 @@ mod tests {
                 available: 24
             }
         ));
+    }
+
+    #[test]
+    fn injected_alloc_oom_is_scripted_and_reported() {
+        use crate::fault::{GpuFaultInjector, GpuFaultSite, GpuFaultSpec, SiteSpec};
+        let c = ctx();
+        c.set_fault_injector(Some(GpuFaultInjector::new(GpuFaultSpec {
+            seed: 42,
+            alloc_oom: SiteSpec::at(&[0]),
+            ..GpuFaultSpec::default()
+        })));
+        // plenty of capacity, but the script kills the first device alloc
+        let err = c.malloc(64).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { requested: 64, .. }));
+        assert!(err.is_transient());
+        // the very next device alloc succeeds; host allocs are never hit
+        assert!(c.malloc(64).is_ok());
+        assert!(c.host_alloc(64).is_ok());
+        let inj = c.fault_injector().unwrap();
+        assert_eq!(inj.injected(GpuFaultSite::AllocOom), 1);
+        assert_eq!(inj.calls(GpuFaultSite::AllocOom), 2);
+        // uninstalling restores the happy path
+        c.set_fault_injector(None);
+        assert!(c.fault_injector().is_none());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::clock::{SimClock, SimTime};
 use crate::cost::{CopyKind, GpuCostModel};
 use crate::error::{GpuError, GpuResult};
+use crate::fault::GpuFaultSite;
 #[cfg(test)]
 use crate::kernel::Dim3;
 use crate::kernel::LaunchConfig;
@@ -92,6 +93,19 @@ impl Stream {
         self.busy_until = start + gpu_time;
     }
 
+    /// Fault-injection check for an async stream operation, run under the
+    /// memory lock the caller already holds. Like a real failed submission,
+    /// an injected fault leaves the clock, the stream timeline and the
+    /// stats untouched.
+    fn injected_fault(mem: &Memory, site: GpuFaultSite, op: &str) -> GpuResult<()> {
+        if let Some(f) = mem.fault_injector() {
+            if f.should_fail(site) {
+                return Err(GpuError::StreamFault { op: op.to_string() });
+            }
+        }
+        Ok(())
+    }
+
     /// `cudaMemcpyAsync`: copy `len` bytes from `src` to `dst`, inferring
     /// the transfer kind from the endpoint address spaces.
     ///
@@ -110,6 +124,7 @@ impl Stream {
             let mut mem = self.ctx.memory();
             let d_space = mem.space_of(dst)?;
             let s_space = mem.space_of(src)?;
+            Self::injected_fault(&mem, GpuFaultSite::CopyFault, "memcpy_async")?;
             mem.raw_copy(dst, src, len)?;
             CopyKind::infer(d_space, s_space)
         };
@@ -146,6 +161,7 @@ impl Stream {
             let mut mem = self.ctx.memory();
             let d_space = mem.space_of(dst)?;
             let s_space = mem.space_of(src)?;
+            Self::injected_fault(&mem, GpuFaultSite::CopyFault, "memcpy_2d_async")?;
             for row in 0..height {
                 mem.raw_copy(dst.add(row * dpitch), src.add(row * spitch), width)?;
             }
@@ -191,6 +207,7 @@ impl Stream {
             let mut mem = self.ctx.memory();
             let d_space = mem.space_of(dst)?;
             let s_space = mem.space_of(src)?;
+            Self::injected_fault(&mem, GpuFaultSite::CopyFault, "memcpy_3d_async")?;
             for z in 0..depth {
                 for row in 0..height {
                     mem.raw_copy(
@@ -241,6 +258,7 @@ impl Stream {
             .map_err(|reason| GpuError::InvalidLaunch { reason })?;
         {
             let mut mem = self.ctx.memory();
+            Self::injected_fault(&mem, GpuFaultSite::KernelFault, name)?;
             body(&mut mem).map_err(|e| GpuError::KernelFault {
                 kernel: name.to_string(),
                 source: Box::new(e),
@@ -488,6 +506,43 @@ mod tests {
             }
             other => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn injected_stream_faults_leave_clock_and_stats_untouched() {
+        use crate::fault::{GpuFaultInjector, GpuFaultSpec, SiteSpec};
+        let (ctx, mut s, mut clock) = setup();
+        let a = ctx.malloc(64).unwrap();
+        let b = ctx.malloc(64).unwrap();
+        ctx.set_fault_injector(Some(GpuFaultInjector::new(GpuFaultSpec {
+            seed: 5,
+            kernel_fault: SiteSpec::at(&[0]),
+            copy_fault: SiteSpec::at(&[0]),
+            ..GpuFaultSpec::default()
+        })));
+        let cfg = LaunchConfig {
+            grid: Dim3::ONE,
+            block: Dim3::new(32, 1, 1),
+        };
+        let err = s
+            .launch(&mut clock, "pack", cfg, SimTime::from_us(1), |_| Ok(()))
+            .unwrap_err();
+        assert_eq!(err, GpuError::StreamFault { op: "pack".into() });
+        assert!(err.is_transient());
+        let err = s.memcpy_async(&mut clock, b, a, 64).unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::StreamFault {
+                op: "memcpy_async".into()
+            }
+        );
+        // injected failures behave like failed submissions: no time, no work
+        assert_eq!(clock.now(), SimTime::ZERO);
+        assert_eq!(s.stats(), StreamStats::default());
+        // the scripted ordinals are spent, so both paths now succeed
+        s.launch(&mut clock, "pack", cfg, SimTime::from_us(1), |_| Ok(()))
+            .unwrap();
+        s.memcpy_async(&mut clock, b, a, 64).unwrap();
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn src_range(
         return Err(MpiError::BufferTooSmall {
             required: end,
             available: buf_len,
+            envelope: None,
         });
     }
     Ok(start..end)
@@ -71,6 +72,7 @@ pub fn pack_with_segments(
         return Err(MpiError::BufferTooSmall {
             required: *position + total,
             available: outbuf.len(),
+            envelope: reg.get_envelope(dt).ok(),
         });
     }
     let mut pos = *position;
@@ -120,6 +122,7 @@ pub fn unpack_with_segments(
         return Err(MpiError::BufferTooSmall {
             required: *position + total,
             available: inbuf.len(),
+            envelope: reg.get_envelope(dt).ok(),
         });
     }
     let mut pos = *position;
@@ -234,7 +237,8 @@ mod tests {
             pack(&r, &src, 0, 1, t, &mut dst, &mut pos),
             Err(MpiError::BufferTooSmall {
                 required: 16,
-                available: 8
+                available: 8,
+                ..
             })
         ));
         // input buffer shorter than the type's reach

@@ -1,12 +1,21 @@
 //! Error type for the simulated MPI runtime.
+//!
+//! Since the fault-injection work the taxonomy is split into *transient*
+//! errors (worth retrying or degrading around: injected link faults,
+//! GPU resource pressure) and *fatal* ones (program errors that must
+//! propagate); see [`MpiError::is_transient`].
 
 use std::fmt;
 
 use gpu_sim::GpuError;
 
+use crate::datatype::Envelope;
+
 /// Errors raised by the simulated MPI runtime — the moral equivalents of
 /// MPI error classes (`MPI_ERR_TYPE`, `MPI_ERR_ARG`, `MPI_ERR_TRUNCATE`,
-/// ...), plus propagation of simulated-GPU faults.
+/// ...), plus propagation of simulated-GPU faults and the transient
+/// communication failures produced by the fault injector.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum MpiError {
     /// A datatype handle does not name a live datatype (`MPI_ERR_TYPE`).
@@ -23,6 +32,9 @@ pub enum MpiError {
         sent: usize,
         /// Bytes the receive buffer could hold.
         capacity: usize,
+        /// Envelope of the receiving datatype, when one was involved
+        /// (raw-bytes receives carry `None`).
+        envelope: Option<Envelope>,
     },
     /// Rank out of range for the communicator (`MPI_ERR_RANK`).
     InvalidRank {
@@ -37,14 +49,59 @@ pub enum MpiError {
         required: usize,
         /// Bytes available after the current position.
         available: usize,
+        /// Envelope of the datatype being packed/unpacked, when known.
+        envelope: Option<Envelope>,
     },
     /// A simulated GPU operation failed.
     Gpu(GpuError),
     /// The peer rank exited before matching a pending operation.
     PeerGone,
+    /// A transient communication failure on the link to `peer` — the
+    /// retryable condition the fault injector produces. Callers normally
+    /// never see this: the p2p layer retries with backoff and surfaces
+    /// [`MpiError::CommFailed`] only once the budget is exhausted.
+    CommTransient {
+        /// The peer rank on the failing link.
+        peer: usize,
+    },
+    /// The link to `peer` still failed after `attempts` tries (the
+    /// retry budget was exhausted).
+    CommFailed {
+        /// The peer rank on the failing link.
+        peer: usize,
+        /// Total attempts made (1 initial + retries).
+        attempts: u32,
+    },
     /// Internal invariant violation (a bug in the simulator, not the
     /// application).
     Internal(String),
+}
+
+impl MpiError {
+    /// Is this error *transient* — a condition that bounded retry or a
+    /// degraded path may recover from — rather than a program error?
+    ///
+    /// Transient: [`MpiError::CommTransient`] and any [`MpiError::Gpu`]
+    /// whose GPU error is itself transient ([`GpuError::is_transient`]:
+    /// out-of-memory and stream faults). Everything else — bad arguments,
+    /// truncation, uncommitted types, exhausted retries, dead peers — is
+    /// fatal to the operation that observed it.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            MpiError::CommTransient { .. } => true,
+            MpiError::Gpu(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
+/// Render the combiner of an optional envelope for error messages.
+fn envelope_suffix(envelope: &Option<Envelope>) -> String {
+    match envelope {
+        Some(env) => format!(" (datatype combiner {:?})", env.combiner),
+        None => String::new(),
+    }
 }
 
 impl fmt::Display for MpiError {
@@ -53,10 +110,15 @@ impl fmt::Display for MpiError {
             MpiError::InvalidDatatype => write!(f, "invalid datatype handle"),
             MpiError::NotCommitted => write!(f, "datatype used before MPI_Type_commit"),
             MpiError::InvalidArg(s) => write!(f, "invalid argument: {s}"),
-            MpiError::Truncated { sent, capacity } => {
+            MpiError::Truncated {
+                sent,
+                capacity,
+                envelope,
+            } => {
                 write!(
                     f,
-                    "message truncated: {sent} bytes sent, buffer holds {capacity}"
+                    "message truncated: {sent} bytes sent, buffer holds {capacity}{}",
+                    envelope_suffix(envelope)
                 )
             }
             MpiError::InvalidRank { rank, size } => {
@@ -68,12 +130,23 @@ impl fmt::Display for MpiError {
             MpiError::BufferTooSmall {
                 required,
                 available,
+                envelope,
             } => write!(
                 f,
-                "buffer too small: {required} bytes required, {available} available"
+                "buffer too small: {required} bytes required, {available} available{}",
+                envelope_suffix(envelope)
             ),
             MpiError::Gpu(e) => write!(f, "GPU error: {e}"),
             MpiError::PeerGone => write!(f, "peer rank exited with operations pending"),
+            MpiError::CommTransient { peer } => {
+                write!(f, "transient communication failure on link to rank {peer}")
+            }
+            MpiError::CommFailed { peer, attempts } => {
+                write!(
+                    f,
+                    "communication with rank {peer} failed after {attempts} attempts"
+                )
+            }
             MpiError::Internal(s) => write!(f, "internal simulator error: {s}"),
         }
     }
@@ -96,3 +169,62 @@ impl From<GpuError> for MpiError {
 
 /// Result alias for MPI-runtime operations.
 pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_taxonomy() {
+        assert!(MpiError::CommTransient { peer: 1 }.is_transient());
+        assert!(MpiError::Gpu(GpuError::OutOfMemory {
+            requested: 8,
+            available: 0
+        })
+        .is_transient());
+        assert!(MpiError::Gpu(GpuError::StreamFault { op: "pack".into() }).is_transient());
+        assert!(!MpiError::Gpu(GpuError::NotHostAccessible).is_transient());
+        assert!(!MpiError::CommFailed {
+            peer: 1,
+            attempts: 4
+        }
+        .is_transient());
+        assert!(!MpiError::PeerGone.is_transient());
+        assert!(!MpiError::NotCommitted.is_transient());
+        assert!(!MpiError::Truncated {
+            sent: 2,
+            capacity: 1,
+            envelope: None
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn messages_carry_envelope_context() {
+        use crate::datatype::Combiner;
+        let env = Envelope {
+            num_integers: 3,
+            num_addresses: 0,
+            num_datatypes: 1,
+            combiner: Combiner::Vector,
+        };
+        let msg = format!(
+            "{}",
+            MpiError::Truncated {
+                sent: 128,
+                capacity: 32,
+                envelope: Some(env),
+            }
+        );
+        assert!(msg.contains("Vector"), "{msg}");
+        let msg = format!(
+            "{}",
+            MpiError::BufferTooSmall {
+                required: 64,
+                available: 16,
+                envelope: None,
+            }
+        );
+        assert!(!msg.contains("combiner"), "{msg}");
+    }
+}

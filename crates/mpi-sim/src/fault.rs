@@ -1,0 +1,528 @@
+//! Deterministic fault plans, per-rank injectors, and the degradation log.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* in a run: GPU allocation
+//! OOM, kernel/copy stream faults, transient send/recv failures, extra
+//! network latency, and ranks exiting at chosen virtual times. Every
+//! decision is a pure function of the plan's seed, the rank, the site, and
+//! that site's call ordinal — never the wall clock or a global RNG — so a
+//! schedule replays identically for a fixed seed.
+//!
+//! A [`FaultInjector`] is the per-rank instantiation of a plan (the GPU
+//! sites become a [`gpu_sim::GpuFaultInjector`] installed on that rank's
+//! device). [`FaultStats`] counts what actually fired and carries the
+//! [`DegradeEvent`] log that the TEMPI layer appends to when it downgrades
+//! a send path; both hang off `RankCtx` as a [`FaultState`].
+//!
+//! With no plan installed (`FaultState::disabled`, the default) every hook
+//! in the runtime is a single `Option`/bool check and neither behavior nor
+//! modeled time changes.
+
+use std::fmt;
+
+use gpu_sim::fault::splitmix64;
+use gpu_sim::{GpuFaultInjector, GpuFaultSpec, SimTime, SiteSpec};
+
+use crate::error::{MpiError, MpiResult};
+
+/// Extra-latency injection: with `probability`, a receive pays `latency`
+/// on top of the modeled wire time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelaySpec {
+    /// Probability in `[0, 1]` that a given receive is delayed.
+    pub probability: f64,
+    /// The additional virtual latency charged when the site fires.
+    pub latency: SimTime,
+}
+
+impl DelaySpec {
+    /// Does this spec ever fire?
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.probability > 0.0 && !self.latency.is_zero()
+    }
+}
+
+/// A scheduled rank death: from virtual instant `at` on, peers observing
+/// rank `rank` get [`MpiError::PeerGone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankExit {
+    /// The rank that exits.
+    pub rank: usize,
+    /// The virtual instant of the exit.
+    pub at: SimTime,
+}
+
+/// A complete, reproducible description of the faults in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed (with the rank) into every probabilistic decision.
+    pub seed: u64,
+    /// Device-allocation OOM site (see [`gpu_sim::GpuFaultSite::AllocOom`]).
+    pub alloc_oom: SiteSpec,
+    /// Kernel-launch failure site.
+    pub kernel_fault: SiteSpec,
+    /// Async-copy failure site.
+    pub copy_fault: SiteSpec,
+    /// Transient send failure site (per p2p send call).
+    pub send_fail: SiteSpec,
+    /// Transient receive failure site (per p2p receive call).
+    pub recv_fail: SiteSpec,
+    /// Extra-latency site (per p2p receive call).
+    pub delay: DelaySpec,
+    /// Scheduled rank deaths.
+    pub rank_exits: Vec<RankExit>,
+    /// Bounded-retry budget for transient p2p faults.
+    pub max_retries: u32,
+    /// First backoff; doubles per retry (charged to the virtual clock).
+    pub backoff_base: SimTime,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            alloc_oom: SiteSpec::never(),
+            kernel_fault: SiteSpec::never(),
+            copy_fault: SiteSpec::never(),
+            send_fail: SiteSpec::never(),
+            recv_fail: SiteSpec::never(),
+            delay: DelaySpec::default(),
+            rank_exits: Vec::new(),
+            max_retries: 3,
+            backoff_base: SimTime::from_us(10),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Does any site ever fire?
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.alloc_oom.is_active()
+            || self.kernel_fault.is_active()
+            || self.copy_fault.is_active()
+            || self.send_fail.is_active()
+            || self.recv_fail.is_active()
+            || self.delay.is_active()
+            || !self.rank_exits.is_empty()
+    }
+
+    /// Parse the `--faults` mini-language: comma-separated clauses, e.g.
+    /// `seed=42,alloc=0.1,kernel@3,send=0.05,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us`.
+    ///
+    /// Clauses:
+    /// * `seed=N` — decision seed (default 0)
+    /// * `alloc|kernel|copy|send|recv=P` — per-call failure probability
+    /// * `alloc|kernel|copy|send|recv@N` — scripted 0-based call ordinal
+    ///   (repeatable)
+    /// * `delay=P:DUR` — receive-side extra latency `DUR` with probability
+    ///   `P`
+    /// * `exit=R@DUR` — rank `R` exits at virtual time `DUR` (repeatable)
+    /// * `retries=N` — transient-fault retry budget (default 3)
+    /// * `backoff=DUR` — first retry backoff, doubling per retry
+    ///   (default 10us)
+    ///
+    /// Durations take an `ns`/`us`/`ms`/`s` suffix, e.g. `20us`.
+    pub fn parse(spec: &str) -> MpiResult<FaultPlan> {
+        fn bad(clause: &str, why: &str) -> MpiError {
+            MpiError::InvalidArg(format!("fault spec clause `{clause}`: {why}"))
+        }
+        fn parse_time(s: &str, clause: &str) -> MpiResult<SimTime> {
+            let (digits, unit) =
+                s.split_at(s.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(s.len()));
+            let v: u64 = digits
+                .parse()
+                .map_err(|_| bad(clause, "expected an integer duration like 20us"))?;
+            match unit {
+                "ns" => Ok(SimTime::from_ns(v)),
+                "us" => Ok(SimTime::from_us(v)),
+                "ms" => Ok(SimTime::from_ms(v)),
+                "s" => Ok(SimTime::from_secs_f64(v as f64)),
+                _ => Err(bad(clause, "duration needs an ns/us/ms/s suffix")),
+            }
+        }
+
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some((key, val)) = clause.split_once('=') {
+                match key {
+                    "seed" => {
+                        plan.seed = val
+                            .parse()
+                            .map_err(|_| bad(clause, "seed takes an integer"))?;
+                    }
+                    "retries" => {
+                        plan.max_retries = val
+                            .parse()
+                            .map_err(|_| bad(clause, "retries takes an integer"))?;
+                    }
+                    "backoff" => plan.backoff_base = parse_time(val, clause)?,
+                    "delay" => {
+                        let (p, dur) = val
+                            .split_once(':')
+                            .ok_or_else(|| bad(clause, "expected delay=P:DUR"))?;
+                        plan.delay.probability = p
+                            .parse()
+                            .map_err(|_| bad(clause, "delay probability must be a float"))?;
+                        plan.delay.latency = parse_time(dur, clause)?;
+                    }
+                    "exit" => {
+                        let (r, at) = val
+                            .split_once('@')
+                            .ok_or_else(|| bad(clause, "expected exit=RANK@TIME"))?;
+                        plan.rank_exits.push(RankExit {
+                            rank: r
+                                .parse()
+                                .map_err(|_| bad(clause, "rank must be an integer"))?,
+                            at: parse_time(at, clause)?,
+                        });
+                    }
+                    _ => {
+                        let spec = match key {
+                            "alloc" => &mut plan.alloc_oom,
+                            "kernel" => &mut plan.kernel_fault,
+                            "copy" => &mut plan.copy_fault,
+                            "send" => &mut plan.send_fail,
+                            "recv" => &mut plan.recv_fail,
+                            _ => return Err(bad(clause, "unknown key")),
+                        };
+                        spec.probability = val
+                            .parse()
+                            .map_err(|_| bad(clause, "probability must be a float"))?;
+                    }
+                }
+            } else if let Some((key, ord)) = clause.split_once('@') {
+                let n: u64 = ord
+                    .parse()
+                    .map_err(|_| bad(clause, "call ordinal must be an integer"))?;
+                let spec = match key {
+                    "alloc" => &mut plan.alloc_oom,
+                    "kernel" => &mut plan.kernel_fault,
+                    "copy" => &mut plan.copy_fault,
+                    "send" => &mut plan.send_fail,
+                    "recv" => &mut plan.recv_fail,
+                    _ => return Err(bad(clause, "unknown site")),
+                };
+                spec.at_calls.push(n);
+            } else {
+                return Err(bad(clause, "expected key=value or site@ordinal"));
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// One recorded downgrade of a send/pack path.
+///
+/// The method names are strings (`"Device"`, `"OneShot"`, `"Staged"`,
+/// `"SystemMpi"`, `"VendorBaseline"`) so this crate stays independent of
+/// the TEMPI layer's `Method` enum; equality of logs is what the replay
+/// tests assert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradeEvent {
+    /// Virtual instant of the downgrade.
+    pub at: SimTime,
+    /// Human-readable description of the datatype involved.
+    pub datatype: String,
+    /// The path that failed.
+    pub from: String,
+    /// The path degraded to.
+    pub to: String,
+    /// Why (the rendered error).
+    pub cause: String,
+}
+
+impl fmt::Display for DegradeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} -> {} ({})",
+            self.at, self.datatype, self.from, self.to, self.cause
+        )
+    }
+}
+
+/// Counters of injected faults and recovery work, plus the degradation log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Transient send failures injected.
+    pub send_faults: u64,
+    /// Transient receive failures injected.
+    pub recv_faults: u64,
+    /// Extra-latency injections.
+    pub delays: u64,
+    /// Total extra latency charged.
+    pub delay_time: SimTime,
+    /// Retries performed after transient p2p faults.
+    pub retries: u64,
+    /// Total virtual time spent in retry backoff.
+    pub backoff_time: SimTime,
+    /// Operations that failed with [`MpiError::PeerGone`] due to a
+    /// scheduled rank exit.
+    pub peer_gone: u64,
+    /// The degradation-event log, in the order the downgrades happened.
+    pub events: Vec<DegradeEvent>,
+}
+
+impl FaultStats {
+    /// Append a downgrade to the event log.
+    pub fn record(&mut self, ev: DegradeEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// Per-rank fault decision state: deterministic counters over the plan.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rank_seed: u64,
+    send_calls: u64,
+    recv_calls: u64,
+    delay_calls: u64,
+}
+
+/// Site salts for the network-level coins (distinct from the GPU salts in
+/// [`gpu_sim::GpuFaultInjector`]).
+const SALT_SEND: u64 = 0x7365_6e64_5f66_6c74; // "send_flt"
+const SALT_RECV: u64 = 0x7265_6376_5f66_6c74; // "recv_flt"
+const SALT_DELAY: u64 = 0x6465_6c61_795f_6e74; // "delay_nt"
+
+impl FaultInjector {
+    /// Instantiate a plan for one rank. The returned GPU injector (if the
+    /// plan has active GPU sites) must be installed on that rank's
+    /// [`gpu_sim::GpuContext`] by the caller.
+    pub fn new(
+        plan: FaultPlan,
+        rank: usize,
+    ) -> (FaultInjector, Option<std::sync::Arc<GpuFaultInjector>>) {
+        let rank_seed = splitmix64(plan.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let gpu_spec = GpuFaultSpec {
+            seed: rank_seed,
+            alloc_oom: plan.alloc_oom.clone(),
+            kernel_fault: plan.kernel_fault.clone(),
+            copy_fault: plan.copy_fault.clone(),
+        };
+        let gpu = if gpu_spec.is_active() {
+            Some(GpuFaultInjector::new(gpu_spec))
+        } else {
+            None
+        };
+        (
+            FaultInjector {
+                plan,
+                rank_seed,
+                send_calls: 0,
+                recv_calls: 0,
+                delay_calls: 0,
+            },
+            gpu,
+        )
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Record one p2p send attempt and decide whether it transiently fails.
+    pub fn send_should_fail(&mut self) -> bool {
+        let n = self.send_calls;
+        self.send_calls += 1;
+        self.plan.send_fail.decide(self.rank_seed, SALT_SEND, n)
+    }
+
+    /// Record one p2p receive attempt and decide whether it transiently
+    /// fails.
+    pub fn recv_should_fail(&mut self) -> bool {
+        let n = self.recv_calls;
+        self.recv_calls += 1;
+        self.plan.recv_fail.decide(self.rank_seed, SALT_RECV, n)
+    }
+
+    /// Record one delivery and return the extra latency to charge, if the
+    /// delay site fires.
+    pub fn extra_delay(&mut self) -> Option<SimTime> {
+        if !self.plan.delay.is_active() {
+            return None;
+        }
+        let n = self.delay_calls;
+        self.delay_calls += 1;
+        let coin = SiteSpec::with_probability(self.plan.delay.probability);
+        if coin.decide(self.rank_seed, SALT_DELAY, n) {
+            Some(self.plan.delay.latency)
+        } else {
+            None
+        }
+    }
+
+    /// Is `peer` scheduled as dead at virtual instant `now`?
+    pub fn peer_dead(&self, peer: usize, now: SimTime) -> bool {
+        self.plan
+            .rank_exits
+            .iter()
+            .any(|e| e.rank == peer && e.at <= now)
+    }
+
+    /// Retry budget for transient p2p faults.
+    pub fn max_retries(&self) -> u32 {
+        self.plan.max_retries
+    }
+
+    /// Backoff before retry number `attempt` (0-based): base × 2^attempt.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        self.plan.backoff_base * (1u64 << attempt.min(20))
+    }
+}
+
+/// The fault-related state hanging off each `RankCtx`: an optional
+/// injector plus the stats/degradation log (which is live even without an
+/// injector, so genuine — non-injected — degradations are recorded too).
+#[derive(Debug, Default)]
+pub struct FaultState {
+    /// Decision state; `None` means fault injection is disabled.
+    pub injector: Option<FaultInjector>,
+    /// What fired, what was retried, and which downgrades happened.
+    pub stats: FaultStats,
+}
+
+impl FaultState {
+    /// Fault injection disabled (the default).
+    #[must_use]
+    pub fn disabled() -> FaultState {
+        FaultState::default()
+    }
+
+    /// Instantiate `plan` for `rank`. Returns the state and the GPU-side
+    /// injector to install on the rank's device (when any GPU site is
+    /// active).
+    #[must_use]
+    pub fn from_plan(
+        plan: &FaultPlan,
+        rank: usize,
+    ) -> (FaultState, Option<std::sync::Arc<GpuFaultInjector>>) {
+        let (injector, gpu) = FaultInjector::new(plan.clone(), rank);
+        (
+            FaultState {
+                injector: Some(injector),
+                stats: FaultStats::default(),
+            },
+            gpu,
+        )
+    }
+
+    /// Is an injector installed?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.injector.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse(
+            "seed=42,alloc=0.25,kernel@3,copy@0,send=0.5,recv=0.125,delay=0.2:20us,exit=1@5ms,retries=4,backoff=7us",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 42);
+        assert!((p.alloc_oom.probability - 0.25).abs() < 1e-12);
+        assert_eq!(p.kernel_fault.at_calls, vec![3]);
+        assert_eq!(p.copy_fault.at_calls, vec![0]);
+        assert!((p.send_fail.probability - 0.5).abs() < 1e-12);
+        assert!((p.recv_fail.probability - 0.125).abs() < 1e-12);
+        assert!((p.delay.probability - 0.2).abs() < 1e-12);
+        assert_eq!(p.delay.latency, SimTime::from_us(20));
+        assert_eq!(
+            p.rank_exits,
+            vec![RankExit {
+                rank: 1,
+                at: SimTime::from_ms(5)
+            }]
+        );
+        assert_eq!(p.max_retries, 4);
+        assert_eq!(p.backoff_base, SimTime::from_us(7));
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("alloc").is_err());
+        assert!(FaultPlan::parse("delay=0.5").is_err());
+        assert!(FaultPlan::parse("exit=zero@1us").is_err());
+        assert!(FaultPlan::parse("backoff=10").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_inactive_default() {
+        let p = FaultPlan::parse("").unwrap();
+        assert_eq!(p, FaultPlan::default());
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn injector_decisions_replay_per_rank() {
+        let plan = FaultPlan::parse("seed=7,send=0.4,recv=0.4").unwrap();
+        let (mut a, _) = FaultInjector::new(plan.clone(), 1);
+        let (mut b, _) = FaultInjector::new(plan.clone(), 1);
+        let (mut c, _) = FaultInjector::new(plan, 2);
+        let sa: Vec<bool> = (0..64).map(|_| a.send_should_fail()).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.send_should_fail()).collect();
+        let sc: Vec<bool> = (0..64).map(|_| c.send_should_fail()).collect();
+        assert_eq!(sa, sb, "same rank, same seed, same schedule");
+        assert_ne!(sa, sc, "different ranks draw different coins");
+    }
+
+    #[test]
+    fn scripted_send_ordinals() {
+        let plan = FaultPlan::parse("send@0,send@2").unwrap();
+        let (mut inj, gpu) = FaultInjector::new(plan, 0);
+        assert!(gpu.is_none(), "no GPU site active");
+        let fired: Vec<bool> = (0..4).map(|_| inj.send_should_fail()).collect();
+        assert_eq!(fired, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn rank_exit_observed_after_deadline() {
+        let plan = FaultPlan::parse("exit=1@10us").unwrap();
+        let (inj, _) = FaultInjector::new(plan, 0);
+        assert!(!inj.peer_dead(1, SimTime::from_us(9)));
+        assert!(inj.peer_dead(1, SimTime::from_us(10)));
+        assert!(!inj.peer_dead(0, SimTime::from_us(99)));
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let plan = FaultPlan::parse("backoff=10us").unwrap();
+        let (inj, _) = FaultInjector::new(plan, 0);
+        assert_eq!(inj.backoff(0), SimTime::from_us(10));
+        assert_eq!(inj.backoff(1), SimTime::from_us(20));
+        assert_eq!(inj.backoff(3), SimTime::from_us(80));
+    }
+
+    #[test]
+    fn gpu_injector_created_only_when_needed() {
+        let (_, gpu) = FaultInjector::new(FaultPlan::parse("alloc@0").unwrap(), 0);
+        assert!(gpu.is_some());
+        let (_, gpu) = FaultInjector::new(FaultPlan::parse("send=1.0").unwrap(), 0);
+        assert!(gpu.is_none());
+    }
+
+    #[test]
+    fn degrade_event_display_and_log() {
+        let mut stats = FaultStats::default();
+        stats.record(DegradeEvent {
+            at: SimTime::from_us(11),
+            datatype: "vector(13,100,256,byte)".into(),
+            from: "Device".into(),
+            to: "OneShot".into(),
+            cause: "device out of memory: requested 1 bytes, 0 available".into(),
+        });
+        assert_eq!(stats.events.len(), 1);
+        let s = format!("{}", stats.events[0]);
+        assert!(s.contains("Device -> OneShot"), "{s}");
+    }
+}

@@ -17,7 +17,11 @@
 //!   measurements (2.2 µs CPU floor, 11 µs CUDA-aware floor); and
 //! * a **multi-rank runtime** ([`runtime`], [`p2p`], [`collective`]) — one
 //!   thread + one simulated GPU per rank, Lamport-style virtual clocks,
-//!   blocking send/recv with MPI matching rules, `Alltoallv`, barriers.
+//!   blocking send/recv with MPI matching rules, `Alltoallv`, barriers; and
+//! * a **deterministic fault-injection subsystem** ([`fault`]) — seeded,
+//!   replayable GPU/network fault schedules with bounded retry + backoff
+//!   in virtual time, and the degradation-event log the TEMPI layer
+//!   appends to when it downgrades a send path.
 //!
 //! All timing is virtual and deterministic; all data movement is real bytes
 //! verified against the typemap oracle.
@@ -27,6 +31,7 @@
 pub mod collective;
 pub mod datatype;
 pub mod error;
+pub mod fault;
 pub mod net;
 pub mod nonblocking;
 pub mod p2p;
@@ -35,6 +40,9 @@ pub mod vendor;
 
 pub use datatype::{consts, Combiner, Contents, Datatype, Envelope, Named, Order, TypeRegistry};
 pub use error::{MpiError, MpiResult};
+pub use fault::{
+    DegradeEvent, DelaySpec, FaultInjector, FaultPlan, FaultState, FaultStats, RankExit,
+};
 pub use net::{NetModel, Transport};
 pub use nonblocking::Request;
 pub use p2p::{Message, PartInfo, ProbeInfo, Status};

@@ -156,8 +156,128 @@ impl RankCtx {
         Ok(())
     }
 
-    fn post(&mut self, dest: usize, tag: i32, payload: Vec<u8>, sender_space: MemSpace) {
-        self.post_at(dest, tag, payload, sender_space, SimTime::ZERO, None);
+    // ---- fault-injection gates -----------------------------------------
+    //
+    // Each gate is a single `Option` check when no fault plan is active, so
+    // the fault-free hot path pays nothing beyond a branch.
+
+    /// Fail with [`MpiError::PeerGone`] if `peer` is scheduled to have
+    /// exited by the caller's current virtual instant.
+    fn fault_check_peer(&mut self, peer: usize) -> MpiResult<()> {
+        let dead = match &self.faults.injector {
+            Some(inj) => inj.peer_dead(peer, self.clock.now()),
+            None => false,
+        };
+        if dead {
+            self.faults.stats.peer_gone += 1;
+            return Err(MpiError::PeerGone);
+        }
+        Ok(())
+    }
+
+    /// Send-side gate: observes scheduled peer deaths, then retries
+    /// injected transient link faults with exponential backoff charged to
+    /// the virtual clock. Exhausting the retry budget surfaces
+    /// [`MpiError::CommFailed`].
+    fn fault_gate_send(&mut self, dest: usize) -> MpiResult<()> {
+        if self.faults.injector.is_none() {
+            return Ok(());
+        }
+        self.fault_check_peer(dest)?;
+        let max_retries = self.faults.injector.as_ref().expect("gated").max_retries();
+        for attempt in 0..=max_retries {
+            let failed = self
+                .faults
+                .injector
+                .as_mut()
+                .expect("gated")
+                .send_should_fail();
+            if !failed {
+                return Ok(());
+            }
+            self.faults.stats.send_faults += 1;
+            if attempt == max_retries {
+                break;
+            }
+            let backoff = self
+                .faults
+                .injector
+                .as_ref()
+                .expect("gated")
+                .backoff(attempt);
+            self.clock.advance(backoff);
+            self.faults.stats.retries += 1;
+            self.faults.stats.backoff_time += backoff;
+        }
+        Err(MpiError::CommFailed {
+            peer: dest,
+            attempts: max_retries + 1,
+        })
+    }
+
+    /// Receive-side gate, mirroring [`Self::fault_gate_send`]. Wildcard
+    /// receives (`src == None`) skip the peer-death check and report
+    /// `usize::MAX` as the peer on retry exhaustion.
+    fn fault_gate_recv(&mut self, src: Option<usize>) -> MpiResult<()> {
+        if self.faults.injector.is_none() {
+            return Ok(());
+        }
+        if let Some(s) = src {
+            self.fault_check_peer(s)?;
+        }
+        let max_retries = self.faults.injector.as_ref().expect("gated").max_retries();
+        for attempt in 0..=max_retries {
+            let failed = self
+                .faults
+                .injector
+                .as_mut()
+                .expect("gated")
+                .recv_should_fail();
+            if !failed {
+                return Ok(());
+            }
+            self.faults.stats.recv_faults += 1;
+            if attempt == max_retries {
+                break;
+            }
+            let backoff = self
+                .faults
+                .injector
+                .as_ref()
+                .expect("gated")
+                .backoff(attempt);
+            self.clock.advance(backoff);
+            self.faults.stats.retries += 1;
+            self.faults.stats.backoff_time += backoff;
+        }
+        Err(MpiError::CommFailed {
+            peer: src.unwrap_or(usize::MAX),
+            attempts: max_retries + 1,
+        })
+    }
+
+    /// Charge any injected extra delivery latency to the virtual clock
+    /// (called on the receive side once a message has arrived).
+    pub(crate) fn fault_extra_delay(&mut self) {
+        let d = match self.faults.injector.as_mut() {
+            Some(inj) => inj.extra_delay(),
+            None => None,
+        };
+        if let Some(d) = d {
+            self.clock.advance(d);
+            self.faults.stats.delays += 1;
+            self.faults.stats.delay_time += d;
+        }
+    }
+
+    fn post(
+        &mut self,
+        dest: usize,
+        tag: i32,
+        payload: Vec<u8>,
+        sender_space: MemSpace,
+    ) -> MpiResult<()> {
+        self.post_at(dest, tag, payload, sender_space, SimTime::ZERO, None)
     }
 
     /// Post a message whose payload only becomes available at `ready_at`
@@ -171,7 +291,7 @@ impl RankCtx {
         sender_space: MemSpace,
         ready_at: SimTime,
         part: Option<PartInfo>,
-    ) {
+    ) -> MpiResult<()> {
         self.clock.advance(self.net.send_overhead);
         let msg = Message {
             src: self.rank,
@@ -181,10 +301,15 @@ impl RankCtx {
             depart: self.clock.now().max(ready_at),
             part,
         };
-        // Unbounded channel: sends are eager and never deadlock.
-        self.peers[dest]
-            .send(msg)
-            .expect("peer inbox closed while world still running");
+        // Unbounded channel: sends are eager and never deadlock. A closed
+        // inbox means the peer rank already exited (it returned early or a
+        // scheduled rank-exit fault fired there): surface that as the same
+        // condition the fault injector models rather than panicking.
+        if self.peers[dest].send(msg).is_err() {
+            self.faults.stats.peer_gone += 1;
+            return Err(MpiError::PeerGone);
+        }
+        Ok(())
     }
 
     /// Send raw bytes as one chunk of a pipelined transfer: the wire
@@ -200,9 +325,9 @@ impl RankCtx {
         part: PartInfo,
     ) -> MpiResult<()> {
         self.check_rank(dest)?;
+        self.fault_gate_send(dest)?;
         let payload = self.gpu.memory().peek(buf, len)?;
-        self.post_at(dest, tag, payload, buf.space, ready_at, Some(part));
-        Ok(())
+        self.post_at(dest, tag, payload, buf.space, ready_at, Some(part))
     }
 
     /// Blocking match of `(src, tag)`; `None` means wildcard
@@ -276,9 +401,9 @@ impl RankCtx {
     /// `MPI_BYTE`). CUDA-aware: `buf` may be device memory.
     pub fn send_bytes(&mut self, buf: GpuPtr, len: usize, dest: usize, tag: i32) -> MpiResult<()> {
         self.check_rank(dest)?;
+        self.fault_gate_send(dest)?;
         let payload = self.gpu.memory().peek(buf, len)?;
-        self.post(dest, tag, payload, buf.space);
-        Ok(())
+        self.post(dest, tag, payload, buf.space)
     }
 
     /// Receive raw bytes into `buf` (capacity `maxlen`). Returns the
@@ -290,17 +415,20 @@ impl RankCtx {
         src: Option<usize>,
         tag: Option<i32>,
     ) -> MpiResult<Status> {
+        self.fault_gate_recv(src)?;
         let msg = self.match_message(src, tag)?;
         let bytes = msg.payload.len();
         if bytes > maxlen {
             return Err(MpiError::Truncated {
                 sent: bytes,
                 capacity: maxlen,
+                envelope: None,
             });
         }
         let transport = Transport::for_spaces(msg.sender_space, buf.space);
         let arrival = msg.depart + self.net.transfer_time(bytes, transport, msg.src, self.rank);
         self.clock.advance_to(arrival);
+        self.fault_extra_delay();
         self.clock.advance(self.net.recv_overhead);
         self.gpu.memory().poke(buf, &msg.payload)?;
         Ok(Status {
@@ -324,14 +452,14 @@ impl RankCtx {
         tag: i32,
     ) -> MpiResult<()> {
         self.check_rank(dest)?;
+        self.fault_gate_send(dest)?;
         let wt = self.wire_type(dt)?;
         let bytes = wt.size * count;
         let fully_contiguous =
             is_contiguous(&wt.segs) && (count <= 1 || wt.size as i64 == wt.extent);
 
         if bytes == 0 {
-            self.post(dest, tag, Vec::new(), buf.space);
-            return Ok(());
+            return self.post(dest, tag, Vec::new(), buf.space);
         }
 
         if buf.space == MemSpace::Device && !fully_contiguous {
@@ -354,8 +482,7 @@ impl RankCtx {
             )?;
             let payload = self.gpu.memory().peek(tmp, bytes)?;
             self.gpu.free(tmp)?;
-            self.post(dest, tag, payload, MemSpace::Device);
-            return Ok(());
+            return self.post(dest, tag, payload, MemSpace::Device);
         }
 
         // Contiguous device data, or host data (packed on the CPU).
@@ -364,8 +491,7 @@ impl RankCtx {
             let t = self.vendor.host_pack_time(bytes, wt.segs.len() * count);
             self.clock.advance(t);
         }
-        self.post(dest, tag, payload, buf.space);
-        Ok(())
+        self.post(dest, tag, payload, buf.space)
     }
 
     /// `MPI_Recv`: receive `count` items of `dt` into `buf`.
@@ -379,6 +505,7 @@ impl RankCtx {
     ) -> MpiResult<Status> {
         let wt = self.wire_type(dt)?;
         let capacity = wt.size * count;
+        self.fault_gate_recv(src)?;
         let msg = self.match_message(src, tag)?;
         if msg.part.is_some() {
             // A pipelined (multi-part) transfer can only be consumed by a
@@ -394,11 +521,13 @@ impl RankCtx {
             return Err(MpiError::Truncated {
                 sent: bytes,
                 capacity,
+                envelope: self.registry().read().get_envelope(dt).ok(),
             });
         }
         let transport = Transport::for_spaces(msg.sender_space, buf.space);
         let arrival = msg.depart + self.net.transfer_time(bytes, transport, msg.src, self.rank);
         self.clock.advance_to(arrival);
+        self.fault_extra_delay();
         self.clock.advance(self.net.recv_overhead);
 
         let items = bytes.checked_div(wt.size).unwrap_or(0);
@@ -533,7 +662,8 @@ mod tests {
                     ctx.recv_bytes(small, 16, Some(0), Some(0)),
                     Err(MpiError::Truncated {
                         sent: 64,
-                        capacity: 16
+                        capacity: 16,
+                        ..
                     })
                 ))
             }
@@ -659,5 +789,94 @@ mod tests {
         let total = SimTime::from_ps(results[0]).as_us_f64();
         // each direction: 2.2 µs floor + 1 MiB / 12.5 B/ns ≈ 84 µs → ~172 µs
         assert!(total > 160.0 && total < 200.0, "round trip {total} µs");
+    }
+
+    // ---- fault-injection gates -----------------------------------------
+
+    use crate::fault::FaultPlan;
+
+    fn faulty_ctx(spec: &str) -> crate::runtime::RankCtx {
+        let cfg = WorldConfig::summit(1).with_faults(FaultPlan::parse(spec).unwrap());
+        crate::runtime::RankCtx::standalone(&cfg)
+    }
+
+    #[test]
+    fn transient_send_fault_retries_and_succeeds() {
+        let mut ctx = faulty_ctx("send@0,backoff=10us");
+        let buf = ctx.gpu.host_alloc(8).unwrap();
+        // the scripted fault kills attempt 0; attempt 1 goes through
+        ctx.send_bytes(buf, 8, 0, 0).unwrap();
+        assert_eq!(ctx.faults.stats.send_faults, 1);
+        assert_eq!(ctx.faults.stats.retries, 1);
+        assert_eq!(ctx.faults.stats.backoff_time, SimTime::from_us(10));
+        // the backoff was charged to the virtual clock (plus send overhead)
+        assert_eq!(
+            ctx.clock.now(),
+            SimTime::from_us(10) + ctx.net.send_overhead
+        );
+        // the message really departed: it is receivable
+        let st = ctx.recv_bytes(buf, 8, Some(0), Some(0)).unwrap();
+        assert_eq!(st.bytes, 8);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_comm_failed() {
+        let mut ctx = faulty_ctx("send=1.0,retries=2,backoff=10us");
+        let buf = ctx.gpu.host_alloc(8).unwrap();
+        let err = ctx.send_bytes(buf, 8, 0, 0).unwrap_err();
+        assert_eq!(
+            err,
+            MpiError::CommFailed {
+                peer: 0,
+                attempts: 3
+            }
+        );
+        assert!(!err.is_transient(), "an exhausted budget is fatal");
+        assert_eq!(ctx.faults.stats.send_faults, 3);
+        assert_eq!(ctx.faults.stats.retries, 2);
+        // backoff 10 + 20 µs charged before giving up
+        assert_eq!(ctx.faults.stats.backoff_time, SimTime::from_us(30));
+    }
+
+    #[test]
+    fn scheduled_rank_exit_reports_peer_gone() {
+        let mut ctx = faulty_ctx("exit=0@5us");
+        let buf = ctx.gpu.host_alloc(8).unwrap();
+        // before the exit instant the self-send works
+        ctx.send_bytes(buf, 8, 0, 0).unwrap();
+        ctx.clock.advance(SimTime::from_us(5));
+        assert_eq!(ctx.send_bytes(buf, 8, 0, 1), Err(MpiError::PeerGone));
+        assert_eq!(
+            ctx.recv_bytes(buf, 8, Some(0), Some(0)),
+            Err(MpiError::PeerGone)
+        );
+        assert_eq!(ctx.faults.stats.peer_gone, 2);
+    }
+
+    #[test]
+    fn injected_delay_charges_virtual_time() {
+        let mut ctx = faulty_ctx("delay=1.0:50us");
+        let buf = ctx.gpu.host_alloc(8).unwrap();
+        ctx.send_bytes(buf, 8, 0, 0).unwrap();
+        let before = ctx.clock.now();
+        ctx.recv_bytes(buf, 8, Some(0), Some(0)).unwrap();
+        assert_eq!(ctx.faults.stats.delays, 1);
+        assert_eq!(ctx.faults.stats.delay_time, SimTime::from_us(50));
+        assert!(ctx.clock.now() - before >= SimTime::from_us(50));
+    }
+
+    #[test]
+    fn inactive_plan_leaves_timing_identical() {
+        // a plan with no active site must not perturb virtual time
+        let run = |cfg: &WorldConfig| {
+            let mut ctx = crate::runtime::RankCtx::standalone(cfg);
+            let buf = ctx.gpu.host_alloc(256).unwrap();
+            ctx.send_bytes(buf, 256, 0, 0).unwrap();
+            ctx.recv_bytes(buf, 256, Some(0), Some(0)).unwrap();
+            ctx.clock.now()
+        };
+        let plain = WorldConfig::summit(1);
+        let gated = WorldConfig::summit(1).with_faults(FaultPlan::parse("seed=9").unwrap());
+        assert_eq!(run(&plain), run(&gated));
     }
 }

@@ -20,6 +20,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::datatype::{Combiner, Contents, Datatype, Envelope, Order, TypeAttrs, TypeRegistry};
 use crate::error::{MpiError, MpiResult};
+use crate::fault::{FaultPlan, FaultState};
 use crate::net::NetModel;
 use crate::p2p::Message;
 use crate::vendor::VendorProfile;
@@ -37,6 +38,9 @@ pub struct WorldConfig {
     pub gpu_cost: GpuCostModel,
     /// GPU hardware model.
     pub device: DeviceProps,
+    /// Deterministic fault plan; `None` (the default) runs fault-free with
+    /// zero hot-path cost.
+    pub faults: Option<FaultPlan>,
 }
 
 impl WorldConfig {
@@ -48,6 +52,7 @@ impl WorldConfig {
             net: NetModel::summit(),
             gpu_cost: GpuCostModel::summit_v100(),
             device: DeviceProps::v100(),
+            faults: None,
         }
     }
 
@@ -60,6 +65,29 @@ impl WorldConfig {
             net: NetModel::workstation(),
             gpu_cost: GpuCostModel::workstation_gtx1070(),
             device: DeviceProps::gtx1070(),
+            faults: None,
+        }
+    }
+
+    /// Builder-style: run this world under `plan`.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// Instantiate the per-rank fault state for `cfg`, installing the GPU-side
+/// injector on `gpu` when the plan has active GPU sites.
+fn init_faults(cfg: &WorldConfig, rank: usize, gpu: &GpuContext) -> FaultState {
+    match &cfg.faults {
+        None => FaultState::disabled(),
+        Some(plan) => {
+            let (state, gpu_inj) = FaultState::from_plan(plan, rank);
+            if gpu_inj.is_some() {
+                gpu.set_fault_injector(gpu_inj);
+            }
+            state
         }
     }
 }
@@ -141,6 +169,9 @@ pub struct RankCtx {
     pub vendor: VendorProfile,
     /// The fabric model.
     pub net: NetModel,
+    /// Fault-injection state for this rank: the (optional) injector plus
+    /// the statistics and degradation-event log accumulated so far.
+    pub faults: FaultState,
     pub(crate) registry: Arc<RwLock<TypeRegistry>>,
     pub(crate) inbox: Receiver<Message>,
     pub(crate) peers: Vec<Sender<Message>>,
@@ -156,6 +187,7 @@ impl RankCtx {
     pub fn standalone(cfg: &WorldConfig) -> RankCtx {
         let (tx, rx) = unbounded();
         let gpu = GpuContext::new(cfg.device.clone());
+        let faults = init_faults(cfg, 0, &gpu);
         RankCtx {
             rank: 0,
             size: 1,
@@ -164,6 +196,7 @@ impl RankCtx {
             stream: Stream::new(gpu, cfg.gpu_cost.clone()),
             vendor: cfg.vendor.clone(),
             net: cfg.net.clone(),
+            faults,
             registry: Arc::new(RwLock::new(TypeRegistry::new())),
             inbox: rx,
             peers: vec![tx],
@@ -416,6 +449,7 @@ impl World {
             .enumerate()
             .map(|(rank, inbox)| {
                 let gpu = GpuContext::new(cfg.device.clone());
+                let faults = init_faults(cfg, rank, &gpu);
                 RankCtx {
                     rank,
                     size,
@@ -424,6 +458,7 @@ impl World {
                     stream: Stream::new(gpu, cfg.gpu_cost.clone()),
                     vendor: cfg.vendor.clone(),
                     net: cfg.net.clone(),
+                    faults,
                     registry: Arc::clone(&registry),
                     inbox,
                     peers: txs.clone(),

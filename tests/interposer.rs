@@ -6,7 +6,7 @@ mod common;
 
 use common::pattern;
 use mpi_sim::consts::MPI_BYTE;
-use mpi_sim::{RankCtx, World, WorldConfig};
+use mpi_sim::{MpiError, RankCtx, World, WorldConfig};
 use tempi_core::config::TempiConfig;
 use tempi_core::interpose::{InterposedMpi, Linker, MpiSymbol, Provider};
 
@@ -117,4 +117,102 @@ fn stats_attribute_work_to_the_right_layer() {
     assert_eq!(mpi.tempi.stats.pack_calls, 2);
     // the struct pack fell through to baseline handling
     assert_eq!(mpi.tempi.stats.fallbacks, 1);
+}
+
+// ---- error paths through the interposer (both providers) -----------------
+//
+// The robustness contract: an application linked with TEMPI sees the same
+// MPI error classes it would see from the system MPI alone.
+
+fn providers() -> [(&'static str, fn() -> InterposedMpi); 2] {
+    [
+        (
+            "tempi",
+            (|| InterposedMpi::new(TempiConfig::default())) as fn() -> InterposedMpi,
+        ),
+        (
+            "system",
+            InterposedMpi::system_only as fn() -> InterposedMpi,
+        ),
+    ]
+}
+
+#[test]
+fn uncommitted_type_is_rejected_by_both_providers() {
+    for (name, factory) in providers() {
+        let mut ctx = ctx();
+        let mut mpi = factory();
+        let dt = ctx.type_vector(4, 4, 8, MPI_BYTE).unwrap();
+        // no type_commit
+        let src = ctx.gpu.malloc(64).unwrap();
+        let dst = ctx.gpu.malloc(16).unwrap();
+        let mut pos = 0;
+        let r = mpi.pack(&mut ctx, src, 1, dt, dst, 16, &mut pos);
+        assert!(matches!(r, Err(MpiError::NotCommitted)), "{name}: {r:?}");
+    }
+}
+
+#[test]
+fn invalid_rank_is_rejected_by_both_providers() {
+    for (name, factory) in providers() {
+        let mut ctx = ctx(); // world of size 1
+        let mut mpi = factory();
+        let dt = ctx.type_vector(4, 4, 8, MPI_BYTE).unwrap();
+        mpi.type_commit(&mut ctx, dt).unwrap();
+        let buf = ctx.gpu.malloc(64).unwrap();
+        let r = mpi.send(&mut ctx, buf, 1, dt, 5, 0);
+        assert!(
+            matches!(r, Err(MpiError::InvalidRank { rank: 5, size: 1 })),
+            "{name}: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn truncation_is_reported_by_both_providers() {
+    for (name, factory) in providers() {
+        let mut cfg = WorldConfig::summit(2);
+        cfg.net.ranks_per_node = 1;
+        let results = World::run(&cfg, move |ctx| {
+            let mut mpi = factory();
+            let big = ctx.type_vector(16, 8, 16, MPI_BYTE)?; // 128 data bytes
+            let small = ctx.type_vector(4, 8, 16, MPI_BYTE)?; // capacity 32
+            mpi.type_commit(ctx, big)?;
+            mpi.type_commit(ctx, small)?;
+            if ctx.rank == 0 {
+                let buf = ctx.gpu.malloc(16 * 16)?;
+                mpi.send(ctx, buf, 1, big, 1, 0)?;
+                Ok(true)
+            } else {
+                let buf = ctx.gpu.malloc(64)?;
+                let r = mpi.recv(ctx, buf, 1, small, Some(0), Some(0));
+                Ok(matches!(
+                    r,
+                    Err(MpiError::Truncated {
+                        sent: 128,
+                        capacity: 32,
+                        ..
+                    })
+                ))
+            }
+        })
+        .unwrap();
+        assert!(results[1], "{name}");
+    }
+}
+
+#[test]
+fn scheduled_peer_exit_surfaces_peer_gone_under_both_providers() {
+    for (name, factory) in providers() {
+        let cfg =
+            WorldConfig::summit(1).with_faults(mpi_sim::FaultPlan::parse("exit=0@5us").unwrap());
+        let mut ctx = RankCtx::standalone(&cfg);
+        let mut mpi = factory();
+        let dt = ctx.type_vector(4, 4, 8, MPI_BYTE).unwrap();
+        mpi.type_commit(&mut ctx, dt).unwrap();
+        let buf = ctx.gpu.malloc(64).unwrap();
+        ctx.clock.advance(gpu_sim::SimTime::from_us(10)); // past the exit
+        let r = mpi.send(&mut ctx, buf, 1, dt, 0, 0);
+        assert!(matches!(r, Err(MpiError::PeerGone)), "{name}: {r:?}");
+    }
 }

@@ -154,7 +154,8 @@ fn truncation_error_through_tempi() {
                 r,
                 Err(MpiError::Truncated {
                     sent: 128,
-                    capacity: 32
+                    capacity: 32,
+                    ..
                 })
             ))
         }
