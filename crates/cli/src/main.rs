@@ -13,6 +13,12 @@
 //!                                              under a deterministic fault
 //!                                              plan; prints the degradation
 //!                                              log and fault statistics
+//! tempi-cli stencil [--ranks P] [--n N] [--iters I]
+//!                [--faults "<plan>"] [--recover]
+//!                                              multi-rank halo exchange;
+//!                                              with --recover, survivors
+//!                                              revoke/agree/shrink around
+//!                                              killed ranks and keep going
 //! tempi-cli spec-help                          the spec mini-language
 //! ```
 //!
@@ -23,7 +29,7 @@ mod spec;
 
 use gpu_sim::PackDir;
 use mpi_sim::datatype::pack_cpu;
-use mpi_sim::{FaultPlan, RankCtx, World, WorldConfig};
+use mpi_sim::{FaultPlan, MpiError, RankCtx, World, WorldConfig};
 use tempi_bench::{commit_breakdown, fmt_speedup, measure::unpack_time, pack_time, Mode, Platform};
 use tempi_core::config::{Method, TempiConfig};
 use tempi_core::interpose::InterposedMpi;
@@ -32,10 +38,11 @@ use tempi_core::ir::transform::simplify;
 use tempi_core::ir::translate::{translate, Translated};
 use tempi_core::model::SendModel;
 use tempi_core::tempi::{PlanKind, Tempi};
+use tempi_stencil::{Decomp, HaloConfig, HaloExchanger};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--faults \"<plan>\"]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
+        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--faults \"<plan>\"]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
     );
     std::process::exit(2);
 }
@@ -67,6 +74,7 @@ fn main() {
         "commit" => commit(&args[1..]),
         "model" => model(&args[1..]),
         "send" => send(&args[1..]),
+        "stencil" => stencil(&args[1..]),
         "spec-help" => {
             println!("{}", SPEC_HELP);
         }
@@ -400,6 +408,126 @@ fn send(args: &[String]) {
         }
     }
     if !results[1].1 {
+        std::process::exit(1);
+    }
+}
+
+/// One rank's share of the `stencil` subcommand: build the exchanger, run
+/// `iters` halo exchanges (with ULFM-style recovery when asked), then
+/// verify the whole local grid against the serial oracle.
+#[allow(clippy::type_complexity)]
+fn run_stencil_rank(
+    ctx: &mut RankCtx,
+    n: usize,
+    iters: usize,
+    recover: bool,
+) -> Result<(bool, u64, Vec<usize>, u64, usize), MpiError> {
+    let mut mpi = InterposedMpi::new(TempiConfig::default());
+    let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(n))?;
+    ex.fill(ctx)?;
+    let mut shrinks = 0u64;
+    let mut excluded: Vec<usize> = Vec::new();
+    for _ in 0..iters {
+        if recover {
+            let out = ex.exchange_with_recovery(ctx, &mut mpi, 4)?;
+            shrinks += out.shrinks;
+            for w in out.excluded {
+                if !excluded.contains(&w) {
+                    excluded.push(w);
+                }
+            }
+        } else {
+            ex.exchange(ctx, &mut mpi)?;
+        }
+    }
+    let got = { ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())? };
+    let ok = got == ex.expected_grid(ctx);
+    let result = (ok, shrinks, excluded, ctx.epoch(), ctx.size);
+    ex.destroy(ctx)?;
+    Ok(result)
+}
+
+fn stencil(args: &[String]) {
+    let ranks: usize = flag_value(args, "--ranks")
+        .map(|v| v.parse().expect("--ranks takes an integer"))
+        .unwrap_or(8);
+    let n: usize = flag_value(args, "--n")
+        .map(|v| v.parse().expect("--n takes an integer"))
+        .unwrap_or(4);
+    let iters: usize = flag_value(args, "--iters")
+        .map(|v| v.parse().expect("--iters takes an integer"))
+        .unwrap_or(2);
+    let recover = args.iter().any(|a| a == "--recover");
+    let mut cfg = WorldConfig::summit(ranks);
+    if let Some(spec) = flag_value(args, "--faults") {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => cfg.faults = Some(plan),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let results = World::run(&cfg, |ctx| {
+        let outcome = run_stencil_rank(ctx, n, iters, recover);
+        Ok((outcome, ctx.clock.now(), ctx.faults.stats.clone()))
+    });
+    let results = match results {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let d = Decomp::new(ranks);
+    println!(
+        "world       : {ranks} ranks ({}x{}x{}), {n}^3 interior per rank (radius 2), {iters} iteration(s), {}, recovery {}",
+        d.dims[0],
+        d.dims[1],
+        d.dims[2],
+        if cfg.faults.is_some() {
+            "fault plan active"
+        } else {
+            "fault-free"
+        },
+        if recover { "on" } else { "off" }
+    );
+    let mut failed = false;
+    for (rank, (outcome, clock, stats)) in results.iter().enumerate() {
+        match outcome {
+            Ok((ok, shrinks, excluded, epoch, size)) => {
+                println!(
+                    "rank {rank}      : {} — epoch {epoch}, comm size {size}, shrinks {shrinks}, excluded {excluded:?}, clock {clock}",
+                    if *ok { "verified" } else { "MISMATCH vs oracle" }
+                );
+                if !ok {
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                // a killed rank (or an unrecovered survivor) lands here;
+                // with --recover only the dead ranks should
+                println!("rank {rank}      : failed ({e}), clock {clock}");
+                if !matches!(e, MpiError::PeerGone) {
+                    failed = true;
+                }
+            }
+        }
+        println!(
+            "  faults    : send {}, recv {}, retries {}, peer-gone {}, death notices {}, revocations {}, stale dropped {}",
+            stats.send_faults,
+            stats.recv_faults,
+            stats.retries,
+            stats.peer_gone,
+            stats.death_notices,
+            stats.revocations,
+            stats.stale_dropped
+        );
+        for ev in &stats.events {
+            println!("  degrade   : {ev}");
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -33,6 +33,9 @@ pub enum MpiSymbol {
     Send,
     Recv,
     Alltoallv,
+    CommRevoke,
+    CommShrink,
+    CommAgree,
 }
 
 /// Which library a symbol resolved to.
@@ -263,6 +266,30 @@ impl InterposedMpi {
         // not in the override set → always the system implementation
         let _ = self.resolve(MpiSymbol::Alltoallv);
         ctx.alltoallv_bytes(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+    }
+
+    /// `MPIX_Comm_revoke` (ULFM). Fault-tolerance entry points are not
+    /// datatype symbols, so TEMPI never exports them — they always fall
+    /// through to the system MPI, and the log records that.
+    pub fn comm_revoke(&mut self, ctx: &mut RankCtx) -> MpiResult<()> {
+        let _ = self.resolve(MpiSymbol::CommRevoke);
+        ctx.revoke()
+    }
+
+    /// `MPIX_Comm_shrink` (ULFM): agree on the failed set, renumber the
+    /// survivors densely, bump the communicator epoch. Returns the world
+    /// ranks that were excluded. Always the system implementation.
+    pub fn comm_shrink(&mut self, ctx: &mut RankCtx) -> MpiResult<Vec<usize>> {
+        let _ = self.resolve(MpiSymbol::CommShrink);
+        ctx.shrink()
+    }
+
+    /// `MPIX_Comm_agree` (ULFM, specialized to failure detection): every
+    /// survivor returns the identical set of failed world ranks. Always
+    /// the system implementation.
+    pub fn comm_agree(&mut self, ctx: &mut RankCtx) -> MpiResult<Vec<usize>> {
+        let _ = self.resolve(MpiSymbol::CommAgree);
+        ctx.agree_on_failures()
     }
 }
 
@@ -498,6 +525,30 @@ mod tests {
         assert_eq!(
             mpi.log.last(),
             Some(&(MpiSymbol::Alltoallv, Provider::System))
+        );
+    }
+
+    #[test]
+    fn ulfm_symbols_always_fall_through_to_system() {
+        let l = Linker::with_tempi();
+        assert_eq!(l.resolve(MpiSymbol::CommRevoke), Provider::System);
+        assert_eq!(l.resolve(MpiSymbol::CommShrink), Provider::System);
+        assert_eq!(l.resolve(MpiSymbol::CommAgree), Provider::System);
+
+        let mut ctx = ctx();
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        // single-rank world: agree finds nothing, shrink keeps everyone
+        assert_eq!(mpi.comm_agree(&mut ctx).unwrap(), Vec::<usize>::new());
+        assert_eq!(mpi.comm_shrink(&mut ctx).unwrap(), Vec::<usize>::new());
+        mpi.comm_revoke(&mut ctx).unwrap();
+        assert!(ctx.is_revoked());
+        assert_eq!(
+            mpi.log,
+            vec![
+                (MpiSymbol::CommAgree, Provider::System),
+                (MpiSymbol::CommShrink, Provider::System),
+                (MpiSymbol::CommRevoke, Provider::System),
+            ]
         );
     }
 

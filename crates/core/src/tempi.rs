@@ -134,6 +134,11 @@ pub struct TempiStats {
     /// Pack/unpack operations whose kernel path was downgraded to the CPU
     /// copy path after a transient failure.
     pub degraded_xfers: u64,
+    /// Operations abandoned because the communicator failed (`PeerGone`,
+    /// `Revoked`, `CommFailed`). These are *not* degradations: no rung can
+    /// route around a dead peer, so the error propagates to the caller,
+    /// whose recovery path (revoke → agree → shrink) takes over.
+    pub comm_failures: u64,
 }
 
 /// Human-readable method name for degradation events.
@@ -766,7 +771,10 @@ impl Tempi {
             // Mid-pipeline degradation is unsafe — the receiver has already
             // seen parts and expects the rest — so the pipelined method is
             // not a rung on the ladder; its errors propagate.
-            self.send_pipelined(ctx, &plan, buf, count, dt, dest, tag, bytes)?;
+            if let Err(e) = self.send_pipelined(ctx, &plan, buf, count, dt, dest, tag, bytes) {
+                self.note_comm_failure(&e);
+                return Err(e);
+            }
             return Ok(Some(Method::Pipelined));
         }
 
@@ -784,7 +792,10 @@ impl Tempi {
             let Some(&current) = rungs.get(idx) else {
                 // Ladder exhausted (or every rung quarantined): system MPI.
                 self.stats.fallbacks += 1;
-                ctx.send(buf, count, dt, dest, tag)?;
+                if let Err(e) = ctx.send(buf, count, dt, dest, tag) {
+                    self.note_comm_failure(&e);
+                    return Err(e);
+                }
                 return Ok(None);
             };
             match self.send_via(ctx, current, &plan, bytes, buf, count, dt, dest, tag) {
@@ -796,8 +807,23 @@ impl Tempi {
                     record_degrade(ctx, dt, method_name(current), to, &e);
                     idx += 1;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    // A failed peer or a revoked communicator is not a
+                    // rung problem — stepping down the ladder cannot help.
+                    // Count it and surface it to the recovery path.
+                    self.note_comm_failure(&e);
+                    return Err(e);
+                }
             }
+        }
+    }
+
+    /// Count an error against the communicator-failure statistic if it is
+    /// one (`PeerGone` / `Revoked` / `CommFailed`); transient GPU errors
+    /// are handled by the degradation ladder instead.
+    fn note_comm_failure(&mut self, e: &MpiError) {
+        if e.is_comm_failure() {
+            self.stats.comm_failures += 1;
         }
     }
 
@@ -1015,10 +1041,22 @@ impl Tempi {
             && !(plan.is_contiguous() && (count <= 1 || plan.size as i64 == plan.extent));
         if !accel {
             self.stats.fallbacks += 1;
-            let st = ctx.recv(buf, count, dt, src, tag)?;
+            let st = match ctx.recv(buf, count, dt, src, tag) {
+                Ok(st) => st,
+                Err(e) => {
+                    self.note_comm_failure(&e);
+                    return Err(e);
+                }
+            };
             return Ok((st, None));
         }
-        let info = ctx.probe(src, tag)?;
+        let info = match ctx.probe(src, tag) {
+            Ok(info) => info,
+            Err(e) => {
+                self.note_comm_failure(&e);
+                return Err(e);
+            }
+        };
         if let Some(part) = info.part {
             let st = self.recv_pipelined(ctx, buf, count, dt, &plan, info, part)?;
             return Ok((st, Some(Method::Pipelined)));
@@ -1046,6 +1084,7 @@ impl Tempi {
             Ok(st) => st,
             Err(e) => {
                 self.pool.put(tmp, sz);
+                self.note_comm_failure(&e);
                 return Err(e);
             }
         };

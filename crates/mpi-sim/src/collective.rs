@@ -1,19 +1,64 @@
 //! Collectives built over point-to-point: `Alltoallv` (the halo-exchange
-//! primitive of the paper's Section 6.4), plus small gather/bcast helpers
-//! for harnesses.
+//! primitive of the paper's Section 6.4), plus small gather/bcast/reduce
+//! helpers for harnesses.
 //!
 //! The implementation is the textbook linear algorithm — every rank posts
-//! its sends, then receives from every peer in rank order. Virtual clocks
-//! make the timing come out right regardless of wall-clock interleaving:
-//! each receive completes at `max(now, depart_j + wire_j)`.
+//! its sends, then receives from every peer in rank order (`alltoallv`
+//! interleaves the two beyond a small window so eager traffic stays
+//! bounded). Virtual clocks make the timing come out right regardless of
+//! wall-clock interleaving: each receive completes at
+//! `max(now, depart_j + wire_j)`.
+//!
+//! Every collective is fault-aware: it fails fast with
+//! [`MpiError::PeerGone`] when any current member is already dead at entry
+//! (ULFM semantics — a collective cannot complete once a participant
+//! failed), its constituent sends/receives pass through the same
+//! fault-injection gates as user point-to-point traffic, and a revocation
+//! observed mid-collective surfaces as [`MpiError::Revoked`] instead of a
+//! hang.
 
-use gpu_sim::GpuPtr;
+use gpu_sim::{GpuPtr, SimTime};
 
 use crate::error::{MpiError, MpiResult};
 use crate::p2p::{TAG_ALLTOALLV, TAG_GATHER};
 use crate::runtime::RankCtx;
 
+/// How many of a rank's `alltoallv` sends may be in flight before it starts
+/// draining its receives. Bounds posted-but-unconsumed eager messages at
+/// roughly `window` per rank pair direction instead of `size`.
+const ALLTOALLV_WINDOW: usize = 8;
+
 impl RankCtx {
+    /// Common entry gate for collectives: a revoked communicator or an
+    /// already-dead member fails the operation before any traffic moves.
+    /// Purely clock-based (scheduled exits), so the decision replays
+    /// identically in virtual time. One branch when fault-free.
+    fn collective_entry(&mut self) -> MpiResult<()> {
+        self.check_comm()?;
+        if self.faults.injector.is_none() {
+            return Ok(());
+        }
+        self.self_exit_check()?;
+        let now = self.clock.now();
+        let mut dead: Option<(usize, SimTime)> = None;
+        if let Some(inj) = &self.faults.injector {
+            for &w in &self.comm_members {
+                if w != self.world_rank && inj.peer_dead(w, now) {
+                    if let Some(at) = inj.exit_time(w) {
+                        dead = Some((w, at));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((w, at)) = dead {
+            self.known_dead.entry(w).or_insert(at);
+            self.faults.stats.peer_gone += 1;
+            return Err(MpiError::PeerGone);
+        }
+        Ok(())
+    }
+
     /// `MPI_Alltoallv` on raw bytes (`MPI_BYTE` counts/displacements), the
     /// shape the paper's stencil uses after packing all halos into one
     /// buffer. Buffers may live in device or host memory (CUDA-aware).
@@ -30,6 +75,7 @@ impl RankCtx {
         recvcounts: &[usize],
         rdispls: &[usize],
     ) -> MpiResult<()> {
+        self.collective_entry()?;
         let n = self.size;
         if [
             sendcounts.len(),
@@ -44,31 +90,51 @@ impl RankCtx {
                 "alltoallv argument arrays must have one entry per rank".to_string(),
             ));
         }
-        // Post all sends (eager).
+        // Sends are eager (unbounded channels), so pure post-all-then-recv
+        // would leave O(size) unconsumed messages per pair. Interleaving the
+        // rank-ordered receives behind a fixed window keeps the in-flight
+        // volume bounded; the send→recv dependency chain strictly decreases
+        // rank indices, so the schedule is deadlock-free for any window ≥ 1.
+        let mut next_recv = 0usize;
         for j in 0..n {
-            if sendcounts[j] == 0 {
-                continue;
+            if sendcounts[j] > 0 {
+                self.send_bytes(sendbuf.add(sdispls[j]), sendcounts[j], j, TAG_ALLTOALLV)?;
             }
-            self.send_bytes(sendbuf.add(sdispls[j]), sendcounts[j], j, TAG_ALLTOALLV)?;
+            if j >= ALLTOALLV_WINDOW {
+                self.alltoallv_recv_one(recvbuf, recvcounts, rdispls, next_recv)?;
+                next_recv += 1;
+            }
         }
-        // Receive from every peer (self-message included; it was posted
-        // above and costs only a local copy).
-        for j in 0..n {
-            if recvcounts[j] == 0 {
-                continue;
-            }
-            let st = self.recv_bytes(
-                recvbuf.add(rdispls[j]),
-                recvcounts[j],
-                Some(j),
-                Some(TAG_ALLTOALLV),
-            )?;
-            if st.bytes != recvcounts[j] {
-                return Err(MpiError::Internal(format!(
-                    "alltoallv count mismatch from rank {j}: got {}, expected {}",
-                    st.bytes, recvcounts[j]
-                )));
-            }
+        while next_recv < n {
+            self.alltoallv_recv_one(recvbuf, recvcounts, rdispls, next_recv)?;
+            next_recv += 1;
+        }
+        Ok(())
+    }
+
+    /// One rank-ordered `alltoallv` receive (self-messages included; they
+    /// were posted eagerly and cost only a local copy).
+    fn alltoallv_recv_one(
+        &mut self,
+        recvbuf: GpuPtr,
+        recvcounts: &[usize],
+        rdispls: &[usize],
+        j: usize,
+    ) -> MpiResult<()> {
+        if recvcounts[j] == 0 {
+            return Ok(());
+        }
+        let st = self.recv_bytes(
+            recvbuf.add(rdispls[j]),
+            recvcounts[j],
+            Some(j),
+            Some(TAG_ALLTOALLV),
+        )?;
+        if st.bytes != recvcounts[j] {
+            return Err(MpiError::Internal(format!(
+                "alltoallv count mismatch from rank {j}: got {}, expected {}",
+                st.bytes, recvcounts[j]
+            )));
         }
         Ok(())
     }
@@ -76,28 +142,37 @@ impl RankCtx {
     /// Gather each rank's byte buffer to rank 0 (harness helper). Returns
     /// `Some(per-rank payloads)` on rank 0, `None` elsewhere.
     pub fn gather_bytes_to_root(&mut self, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        self.collective_entry()?;
         if self.rank == 0 {
             let mut all = vec![Vec::new(); self.size];
             all[0] = data.to_vec();
             for _ in 1..self.size {
+                // The root consumes leaf messages directly, so it passes
+                // through the same receive-side fault sites as p2p.
+                self.fault_gate_recv(None)?;
                 let msg = self.match_message(None, Some(TAG_GATHER))?;
                 let arrival = msg.depart
                     + self.net.transfer_time(
                         msg.payload.len(),
                         crate::net::Transport::Cpu,
-                        msg.src,
-                        0,
+                        msg.src_world,
+                        self.world_rank,
                     );
                 self.clock.advance_to(arrival);
+                self.fault_extra_delay();
                 all[msg.src] = msg.payload;
             }
             Ok(Some(all))
         } else {
             // stage through a host scratch buffer to reuse send_bytes
             let buf = self.gpu.host_alloc(data.len().max(1))?;
-            self.gpu.memory().poke(buf, data)?;
-            self.send_bytes(buf, data.len(), 0, TAG_GATHER)?;
+            let poked = { self.gpu.memory().poke(buf, data) };
+            let r = match poked {
+                Ok(()) => self.send_bytes(buf, data.len(), 0, TAG_GATHER),
+                Err(e) => Err(e.into()),
+            };
             self.gpu.free(buf)?;
+            r?;
             Ok(None)
         }
     }
@@ -110,6 +185,7 @@ impl RankCtx {
     /// `MPI_Bcast` on raw bytes, binomial tree rooted at `root`. Buffers
     /// may be device or host memory.
     pub fn bcast_bytes(&mut self, buf: GpuPtr, len: usize, root: usize) -> MpiResult<()> {
+        self.collective_entry()?;
         self.check_rank(root)?;
         let n = self.size;
         if n == 1 {
@@ -151,40 +227,55 @@ impl RankCtx {
         op: fn(f64, f64) -> f64,
         root: usize,
     ) -> MpiResult<Option<Vec<f64>>> {
+        self.collective_entry()?;
         self.check_rank(root)?;
-        let n = self.size;
         let bytes = values.len() * 8;
         let mut acc: Vec<f64> = values.to_vec();
-        if n > 1 {
-            let vrank = (self.rank + n - root) % n;
+        if self.size > 1 {
             let scratch = self.gpu.host_alloc(bytes.max(1))?;
-            let mut mask = 1usize;
-            while mask < n {
-                if vrank & mask == 0 {
-                    let vpeer = vrank | mask;
-                    if vpeer < n {
-                        let peer = (vpeer + root) % n;
-                        self.recv_bytes(scratch, bytes, Some(peer), Some(TAG_TREE))?;
-                        let raw = self.gpu.memory().peek(scratch, bytes)?;
-                        for (i, a) in acc.iter_mut().enumerate() {
-                            let v = f64::from_le_bytes(
-                                raw[i * 8..i * 8 + 8].try_into().expect("8 bytes"),
-                            );
-                            *a = op(*a, v);
-                        }
-                    }
-                } else {
-                    let parent = (vrank - mask + root) % n;
-                    let raw: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
-                    self.gpu.memory().poke(scratch, &raw)?;
-                    self.send_bytes(scratch, bytes, parent, TAG_TREE)?;
-                    break;
-                }
-                mask <<= 1;
-            }
+            // the scratch buffer goes back even when the tree errors out
+            let r = self.reduce_tree(&mut acc, op, root, bytes, scratch);
             self.gpu.free(scratch)?;
+            r?;
         }
         Ok(if self.rank == root { Some(acc) } else { None })
+    }
+
+    /// The binomial combining tree of [`RankCtx::reduce_f64`].
+    fn reduce_tree(
+        &mut self,
+        acc: &mut [f64],
+        op: fn(f64, f64) -> f64,
+        root: usize,
+        bytes: usize,
+        scratch: GpuPtr,
+    ) -> MpiResult<()> {
+        let n = self.size;
+        let vrank = (self.rank + n - root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask == 0 {
+                let vpeer = vrank | mask;
+                if vpeer < n {
+                    let peer = (vpeer + root) % n;
+                    self.recv_bytes(scratch, bytes, Some(peer), Some(TAG_TREE))?;
+                    let raw = self.gpu.memory().peek(scratch, bytes)?;
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        let v =
+                            f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+                        *a = op(*a, v);
+                    }
+                }
+            } else {
+                let parent = (vrank - mask + root) % n;
+                let raw: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+                self.gpu.memory().poke(scratch, &raw)?;
+                self.send_bytes(scratch, bytes, parent, TAG_TREE)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        Ok(())
     }
 
     /// `MPI_Allreduce` of `f64` values: reduce to rank 0 then broadcast.
@@ -193,19 +284,33 @@ impl RankCtx {
         values: &[f64],
         op: fn(f64, f64) -> f64,
     ) -> MpiResult<Vec<f64>> {
+        self.collective_entry()?;
         let reduced = self.reduce_f64(values, op, 0)?;
         let bytes = values.len() * 8;
         let scratch = self.gpu.host_alloc(bytes.max(1))?;
-        if let Some(r) = &reduced {
+        let r = self.allreduce_bcast_body(&reduced, bytes, scratch);
+        self.gpu.free(scratch)?;
+        let raw = r?;
+        Ok((0..values.len())
+            .map(|i| f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Broadcast half of [`RankCtx::allreduce_f64`], split out so the
+    /// scratch buffer is returned to the GPU on every error path.
+    fn allreduce_bcast_body(
+        &mut self,
+        reduced: &Option<Vec<f64>>,
+        bytes: usize,
+        scratch: GpuPtr,
+    ) -> MpiResult<Vec<u8>> {
+        if let Some(r) = reduced {
             let raw: Vec<u8> = r.iter().flat_map(|v| v.to_le_bytes()).collect();
             self.gpu.memory().poke(scratch, &raw)?;
         }
         self.bcast_bytes(scratch, bytes, 0)?;
-        let raw = self.gpu.memory().peek(scratch, bytes)?;
-        self.gpu.free(scratch)?;
-        Ok((0..values.len())
-            .map(|i| f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8 bytes")))
-            .collect())
+        let raw = { self.gpu.memory().peek(scratch, bytes) };
+        raw.map_err(Into::into)
     }
 }
 
@@ -215,6 +320,7 @@ impl RankCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::runtime::{World, WorldConfig};
 
     #[test]
@@ -303,6 +409,30 @@ mod tests {
         .unwrap();
         // device buffers → GPU-path floors apply
         assert!(results.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn alltoallv_beyond_window_still_exchanges_correctly() {
+        // more ranks than ALLTOALLV_WINDOW: the interleaved (bounded
+        // in-flight) schedule must deliver the same bytes as post-all
+        let n = ALLTOALLV_WINDOW + 4;
+        let cfg = WorldConfig::summit(n);
+        let results = World::run(&cfg, |ctx| {
+            let send = ctx.gpu.host_alloc(n)?;
+            let recv = ctx.gpu.host_alloc(n)?;
+            let data: Vec<u8> = (0..n).map(|j| (ctx.rank * 31 + j) as u8).collect();
+            ctx.gpu.memory().poke(send, &data)?;
+            let counts = vec![1usize; n];
+            let displs: Vec<usize> = (0..n).collect();
+            ctx.alltoallv_bytes(send, &counts, &displs, recv, &counts, &displs)?;
+            ctx.gpu.memory().peek(recv, n).map_err(Into::into)
+        })
+        .unwrap();
+        for (r, got) in results.iter().enumerate() {
+            for (j, &byte) in got.iter().enumerate() {
+                assert_eq!(byte, (j * 31 + r) as u8, "rank {r} from {j}");
+            }
+        }
     }
 
     #[test]
@@ -403,5 +533,84 @@ mod tests {
         assert_eq!(root[1], vec![1, 1, 1]);
         assert_eq!(root[2], vec![2, 2, 2]);
         assert!(results[1].is_none());
+    }
+
+    // ---- fault awareness ------------------------------------------------
+
+    #[test]
+    fn collectives_error_not_hang_when_a_member_is_dead() {
+        // rank 3 is scheduled dead before the collective starts: every
+        // survivor fails fast at entry instead of blocking forever, and the
+        // dead rank reports its own death
+        let plan = FaultPlan::parse("exit=3@5us").unwrap();
+        let cfg = WorldConfig::summit(4).with_faults(plan);
+        let results = World::run(&cfg, |ctx| {
+            ctx.clock.advance(SimTime::from_us(10));
+            let buf = ctx.gpu.host_alloc(8)?;
+            let r = ctx.bcast_bytes(buf, 8, 0);
+            assert_eq!(r, Err(MpiError::PeerGone), "rank {}", ctx.rank);
+            let r = ctx.allreduce_f64(&[1.0], f64::max);
+            assert_eq!(r, Err(MpiError::PeerGone), "rank {}", ctx.rank);
+            let r = ctx.gather_bytes_to_root(&[1, 2]);
+            assert_eq!(r, Err(MpiError::PeerGone), "rank {}", ctx.rank);
+            let counts = vec![0usize; 4];
+            let r = ctx.alltoallv_bytes(buf, &counts, &counts, buf, &counts, &counts);
+            assert_eq!(r, Err(MpiError::PeerGone), "rank {}", ctx.rank);
+            let r = ctx.reduce_f64(&[1.0], |a, b| a + b, 0);
+            assert_eq!(r, Err(MpiError::PeerGone), "rank {}", ctx.rank);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(results, vec![true; 4]);
+    }
+
+    #[test]
+    fn revoked_communicator_fails_all_collectives_fast() {
+        let cfg = WorldConfig::summit(1);
+        let mut ctx = crate::runtime::RankCtx::standalone(&cfg);
+        ctx.revoke().unwrap();
+        let buf = ctx.gpu.host_alloc(8).unwrap();
+        assert_eq!(ctx.bcast_bytes(buf, 8, 0), Err(MpiError::Revoked));
+        assert_eq!(ctx.reduce_f64(&[1.0], f64::max, 0), Err(MpiError::Revoked));
+        assert_eq!(ctx.allreduce_f64(&[1.0], f64::max), Err(MpiError::Revoked));
+        assert_eq!(ctx.gather_bytes_to_root(&[1]), Err(MpiError::Revoked));
+        assert_eq!(
+            ctx.alltoallv_bytes(buf, &[0], &[0], buf, &[0], &[0]),
+            Err(MpiError::Revoked)
+        );
+    }
+
+    #[test]
+    fn injected_faults_reach_collective_sites() {
+        // a transient-fault plan with a generous retry budget: collectives
+        // must exercise the same gates as p2p (faults observed, results
+        // still exact)
+        let plan = FaultPlan::parse("seed=11,send=0.2,recv=0.2,retries=12,backoff=5us").unwrap();
+        let cfg = WorldConfig::summit(4).with_faults(plan);
+        let results = World::run(&cfg, |ctx| {
+            let buf = ctx.gpu.host_alloc(16)?;
+            if ctx.rank == 0 {
+                ctx.gpu.memory().poke(buf, &[9u8; 16])?;
+            }
+            ctx.bcast_bytes(buf, 16, 0)?;
+            assert_eq!(ctx.gpu.memory().peek(buf, 16)?, vec![9u8; 16]);
+            let sum = ctx.allreduce_f64(&[ctx.rank as f64], |a, b| a + b)?;
+            assert_eq!(sum, vec![6.0]);
+            let gathered = ctx.gather_bytes_to_root(&[ctx.rank as u8])?;
+            if let Some(all) = gathered {
+                assert_eq!(all, vec![vec![0], vec![1], vec![2], vec![3]]);
+            }
+            let counts = vec![1usize; 4];
+            let displs: Vec<usize> = (0..4).collect();
+            let send = ctx.gpu.host_alloc(4)?;
+            let recv = ctx.gpu.host_alloc(4)?;
+            ctx.gpu.memory().poke(send, &[ctx.rank as u8; 4])?;
+            ctx.alltoallv_bytes(send, &counts, &displs, recv, &counts, &displs)?;
+            assert_eq!(ctx.gpu.memory().peek(recv, 4)?, vec![0, 1, 2, 3]);
+            Ok(ctx.faults.stats.send_faults + ctx.faults.stats.recv_faults)
+        })
+        .unwrap();
+        let observed: u64 = results.iter().sum();
+        assert!(observed > 0, "no faults reached the collective sites");
     }
 }

@@ -56,6 +56,11 @@ pub enum MpiError {
     Gpu(GpuError),
     /// The peer rank exited before matching a pending operation.
     PeerGone,
+    /// The communicator was revoked (ULFM `MPI_Comm_revoke`): a rank that
+    /// observed a failure poisoned the communicator so every member blocked
+    /// in an operation errors out instead of hanging. Only
+    /// `agree_on_failures` and `shrink` are legal until recovery completes.
+    Revoked,
     /// A transient communication failure on the link to `peer` — the
     /// retryable condition the fault injector produces. Callers normally
     /// never see this: the p2p layer retries with backoff and surfaces
@@ -93,6 +98,21 @@ impl MpiError {
             MpiError::Gpu(e) => e.is_transient(),
             _ => false,
         }
+    }
+
+    /// Is this a *communicator* failure — the class of errors a ULFM-style
+    /// recovery path (revoke → agree → shrink) can repair, as opposed to a
+    /// program error in the operation itself?
+    ///
+    /// Covers dead peers ([`MpiError::PeerGone`]), revoked communicators
+    /// ([`MpiError::Revoked`]) and exhausted link retries
+    /// ([`MpiError::CommFailed`]).
+    #[must_use]
+    pub fn is_comm_failure(&self) -> bool {
+        matches!(
+            self,
+            MpiError::PeerGone | MpiError::Revoked | MpiError::CommFailed { .. }
+        )
     }
 }
 
@@ -138,6 +158,10 @@ impl fmt::Display for MpiError {
             ),
             MpiError::Gpu(e) => write!(f, "GPU error: {e}"),
             MpiError::PeerGone => write!(f, "peer rank exited with operations pending"),
+            MpiError::Revoked => write!(
+                f,
+                "communicator revoked; agree on failures and shrink before new operations"
+            ),
             MpiError::CommTransient { peer } => {
                 write!(f, "transient communication failure on link to rank {peer}")
             }
@@ -190,6 +214,7 @@ mod tests {
         }
         .is_transient());
         assert!(!MpiError::PeerGone.is_transient());
+        assert!(!MpiError::Revoked.is_transient());
         assert!(!MpiError::NotCommitted.is_transient());
         assert!(!MpiError::Truncated {
             sent: 2,
@@ -197,6 +222,20 @@ mod tests {
             envelope: None
         }
         .is_transient());
+    }
+
+    #[test]
+    fn comm_failure_taxonomy() {
+        assert!(MpiError::PeerGone.is_comm_failure());
+        assert!(MpiError::Revoked.is_comm_failure());
+        assert!(MpiError::CommFailed {
+            peer: 2,
+            attempts: 4
+        }
+        .is_comm_failure());
+        assert!(!MpiError::CommTransient { peer: 2 }.is_comm_failure());
+        assert!(!MpiError::NotCommitted.is_comm_failure());
+        assert!(!MpiError::Internal("x".into()).is_comm_failure());
     }
 
     #[test]

@@ -260,6 +260,17 @@ pub struct FaultStats {
     /// Operations that failed with [`MpiError::PeerGone`] due to a
     /// scheduled rank exit.
     pub peer_gone: u64,
+    /// Death notices absorbed from dying peers (one per notice received).
+    pub death_notices: u64,
+    /// Revocation notices absorbed (one per `REVOKE` control message that
+    /// newly poisoned this rank's view of the communicator).
+    pub revocations: u64,
+    /// Messages dropped because they were stamped with a communicator
+    /// epoch older than the current one (late traffic from before a
+    /// shrink; rejected rather than misdelivered).
+    pub stale_dropped: u64,
+    /// Completed `agree_on_failures` rounds on this rank.
+    pub agreements: u64,
     /// The degradation-event log, in the order the downgrades happened.
     pub events: Vec<DegradeEvent>,
 }
@@ -361,6 +372,19 @@ impl FaultInjector {
             .rank_exits
             .iter()
             .any(|e| e.rank == peer && e.at <= now)
+    }
+
+    /// The earliest scheduled exit time for `rank`, if any. Used by a rank
+    /// to notice its *own* death and by the runtime to stamp death notices
+    /// with the scheduled instant (not the observer's clock), so every
+    /// observer converges on the same virtual time.
+    pub fn exit_time(&self, rank: usize) -> Option<SimTime> {
+        self.plan
+            .rank_exits
+            .iter()
+            .filter(|e| e.rank == rank)
+            .map(|e| e.at)
+            .min()
     }
 
     /// Retry budget for transient p2p faults.

@@ -17,7 +17,9 @@
 //!   measurements (2.2 µs CPU floor, 11 µs CUDA-aware floor); and
 //! * a **multi-rank runtime** ([`runtime`], [`p2p`], [`collective`]) — one
 //!   thread + one simulated GPU per rank, Lamport-style virtual clocks,
-//!   blocking send/recv with MPI matching rules, `Alltoallv`, barriers; and
+//!   blocking send/recv with MPI matching rules, `Alltoallv`, barriers,
+//!   and ULFM-style communicator recovery ([`comm`]: revoke / agree /
+//!   shrink with epoch-stamped envelopes); and
 //! * a **deterministic fault-injection subsystem** ([`fault`]) — seeded,
 //!   replayable GPU/network fault schedules with bounded retry + backoff
 //!   in virtual time, and the degradation-event log the TEMPI layer
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod collective;
+pub mod comm;
 pub mod datatype;
 pub mod error;
 pub mod fault;

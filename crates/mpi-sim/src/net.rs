@@ -131,6 +131,16 @@ impl NetModel {
         self.node_of(a) == self.node_of(b)
     }
 
+    /// Fixed virtual-time cost of one completed failure agreement
+    /// (`agree_on_failures`): two barrier-equivalents, one to gather the
+    /// locally-known failure sets and one to flood the decision. Charged
+    /// once per agreement regardless of how many coordinator candidates
+    /// were tried, so virtual time stays independent of wall-clock races
+    /// in the protocol.
+    pub fn agree_cost(&self) -> SimTime {
+        self.barrier_cost * 2
+    }
+
     /// Wire time of one message: latency floor plus serialization.
     pub fn transfer_time(
         &self,

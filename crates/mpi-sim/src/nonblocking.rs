@@ -1,5 +1,5 @@
 //! Nonblocking point-to-point: `MPI_Isend` / `MPI_Irecv` / `MPI_Wait` /
-//! `MPI_Waitall` / `MPI_Test`.
+//! `MPI_Waitall` / `MPI_Waitany` / `MPI_Test` / `MPI_Testall`.
 //!
 //! The simulated transport is eager (unbounded channels), so an `Isend`
 //! performs all its work — including any baseline datatype packing — at
@@ -13,13 +13,40 @@
 //! (`waitall`, or `wait` in order) preserves MPI's non-overtaking
 //! semantics; waiting on same-`(source, tag)` requests out of post order
 //! would not. The simulator's experiments always complete in order.
+//!
+//! **Request lifecycle under failures:** completion always frees the
+//! request slot first, so an operation that then fails (`PeerGone`,
+//! `Revoked`, `CommFailed`) still consumes its request — requests are
+//! never leaked. [`RankCtx::waitall`] completes *every* request before
+//! reporting the first error, and [`RankCtx::waitall_outcomes`] exposes
+//! the full per-request outcome vector for recovery code that needs to
+//! know which transfers landed.
 
 use gpu_sim::GpuPtr;
 
 use crate::datatype::Datatype;
 use crate::error::{MpiError, MpiResult};
-use crate::p2p::Status;
+use crate::p2p::{Message, Sifted, Status};
 use crate::runtime::RankCtx;
+
+/// Does a delivered message satisfy a posted receive? Mirrors the matching
+/// rules of `match_message` in `p2p.rs`: current-epoch only, and wildcards
+/// never see internal (negative-tag) control or collective traffic.
+fn recv_matches(m: &Message, epoch: u64, src: Option<usize>, tag: Option<i32>) -> bool {
+    if m.epoch != epoch {
+        return false;
+    }
+    let internal_requested = matches!(tag, Some(t) if t < crate::p2p::MIN_USER_TAG);
+    let src_ok = match src {
+        Some(s) => m.src == s,
+        None => m.tag >= crate::p2p::MIN_USER_TAG || internal_requested,
+    };
+    let tag_ok = match tag {
+        Some(t) => m.tag == t,
+        None => m.tag >= crate::p2p::MIN_USER_TAG,
+    };
+    src_ok && tag_ok
+}
 
 /// A handle to an outstanding nonblocking operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,47 +145,47 @@ impl RankCtx {
     /// pending receive completes only if a matching message has already
     /// been delivered to this rank.
     pub fn test(&mut self, req: Request) -> MpiResult<Option<Status>> {
-        let op = self
-            .requests
-            .get(req.0)
-            .and_then(|o| o.as_ref())
-            .ok_or_else(|| MpiError::InvalidArg(format!("dead request {req:?}")))?;
-        match op {
-            PendingOp::SendDone => Ok(Some(Status {
-                source: self.rank,
-                tag: 0,
-                bytes: 0,
-            })),
-            PendingOp::RecvBytes { src, tag, .. } | PendingOp::RecvTyped { src, tag, .. } => {
-                // drain arrivals, then check for a match without blocking
-                while let Ok(m) = self.inbox.try_recv() {
-                    self.pending.push_back(m);
-                }
-                let (src, tag) = (*src, *tag);
-                if self.peek_match(src, tag) {
-                    let st = self.complete(req)?;
-                    Ok(Some(st))
-                } else {
-                    Ok(None)
-                }
+        let (src, tag) = match self.requests.get(req.0).and_then(|o| o.as_ref()) {
+            None => return Err(MpiError::InvalidArg(format!("dead request {req:?}"))),
+            Some(PendingOp::SendDone) => {
+                return Ok(Some(Status {
+                    source: self.rank,
+                    tag: 0,
+                    bytes: 0,
+                }))
+            }
+            Some(PendingOp::RecvBytes { src, tag, .. } | PendingOp::RecvTyped { src, tag, .. }) => {
+                (*src, *tag)
+            }
+        };
+        // drain arrivals, then check for a match without blocking
+        self.absorb_arrivals();
+        if self.peek_match(src, tag) {
+            let st = self.complete(req)?;
+            Ok(Some(st))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Pull every already-delivered message out of the inbox, routing it
+    /// through `sift` so control traffic (death notices, revocations,
+    /// stale-epoch drops) updates rank state instead of polluting the
+    /// matchable queue.
+    fn absorb_arrivals(&mut self) {
+        while let Ok(m) = self.inbox.try_recv() {
+            if let Sifted::Keep(m) = self.sift(m) {
+                self.pending.push_back(m);
             }
         }
     }
 
     /// Is a matching message already queued? (no blocking, no removal)
-    fn peek_match(&mut self, src: Option<usize>, tag: Option<i32>) -> bool {
-        let internal_requested = matches!(tag, Some(t) if t < crate::p2p::MIN_USER_TAG);
-        self.pending.iter().any(|m| {
-            let src_ok = match src {
-                Some(s) => m.src == s,
-                None => m.tag >= crate::p2p::MIN_USER_TAG || internal_requested,
-            };
-            let tag_ok = match tag {
-                Some(t) => m.tag == t,
-                None => m.tag >= crate::p2p::MIN_USER_TAG,
-            };
-            src_ok && tag_ok
-        })
+    fn peek_match(&self, src: Option<usize>, tag: Option<i32>) -> bool {
+        let epoch = self.epoch;
+        self.pending
+            .iter()
+            .any(|m| recv_matches(m, epoch, src, tag))
     }
 
     /// Complete one request, blocking if necessary.
@@ -197,8 +224,151 @@ impl RankCtx {
     }
 
     /// `MPI_Waitall`: complete all given requests in order.
+    ///
+    /// Unlike a naive short-circuiting loop, a failure does **not**
+    /// abandon the remaining requests: every request is driven to
+    /// completion (freeing its slot) and the *first* error is reported
+    /// afterwards, mirroring MPI's `MPI_ERR_IN_STATUS` contract. Use
+    /// [`RankCtx::waitall_outcomes`] when the per-request results matter.
     pub fn waitall(&mut self, reqs: &[Request]) -> MpiResult<Vec<Status>> {
+        let mut statuses = Vec::with_capacity(reqs.len());
+        let mut first_err = None;
+        for outcome in self.waitall_outcomes(reqs) {
+            match outcome {
+                Ok(st) => statuses.push(st),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(statuses),
+        }
+    }
+
+    /// Complete all given requests in order, reporting each request's own
+    /// outcome. Every slot is freed regardless of individual failures —
+    /// this is the primitive recovery code uses to learn which transfers
+    /// of a failed exchange actually landed.
+    pub fn waitall_outcomes(&mut self, reqs: &[Request]) -> Vec<MpiResult<Status>> {
         reqs.iter().map(|&r| self.complete(r)).collect()
+    }
+
+    /// `MPI_Waitany`: block until *some* request in the list completes and
+    /// return its index and status. Completed eager sends win immediately;
+    /// otherwise the first (in list order) receive with a matching
+    /// delivered message completes. A revocation or a death notice for a
+    /// peer a listed receive is directed at ends the wait with an error
+    /// rather than a hang — the failed request's slot is freed.
+    pub fn waitany(&mut self, reqs: &[Request]) -> MpiResult<(usize, Status)> {
+        if reqs.is_empty() {
+            return Err(MpiError::InvalidArg(
+                "waitany needs at least one request".to_string(),
+            ));
+        }
+        loop {
+            self.absorb_arrivals();
+            // anything completable right now? (eager sends, matched recvs)
+            for (i, &r) in reqs.iter().enumerate() {
+                if self.request_completable(r)? {
+                    let st = self.complete(r)?;
+                    return Ok((i, st));
+                }
+            }
+            // fail fast instead of blocking forever: a revoked communicator
+            // or a receive aimed at a known-dead peer can never complete
+            self.check_comm()?;
+            for (i, &r) in reqs.iter().enumerate() {
+                if self.recv_target_dead(r) {
+                    // completes through the p2p fail-fast path (clock
+                    // converges on the exit instant, stats recorded, slot
+                    // freed); if a message raced in it completes normally
+                    return self.complete(r).map(|st| (i, st));
+                }
+            }
+            // block for one more arrival, then re-scan
+            let m = self
+                .inbox
+                .recv()
+                .map_err(|_| MpiError::Internal("rank inbox closed".to_string()))?;
+            match self.sift(m) {
+                Sifted::Keep(m) => self.pending.push_back(m),
+                Sifted::Revoke => return Err(MpiError::Revoked),
+                Sifted::Death(..) | Sifted::Absorbed => {}
+            }
+        }
+    }
+
+    /// `MPI_Testall`: complete *all* requests iff every one of them can
+    /// complete without blocking; otherwise complete none and return
+    /// `Ok(None)`. Two receives never claim the same delivered message —
+    /// matching is counted with multiplicity, exactly as the subsequent
+    /// in-order completion will consume the queue.
+    pub fn testall(&mut self, reqs: &[Request]) -> MpiResult<Option<Vec<Status>>> {
+        self.absorb_arrivals();
+        let epoch = self.epoch;
+        let mut claimed = vec![false; self.pending.len()];
+        for &r in reqs {
+            let (src, tag) = match self.requests.get(r.0).and_then(|o| o.as_ref()) {
+                None => return Err(MpiError::InvalidArg(format!("dead request {r:?}"))),
+                Some(PendingOp::SendDone) => continue,
+                Some(
+                    PendingOp::RecvBytes { src, tag, .. } | PendingOp::RecvTyped { src, tag, .. },
+                ) => (*src, *tag),
+            };
+            let hit = self
+                .pending
+                .iter()
+                .enumerate()
+                .position(|(i, m)| !claimed[i] && recv_matches(m, epoch, src, tag));
+            match hit {
+                Some(i) => claimed[i] = true,
+                None => return Ok(None),
+            }
+        }
+        // every request has its own matching message: in-order completion
+        // cannot block (waitall still frees every slot if a fault-injected
+        // receive errors out mid-way)
+        self.waitall(reqs).map(Some)
+    }
+
+    /// Can `req` complete without blocking? (`SendDone`, or a receive with
+    /// a matching message already queued.)
+    fn request_completable(&mut self, req: Request) -> MpiResult<bool> {
+        let (src, tag) = match self.requests.get(req.0).and_then(|o| o.as_ref()) {
+            None => return Err(MpiError::InvalidArg(format!("dead request {req:?}"))),
+            Some(PendingOp::SendDone) => return Ok(true),
+            Some(PendingOp::RecvBytes { src, tag, .. } | PendingOp::RecvTyped { src, tag, .. }) => {
+                (*src, *tag)
+            }
+        };
+        Ok(self.peek_match(src, tag))
+    }
+
+    /// Is `req` a receive whose source can never send again? (directed at
+    /// a known-dead peer, or a wildcard while any current member is dead —
+    /// ULFM `MPI_ANY_SOURCE` semantics.)
+    fn recv_target_dead(&self, req: Request) -> bool {
+        let src = match self.requests.get(req.0).and_then(|o| o.as_ref()) {
+            Some(PendingOp::RecvBytes { src, .. } | PendingOp::RecvTyped { src, .. }) => *src,
+            _ => return false,
+        };
+        if self.known_dead.is_empty() {
+            return false;
+        }
+        match src {
+            Some(s) => self
+                .comm_members
+                .get(s)
+                .is_some_and(|w| self.known_dead.contains_key(w)),
+            None => self
+                .comm_members
+                .iter()
+                .any(|w| self.known_dead.contains_key(w)),
+        }
     }
 }
 
@@ -339,5 +509,158 @@ mod tests {
         assert!(matches!(ctx.wait(r), Err(MpiError::InvalidArg(_))));
         // clean up the self-message
         ctx.recv_bytes(buf, 4, Some(0), Some(0)).unwrap();
+    }
+
+    #[test]
+    fn waitall_outcomes_completes_every_request_despite_failure() {
+        use crate::fault::FaultPlan;
+        use gpu_sim::SimTime;
+
+        // rank 2 is dead before rank 0 waits: the receive aimed at it
+        // fails, but the receive from rank 1 still completes and neither
+        // request slot leaks
+        let plan = FaultPlan::parse("exit=2@5us").unwrap();
+        let cfg = WorldConfig::summit(3).with_faults(plan);
+        let results = World::run(&cfg, |ctx| {
+            ctx.clock.advance(SimTime::from_us(10));
+            match ctx.rank {
+                1 => {
+                    let buf = ctx.gpu.host_alloc(4)?;
+                    ctx.gpu.memory().poke(buf, &[7u8; 4])?;
+                    ctx.send_bytes(buf, 4, 0, 5)?;
+                    Ok(true)
+                }
+                2 => Ok(true), // scheduled dead; does nothing
+                _ => {
+                    let a = ctx.gpu.host_alloc(4)?;
+                    let b = ctx.gpu.host_alloc(4)?;
+                    let r_dead = ctx.irecv_bytes(a, 4, Some(2), Some(5))?;
+                    let r_ok = ctx.irecv_bytes(b, 4, Some(1), Some(5))?;
+                    let outcomes = ctx.waitall_outcomes(&[r_dead, r_ok]);
+                    assert_eq!(outcomes[0], Err(MpiError::PeerGone));
+                    assert_eq!(outcomes[1].as_ref().map(|st| st.bytes), Ok(4));
+                    assert_eq!(ctx.gpu.memory().peek(b, 4)?, vec![7u8; 4]);
+                    // both slots were freed even though one errored
+                    assert!(matches!(ctx.wait(r_dead), Err(MpiError::InvalidArg(_))));
+                    assert!(matches!(ctx.wait(r_ok), Err(MpiError::InvalidArg(_))));
+                    // waitall over a failing set reports the error but
+                    // never hangs on the survivors
+                    let r2 = ctx.irecv_bytes(a, 4, Some(2), Some(6))?;
+                    assert_eq!(ctx.waitall(&[r2]), Err(MpiError::PeerGone));
+                    assert!(matches!(ctx.wait(r2), Err(MpiError::InvalidArg(_))));
+                    Ok(true)
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![true; 3]);
+    }
+
+    #[test]
+    fn waitany_returns_the_completable_request() {
+        let cfg = WorldConfig::summit(2);
+        let results = World::run(&cfg, |ctx| {
+            let buf = ctx.gpu.host_alloc(8)?;
+            if ctx.rank == 0 {
+                ctx.gpu.memory().poke(buf, &[1u8; 8])?;
+                ctx.send_bytes(buf, 8, 1, 7)?;
+                Ok(0)
+            } else {
+                let other = ctx.gpu.host_alloc(8)?;
+                // request 0 never completes in this test; request 1 will
+                let r0 = ctx.irecv_bytes(other, 8, Some(0), Some(99))?;
+                let r1 = ctx.irecv_bytes(buf, 8, Some(0), Some(7))?;
+                let (idx, st) = ctx.waitany(&[r0, r1])?;
+                assert_eq!(idx, 1);
+                assert_eq!(st.bytes, 8);
+                // the unmatched request is still live
+                assert_eq!(ctx.test(r0)?, None);
+                Ok(1)
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn waitany_prefers_completed_sends() {
+        let cfg = WorldConfig::summit(1);
+        let mut ctx = crate::runtime::RankCtx::standalone(&cfg);
+        let buf = ctx.gpu.host_alloc(4).unwrap();
+        let never = ctx.irecv_bytes(buf, 4, Some(0), Some(9)).unwrap();
+        let send = ctx.isend_bytes(buf, 4, 0, 0).unwrap();
+        let (idx, _) = ctx.waitany(&[never, send]).unwrap();
+        assert_eq!(idx, 1);
+        assert!(ctx.waitany(&[]).is_err());
+        // clean up the self-message
+        ctx.recv_bytes(buf, 4, Some(0), Some(0)).unwrap();
+    }
+
+    #[test]
+    fn testall_is_all_or_none_with_claim_multiplicity() {
+        let cfg = WorldConfig::summit(2);
+        let results = World::run(&cfg, |ctx| {
+            let buf = ctx.gpu.host_alloc(4)?;
+            if ctx.rank == 0 {
+                ctx.gpu.memory().poke(buf, &[5u8; 4])?;
+                ctx.send_bytes(buf, 4, 1, 3)?;
+                ctx.barrier(); // message #1 is now visible to rank 1
+                ctx.barrier(); // rank 1 has run its None assertion
+                ctx.send_bytes(buf, 4, 1, 3)?;
+                Ok(0)
+            } else {
+                let a = ctx.gpu.host_alloc(4)?;
+                let b = ctx.gpu.host_alloc(4)?;
+                let r0 = ctx.irecv_bytes(a, 4, Some(0), Some(3))?;
+                let r1 = ctx.irecv_bytes(b, 4, Some(0), Some(3))?;
+                ctx.barrier();
+                // one delivered message cannot satisfy two receives
+                assert!(ctx.testall(&[r0, r1])?.is_none());
+                ctx.barrier();
+                let statuses = loop {
+                    if let Some(sts) = ctx.testall(&[r0, r1])? {
+                        break sts;
+                    }
+                    std::thread::yield_now();
+                };
+                assert_eq!(statuses.len(), 2);
+                assert!(statuses.iter().all(|st| st.bytes == 4));
+                // both requests were consumed by the successful testall
+                assert!(matches!(ctx.wait(r0), Err(MpiError::InvalidArg(_))));
+                assert!(matches!(ctx.wait(r1), Err(MpiError::InvalidArg(_))));
+                Ok(1)
+            }
+        })
+        .unwrap();
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn test_routes_control_traffic_through_sift() {
+        use crate::fault::FaultPlan;
+
+        let plan = FaultPlan::parse("exit=1@5us").unwrap();
+        let cfg = WorldConfig::summit(2).with_faults(plan);
+        World::run(&cfg, |ctx| {
+            if ctx.rank == 1 {
+                // dies when its body returns; the runtime then floods the
+                // death notice
+                return Ok(true);
+            }
+            let buf = ctx.gpu.host_alloc(4)?;
+            let r = ctx.irecv_bytes(buf, 4, None, None)?;
+            // poll until the death notice arrives: sift must absorb it
+            // into known_dead instead of leaving it in the matchable queue
+            while ctx.known_dead.is_empty() {
+                assert!(ctx.test(r)?.is_none());
+                std::thread::yield_now();
+            }
+            assert!(ctx
+                .pending
+                .iter()
+                .all(|m| m.tag >= crate::p2p::MIN_USER_TAG));
+            Ok(true)
+        })
+        .unwrap();
     }
 }

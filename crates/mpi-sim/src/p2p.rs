@@ -28,6 +28,20 @@ pub(crate) const MIN_USER_TAG: i32 = 0;
 pub(crate) const TAG_ALLTOALLV: i32 = -100;
 /// Internal tag used by gather-style helpers.
 pub(crate) const TAG_GATHER: i32 = -101;
+/// Control message: the sender observed its own scheduled death. Sent to
+/// every world rank exactly once; `depart` carries the *scheduled* exit
+/// instant so every observer converges on the same virtual time.
+pub(crate) const TAG_DEATH: i32 = -110;
+/// Control message: the communicator identified by the message epoch was
+/// revoked (ULFM `MPI_Comm_revoke`).
+pub(crate) const TAG_REVOKE: i32 = -111;
+/// Agreement protocol: a participant ships its locally-known failure set
+/// to the current coordinator candidate.
+pub(crate) const TAG_AGREE_GATHER: i32 = -112;
+/// Agreement protocol: the decided failure set, flooded to every member.
+pub(crate) const TAG_AGREE_DECIDE: i32 = -113;
+/// Dissemination-barrier traffic on a (possibly shrunk) communicator.
+pub(crate) const TAG_BARRIER: i32 = -114;
 
 /// Chunk metadata for pipelined multi-part transfers (TEMPI's §8
 /// pipelining extension rides on the envelope, like a real rendezvous
@@ -43,8 +57,15 @@ pub struct PartInfo {
 /// A message in flight.
 #[derive(Debug, Clone)]
 pub struct Message {
-    /// Sending rank.
+    /// Sending rank (in the sender's communicator at send time).
     pub src: usize,
+    /// Sending rank in the original world — stable across shrinks; drives
+    /// the network model's node-locality decisions.
+    pub src_world: usize,
+    /// Communicator epoch the message was sent under. Receivers only match
+    /// traffic from their current epoch; anything older is late traffic
+    /// from before a shrink and is dropped, not misdelivered.
+    pub epoch: u64,
     /// Message tag.
     pub tag: i32,
     /// The packed payload bytes.
@@ -55,6 +76,19 @@ pub struct Message {
     pub depart: SimTime,
     /// Chunk metadata when this is one part of a pipelined transfer.
     pub part: Option<PartInfo>,
+}
+
+/// Outcome of [`RankCtx::sift`]: what an inbound message means to the
+/// receiver's control plane before any data matching happens.
+pub(crate) enum Sifted {
+    /// A data (or agreement) message from the current/future epoch.
+    Keep(Message),
+    /// A death notice: `(world rank, scheduled exit instant)`.
+    Death(usize, SimTime),
+    /// A revocation of the current epoch that newly poisoned this rank.
+    Revoke,
+    /// Absorbed control traffic or a stale-epoch message; nothing to do.
+    Absorbed,
 }
 
 /// Completion information of a receive (`MPI_Status`).
@@ -161,14 +195,63 @@ impl RankCtx {
     // Each gate is a single `Option` check when no fault plan is active, so
     // the fault-free hot path pays nothing beyond a branch.
 
-    /// Fail with [`MpiError::PeerGone`] if `peer` is scheduled to have
-    /// exited by the caller's current virtual instant.
-    fn fault_check_peer(&mut self, peer: usize) -> MpiResult<()> {
-        let dead = match &self.faults.injector {
-            Some(inj) => inj.peer_dead(peer, self.clock.now()),
-            None => false,
+    /// Fail the calling operation if this rank's *own* scheduled exit has
+    /// passed. The first observation broadcasts a death notice to every
+    /// world peer (stamped with the scheduled instant, and FIFO-ordered
+    /// after all real traffic already sent), so peers blocked on this rank
+    /// wake up deterministically instead of hanging.
+    pub(crate) fn self_exit_check(&mut self) -> MpiResult<()> {
+        let exit = match &self.faults.injector {
+            Some(inj) => inj
+                .exit_time(self.world_rank)
+                .filter(|&at| at <= self.clock.now()),
+            None => None,
         };
-        if dead {
+        if let Some(at) = exit {
+            self.announce_death(at);
+            self.faults.stats.peer_gone += 1;
+            return Err(MpiError::PeerGone);
+        }
+        Ok(())
+    }
+
+    /// Broadcast this rank's death notice once (idempotent). Raw channel
+    /// sends: no clock advance, no fault gating — a dying rank always
+    /// manages to tell the world when.
+    pub(crate) fn announce_death(&mut self, at: SimTime) {
+        if self.death_sent {
+            return;
+        }
+        self.death_sent = true;
+        let notice = Message {
+            src: self.rank,
+            src_world: self.world_rank,
+            epoch: self.epoch,
+            tag: TAG_DEATH,
+            payload: Vec::new(),
+            sender_space: MemSpace::Host,
+            depart: at,
+            part: None,
+        };
+        for (w, tx) in self.peers.iter().enumerate() {
+            if w != self.world_rank {
+                let _ = tx.send(notice.clone());
+            }
+        }
+    }
+
+    /// Fail with [`MpiError::PeerGone`] if `peer` (a rank in the current
+    /// communicator) is scheduled to have exited by the caller's current
+    /// virtual instant. Purely clock-based, so the decision replays
+    /// identically in virtual time.
+    fn fault_check_peer(&mut self, peer: usize) -> MpiResult<()> {
+        let peer_world = self.comm_members.get(peer).copied().unwrap_or(peer);
+        let dead_at = match &self.faults.injector {
+            Some(inj) if inj.peer_dead(peer_world, self.clock.now()) => inj.exit_time(peer_world),
+            _ => None,
+        };
+        if let Some(at) = dead_at {
+            self.known_dead.entry(peer_world).or_insert(at);
             self.faults.stats.peer_gone += 1;
             return Err(MpiError::PeerGone);
         }
@@ -183,6 +266,7 @@ impl RankCtx {
         if self.faults.injector.is_none() {
             return Ok(());
         }
+        self.self_exit_check()?;
         self.fault_check_peer(dest)?;
         let max_retries = self.faults.injector.as_ref().expect("gated").max_retries();
         for attempt in 0..=max_retries {
@@ -218,10 +302,11 @@ impl RankCtx {
     /// Receive-side gate, mirroring [`Self::fault_gate_send`]. Wildcard
     /// receives (`src == None`) skip the peer-death check and report
     /// `usize::MAX` as the peer on retry exhaustion.
-    fn fault_gate_recv(&mut self, src: Option<usize>) -> MpiResult<()> {
+    pub(crate) fn fault_gate_recv(&mut self, src: Option<usize>) -> MpiResult<()> {
         if self.faults.injector.is_none() {
             return Ok(());
         }
+        self.self_exit_check()?;
         if let Some(s) = src {
             self.fault_check_peer(s)?;
         }
@@ -293,8 +378,13 @@ impl RankCtx {
         part: Option<PartInfo>,
     ) -> MpiResult<()> {
         self.clock.advance(self.net.send_overhead);
+        // `dest` is a rank in the *current* communicator; the channel table
+        // is indexed by world rank.
+        let dest_world = self.comm_members.get(dest).copied().unwrap_or(dest);
         let msg = Message {
             src: self.rank,
+            src_world: self.world_rank,
+            epoch: self.epoch,
             tag,
             payload,
             sender_space,
@@ -305,7 +395,7 @@ impl RankCtx {
         // inbox means the peer rank already exited (it returned early or a
         // scheduled rank-exit fault fired there): surface that as the same
         // condition the fault injector models rather than panicking.
-        if self.peers[dest].send(msg).is_err() {
+        if self.peers[dest_world].send(msg).is_err() {
             self.faults.stats.peer_gone += 1;
             return Err(MpiError::PeerGone);
         }
@@ -324,15 +414,70 @@ impl RankCtx {
         ready_at: SimTime,
         part: PartInfo,
     ) -> MpiResult<()> {
+        self.check_comm()?;
         self.check_rank(dest)?;
         self.fault_gate_send(dest)?;
         let payload = self.gpu.memory().peek(buf, len)?;
         self.post_at(dest, tag, payload, buf.space, ready_at, Some(part))
     }
 
+    /// Classify one inbound message: absorb control-plane traffic (death
+    /// notices, revocations, stale epochs) and pass everything else on.
+    /// Control messages never enter the `pending` queue.
+    pub(crate) fn sift(&mut self, m: Message) -> Sifted {
+        match m.tag {
+            TAG_DEATH => {
+                let at = m.depart;
+                if !self.known_dead.contains_key(&m.src_world) {
+                    self.known_dead.insert(m.src_world, at);
+                    self.faults.stats.death_notices += 1;
+                }
+                Sifted::Death(m.src_world, at)
+            }
+            TAG_REVOKE => {
+                if m.epoch == self.epoch && !self.revoked {
+                    self.revoked = true;
+                    self.faults.stats.revocations += 1;
+                    Sifted::Revoke
+                } else {
+                    Sifted::Absorbed
+                }
+            }
+            _ if m.epoch < self.epoch => {
+                self.faults.stats.stale_dropped += 1;
+                Sifted::Absorbed
+            }
+            _ => Sifted::Keep(m),
+        }
+    }
+
+    /// The scheduled exit instant of the peer a receive is directed at, if
+    /// that peer is already known dead — or, for a wildcard, the earliest
+    /// known death among current members (ULFM `MPI_ANY_SOURCE` semantics:
+    /// a wildcard cannot be guaranteed to complete once any member died).
+    fn dead_recv_target(&self, src: Option<usize>) -> Option<SimTime> {
+        if self.known_dead.is_empty() {
+            return None;
+        }
+        match src {
+            Some(s) => self
+                .comm_members
+                .get(s)
+                .and_then(|w| self.known_dead.get(w).copied()),
+            None => self
+                .comm_members
+                .iter()
+                .filter_map(|w| self.known_dead.get(w).copied())
+                .min(),
+        }
+    }
+
     /// Blocking match of `(src, tag)`; `None` means wildcard
     /// (`MPI_ANY_SOURCE` / `MPI_ANY_TAG`; wildcards never match internal
-    /// collective traffic).
+    /// collective traffic). Only messages from the current communicator
+    /// epoch match. A death notice from the awaited peer — or a revocation
+    /// of the communicator — terminates a blocked match with an error
+    /// instead of hanging.
     pub(crate) fn match_message(
         &mut self,
         src: Option<usize>,
@@ -341,7 +486,11 @@ impl RankCtx {
         // An explicit internal tag (collectives) may match wildcard-source;
         // otherwise wildcards only see user traffic (tag >= 0).
         let internal_requested = matches!(tag, Some(t) if t < MIN_USER_TAG);
-        let matches = |m: &Message| -> bool {
+        let epoch = self.epoch;
+        let matches = move |m: &Message| -> bool {
+            if m.epoch != epoch {
+                return false;
+            }
             let src_ok = match src {
                 Some(s) => m.src == s,
                 None => m.tag >= MIN_USER_TAG || internal_requested,
@@ -355,12 +504,37 @@ impl RankCtx {
         if let Some(i) = self.pending.iter().position(matches) {
             return Ok(self.pending.remove(i).expect("index valid"));
         }
+        // Nothing deliverable is queued; a receive aimed at a known-dead
+        // peer can never complete. The clock still converges on the
+        // scheduled exit instant, matching the blocked-then-notified path.
+        if let Some(at) = self.dead_recv_target(src) {
+            self.clock.advance_to(at);
+            self.faults.stats.peer_gone += 1;
+            return Err(MpiError::PeerGone);
+        }
         loop {
             let msg = self.inbox.recv().map_err(|_| MpiError::PeerGone)?;
-            if matches(&msg) {
-                return Ok(msg);
+            match self.sift(msg) {
+                Sifted::Keep(m) => {
+                    if matches(&m) {
+                        return Ok(m);
+                    }
+                    self.pending.push_back(m);
+                }
+                Sifted::Death(w, at) => {
+                    let hit = match src {
+                        Some(s) => self.comm_members.get(s) == Some(&w),
+                        None => self.comm_members.contains(&w),
+                    };
+                    if hit {
+                        self.clock.advance_to(at);
+                        self.faults.stats.peer_gone += 1;
+                        return Err(MpiError::PeerGone);
+                    }
+                }
+                Sifted::Revoke => return Err(MpiError::Revoked),
+                Sifted::Absorbed => {}
             }
-            self.pending.push_back(msg);
         }
     }
 
@@ -368,8 +542,13 @@ impl RankCtx {
     /// consuming it. The returned info includes the sender's buffer space,
     /// which TEMPI's receive path uses to pick the matching unpack method.
     pub fn probe(&mut self, src: Option<usize>, tag: Option<i32>) -> MpiResult<ProbeInfo> {
+        self.check_comm()?;
         let internal_requested = matches!(tag, Some(t) if t < MIN_USER_TAG);
-        let matches = |m: &Message| -> bool {
+        let epoch = self.epoch;
+        let matches = move |m: &Message| -> bool {
+            if m.epoch != epoch {
+                return false;
+            }
             let src_ok = match src {
                 Some(s) => m.src == s,
                 None => m.tag >= MIN_USER_TAG || internal_requested,
@@ -390,8 +569,17 @@ impl RankCtx {
                     part: m.part,
                 });
             }
+            if let Some(at) = self.dead_recv_target(src) {
+                self.clock.advance_to(at);
+                self.faults.stats.peer_gone += 1;
+                return Err(MpiError::PeerGone);
+            }
             let msg = self.inbox.recv().map_err(|_| MpiError::PeerGone)?;
-            self.pending.push_back(msg);
+            match self.sift(msg) {
+                Sifted::Keep(m) => self.pending.push_back(m),
+                Sifted::Revoke => return Err(MpiError::Revoked),
+                Sifted::Death(..) | Sifted::Absorbed => {}
+            }
         }
     }
 
@@ -400,6 +588,7 @@ impl RankCtx {
     /// Send `len` raw bytes from `buf` (contiguous, like `MPI_Send` with
     /// `MPI_BYTE`). CUDA-aware: `buf` may be device memory.
     pub fn send_bytes(&mut self, buf: GpuPtr, len: usize, dest: usize, tag: i32) -> MpiResult<()> {
+        self.check_comm()?;
         self.check_rank(dest)?;
         self.fault_gate_send(dest)?;
         let payload = self.gpu.memory().peek(buf, len)?;
@@ -415,6 +604,7 @@ impl RankCtx {
         src: Option<usize>,
         tag: Option<i32>,
     ) -> MpiResult<Status> {
+        self.check_comm()?;
         self.fault_gate_recv(src)?;
         let msg = self.match_message(src, tag)?;
         let bytes = msg.payload.len();
@@ -426,7 +616,10 @@ impl RankCtx {
             });
         }
         let transport = Transport::for_spaces(msg.sender_space, buf.space);
-        let arrival = msg.depart + self.net.transfer_time(bytes, transport, msg.src, self.rank);
+        let arrival = msg.depart
+            + self
+                .net
+                .transfer_time(bytes, transport, msg.src_world, self.world_rank);
         self.clock.advance_to(arrival);
         self.fault_extra_delay();
         self.clock.advance(self.net.recv_overhead);
@@ -451,6 +644,7 @@ impl RankCtx {
         dest: usize,
         tag: i32,
     ) -> MpiResult<()> {
+        self.check_comm()?;
         self.check_rank(dest)?;
         self.fault_gate_send(dest)?;
         let wt = self.wire_type(dt)?;
@@ -503,6 +697,7 @@ impl RankCtx {
         src: Option<usize>,
         tag: Option<i32>,
     ) -> MpiResult<Status> {
+        self.check_comm()?;
         let wt = self.wire_type(dt)?;
         let capacity = wt.size * count;
         self.fault_gate_recv(src)?;
@@ -525,7 +720,10 @@ impl RankCtx {
             });
         }
         let transport = Transport::for_spaces(msg.sender_space, buf.space);
-        let arrival = msg.depart + self.net.transfer_time(bytes, transport, msg.src, self.rank);
+        let arrival = msg.depart
+            + self
+                .net
+                .transfer_time(bytes, transport, msg.src_world, self.world_rank);
         self.clock.advance_to(arrival);
         self.fault_extra_delay();
         self.clock.advance(self.net.recv_overhead);

@@ -11,7 +11,7 @@
 //! are virtual, and matching is deterministic for the directed
 //! (source-specified) receives used throughout the experiments.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -155,10 +155,17 @@ pub(crate) struct Board {
 /// the repository go through this type (directly for "system MPI"
 /// semantics, or via the TEMPI interposer in `tempi-core`).
 pub struct RankCtx {
-    /// This rank's index.
+    /// This rank's index *in the current communicator*. Before any
+    /// [`RankCtx::shrink`] this equals the world rank; each shrink densely
+    /// renumbers the survivors.
     pub rank: usize,
-    /// World size.
+    /// Size of the current communicator (shrinks after recovery).
     pub size: usize,
+    /// This rank's index in the original world — stable across shrinks;
+    /// indexes the channel table and the network model's locality map.
+    pub world_rank: usize,
+    /// Size of the original world.
+    pub world_size: usize,
     /// This rank's virtual clock.
     pub clock: SimClock,
     /// This rank's simulated GPU.
@@ -179,6 +186,19 @@ pub struct RankCtx {
     pub(crate) requests: Vec<Option<crate::nonblocking::PendingOp>>,
     pub(crate) barrier: Arc<ClockBarrier>,
     pub(crate) board: Arc<Board>,
+    /// Current communicator membership: `comm_members[comm_rank]` is the
+    /// world rank sitting at that position. Starts as the identity map.
+    pub(crate) comm_members: Vec<usize>,
+    /// Communicator generation; bumped by every shrink and stamped into
+    /// message envelopes so late traffic from a prior epoch is rejected.
+    pub(crate) epoch: u64,
+    /// Has the current epoch been revoked (locally observed)?
+    pub(crate) revoked: bool,
+    /// World ranks known dead, with their scheduled exit instants —
+    /// populated by clock-based fault gates and absorbed death notices.
+    pub(crate) known_dead: BTreeMap<usize, SimTime>,
+    /// Has this rank already broadcast its own death notice?
+    pub(crate) death_sent: bool,
 }
 
 impl RankCtx {
@@ -191,6 +211,8 @@ impl RankCtx {
         RankCtx {
             rank: 0,
             size: 1,
+            world_rank: 0,
+            world_size: 1,
             clock: SimClock::new(),
             gpu: gpu.clone(),
             stream: Stream::new(gpu, cfg.gpu_cost.clone()),
@@ -206,6 +228,11 @@ impl RankCtx {
             board: Arc::new(Board {
                 slots: Mutex::new(vec![0]),
             }),
+            comm_members: vec![0],
+            epoch: 0,
+            revoked: false,
+            known_dead: BTreeMap::new(),
+            death_sent: false,
         }
     }
 
@@ -453,6 +480,8 @@ impl World {
                 RankCtx {
                     rank,
                     size,
+                    world_rank: rank,
+                    world_size: size,
                     clock: SimClock::new(),
                     gpu: gpu.clone(),
                     stream: Stream::new(gpu, cfg.gpu_cost.clone()),
@@ -466,6 +495,11 @@ impl World {
                     requests: Vec::new(),
                     barrier: Arc::clone(&barrier),
                     board: Arc::clone(&board),
+                    comm_members: (0..size).collect(),
+                    epoch: 0,
+                    revoked: false,
+                    known_dead: BTreeMap::new(),
+                    death_sent: false,
                 }
             })
             .collect();
@@ -474,7 +508,24 @@ impl World {
         let results: Vec<MpiResult<T>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = ctxs
                 .iter_mut()
-                .map(|ctx| scope.spawn(move |_| body(ctx)))
+                .map(|ctx| {
+                    scope.spawn(move |_| {
+                        let r = body(ctx);
+                        // A rank with a scheduled exit might return without
+                        // ever tripping over its own death (its clock never
+                        // reached the instant). Broadcast the notice now so
+                        // peers blocked on it are woken instead of hanging.
+                        if let Some(at) = ctx
+                            .faults
+                            .injector
+                            .as_ref()
+                            .and_then(|i| i.exit_time(ctx.world_rank))
+                        {
+                            ctx.announce_death(at);
+                        }
+                        r
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })

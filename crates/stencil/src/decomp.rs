@@ -110,6 +110,20 @@ impl Decomp {
         }
         self.rank_of(n)
     }
+
+    /// Global gridpoint of `rank`'s local cell `cell` (coordinates within
+    /// the rank's interior, ghost shell excluded), for a decomposition of
+    /// `local`-sized blocks per rank. The inverse mapping recovery code
+    /// uses to re-derive oracle values after a shrink re-decomposes the
+    /// grid.
+    pub fn global(&self, rank: usize, local: [usize; 3], cell: [usize; 3]) -> [usize; 3] {
+        let c = self.coords(rank);
+        [
+            c[0] * local[0] + cell[0],
+            c[1] * local[1] + cell[1],
+            c[2] * local[2] + cell[2],
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +188,14 @@ mod tests {
         for &dir in &DIRS {
             assert_eq!(d.neighbor(0, dir), 0);
         }
+    }
+
+    #[test]
+    fn global_coordinates_offset_by_rank_block() {
+        let d = Decomp::new(8); // 2×2×2
+        assert_eq!(d.global(0, [4, 4, 4], [1, 2, 3]), [1, 2, 3]);
+        let r = d.rank_of([1, 0, 1]);
+        assert_eq!(d.global(r, [4, 4, 4], [0, 0, 0]), [4, 0, 4]);
     }
 
     #[test]

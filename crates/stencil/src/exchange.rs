@@ -8,12 +8,26 @@
 //! always falls through.
 
 use gpu_sim::{GpuPtr, SimTime};
-use mpi_sim::{MpiResult, RankCtx};
+use mpi_sim::{MpiError, MpiResult, RankCtx};
 use serde::{Deserialize, Serialize};
 use tempi_core::interpose::InterposedMpi;
 
 use crate::decomp::{dir_index, opposite, Decomp, DIRS};
 use crate::halo::{HaloConfig, HaloTypes};
+
+/// Outcome of a fault-tolerant exchange
+/// ([`HaloExchanger::exchange_with_recovery`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Timing of the exchange round that finally succeeded.
+    pub timing: ExchangeTiming,
+    /// Revoke → agree → shrink → rebuild rounds that were needed.
+    pub shrinks: u64,
+    /// World ranks excluded across all shrinks, in exclusion order.
+    pub excluded: Vec<usize>,
+    /// Communicator epoch after the successful exchange.
+    pub epoch: u64,
+}
 
 /// Virtual-time split of one exchange.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -297,6 +311,121 @@ impl HaloExchanger {
         })
     }
 
+    /// Free this rank's GPU allocations and the 52 datatypes (in place,
+    /// leaving `self` hollow — callers immediately overwrite it).
+    fn release(&mut self, ctx: &mut RankCtx) -> MpiResult<()> {
+        ctx.gpu.free(self.grid)?;
+        ctx.gpu.free(self.sendbuf)?;
+        ctx.gpu.free(self.recvbuf)?;
+        let types = std::mem::replace(
+            &mut self.types,
+            HaloTypes {
+                send: Vec::new(),
+                recv: Vec::new(),
+                bytes: Vec::new(),
+            },
+        );
+        types.free(ctx)
+    }
+
+    /// Tear the exchanger down: free the grid, both staging buffers and
+    /// all 52 datatypes. Recovery rebuilds from scratch after a shrink,
+    /// so nothing may leak per recovery round.
+    pub fn destroy(mut self, ctx: &mut RankCtx) -> MpiResult<()> {
+        self.release(ctx)
+    }
+
+    /// One halo exchange with ULFM-style recovery: on a communicator
+    /// failure, revoke the communicator (so stragglers blocked in the
+    /// exchange error out instead of hanging), agree on and shrink away
+    /// the failed ranks, re-decompose the grid over the survivors, refill
+    /// it from the global oracle, and try again.
+    ///
+    /// The happy path adds one `comm_barrier` per round: without it, a
+    /// survivor whose `Alltoallv` traffic never touched the dead rank
+    /// would return success while its peers enter recovery. The barrier
+    /// makes failure detection collective — it either completes on every
+    /// member or errors on every member.
+    ///
+    /// Returns `Err(PeerGone)` on a rank that is itself scheduled dead
+    /// (its caller should stop using the communicator), and
+    /// `Err(Internal)` if `max_rounds` recovery rounds were not enough.
+    pub fn exchange_with_recovery(
+        &mut self,
+        ctx: &mut RankCtx,
+        mpi: &mut InterposedMpi,
+        max_rounds: usize,
+    ) -> MpiResult<RecoveryOutcome> {
+        let mut shrinks = 0u64;
+        let mut excluded = Vec::new();
+        for _ in 0..max_rounds {
+            let failed = match self.exchange(ctx, mpi) {
+                Ok(timing) => match ctx.comm_barrier() {
+                    Ok(()) => {
+                        return Ok(RecoveryOutcome {
+                            timing,
+                            shrinks,
+                            excluded,
+                            epoch: ctx.epoch(),
+                        })
+                    }
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+            if !failed.is_comm_failure() {
+                return Err(failed);
+            }
+            // Propagate the failure to every member, then agree + shrink.
+            // revoke() may itself report this rank dead — shrink repeats
+            // the verdict, so its error is the one we surface.
+            let _ = mpi.comm_revoke(ctx);
+            let dead = mpi.comm_shrink(ctx)?;
+            excluded.extend(dead);
+            shrinks += 1;
+            // Re-decompose over the survivors and refill from the oracle:
+            // the global grid is now `local × dims(survivors)`.
+            let cfg = self.cfg;
+            self.release(ctx)?;
+            *self = HaloExchanger::new(ctx, mpi, cfg)?;
+            self.fill(ctx)?;
+        }
+        Err(MpiError::Internal(format!(
+            "halo exchange still failing after {max_rounds} recovery rounds"
+        )))
+    }
+
+    /// The full grid this rank should hold after a successful exchange —
+    /// interior *and* ghosts at their (periodic) oracle values — computed
+    /// serially from [`cell_value`] without any communication. Byte-exact
+    /// comparison against this is the recovery acceptance check.
+    pub fn expected_grid(&self, ctx: &RankCtx) -> Vec<u8> {
+        let a = self.cfg.alloc_dims();
+        let r = self.cfg.radius;
+        let l = self.cfg.local;
+        let c = self.decomp.coords(ctx.rank);
+        let global = [
+            l[0] * self.decomp.dims[0],
+            l[1] * self.decomp.dims[1],
+            l[2] * self.decomp.dims[2],
+        ];
+        let mut data = vec![0u8; self.cfg.alloc_bytes()];
+        for z in 0..a[2] {
+            for y in 0..a[1] {
+                for x in 0..a[0] {
+                    // the wrapped mapping is the identity on the interior
+                    let gx = (c[0] * l[0] + x).wrapping_add(global[0] - r) % global[0];
+                    let gy = (c[1] * l[1] + y).wrapping_add(global[1] - r) % global[1];
+                    let gz = (c[2] * l[2] + z).wrapping_add(global[2] - r) % global[2];
+                    let v = cell_value(gx, gy, gz);
+                    let i = self.cfg.cell_index(x, y, z) * 4;
+                    data[i..i + 4].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        data
+    }
+
     /// Verify every ghost cell equals the oracle value of its (periodic)
     /// global gridpoint. Returns the number of mismatching cells.
     pub fn verify_ghosts(&self, ctx: &RankCtx) -> MpiResult<usize> {
@@ -460,6 +589,40 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fault_free_recovery_wrapper_is_transparent() {
+        let cfg = WorldConfig::summit(8);
+        let results = World::run(&cfg, |ctx| {
+            let mut mpi = InterposedMpi::new(TempiConfig::default());
+            let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(4))?;
+            ex.fill(ctx)?;
+            let out = ex.exchange_with_recovery(ctx, &mut mpi, 3)?;
+            assert_eq!(out.shrinks, 0);
+            assert!(out.excluded.is_empty());
+            assert_eq!(out.epoch, 0);
+            // the full grid — interior and ghosts — is byte-identical to
+            // the serial oracle
+            let got = ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())?;
+            assert_eq!(got, ex.expected_grid(ctx));
+            ex.destroy(ctx)?;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(results, vec![true; 8]);
+    }
+
+    #[test]
+    fn destroy_frees_grid_and_types() {
+        let mut ctx = mpi_sim::RankCtx::standalone(&WorldConfig::summit(1));
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let ex = HaloExchanger::new(&mut ctx, &mut mpi, HaloConfig::small(4)).unwrap();
+        let grid = ex.grid;
+        let dt = ex.types.send[0];
+        ex.destroy(&mut ctx).unwrap();
+        assert!(ctx.gpu.memory().peek(grid, 4).is_err());
+        assert!(ctx.attrs(dt).is_err());
     }
 
     #[test]

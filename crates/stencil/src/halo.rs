@@ -166,6 +166,17 @@ impl HaloTypes {
         }
         Ok(HaloTypes { send, recv, bytes })
     }
+
+    /// `MPI_Type_free` all 52 datatypes. Recovery code frees the types
+    /// built against the old decomposition before rebuilding against the
+    /// shrunken communicator, so repeated shrinks do not accumulate
+    /// registry entries.
+    pub fn free(self, ctx: &mut RankCtx) -> MpiResult<()> {
+        for dt in self.send.into_iter().chain(self.recv) {
+            ctx.type_free(dt)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +250,16 @@ mod tests {
         }
         // +x face with l=4, r=2: 2×4×4 = 32 cells = 128 bytes
         assert_eq!(types.bytes[dir_index([1, 0, 0])], 32 * 4);
+    }
+
+    #[test]
+    fn free_releases_all_types() {
+        let mut ctx = mpi_sim::RankCtx::standalone(&WorldConfig::summit(1));
+        let cfg = HaloConfig::small(4);
+        let types = HaloTypes::create(&mut ctx, &cfg).unwrap();
+        let probe = types.send[0];
+        types.free(&mut ctx).unwrap();
+        assert!(ctx.attrs(probe).is_err());
     }
 
     #[test]

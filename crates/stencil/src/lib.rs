@@ -35,5 +35,5 @@ pub mod halo;
 
 pub use compute::apply_stencil;
 pub use decomp::{dir_index, opposite, Decomp, DIRS};
-pub use exchange::{cell_value, ExchangeTiming, HaloExchanger};
+pub use exchange::{cell_value, ExchangeTiming, HaloExchanger, RecoveryOutcome};
 pub use halo::{HaloConfig, HaloTypes};
