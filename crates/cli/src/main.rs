@@ -15,10 +15,14 @@
 //!                                              log and fault statistics
 //! tempi-cli stencil [--ranks P] [--n N] [--iters I]
 //!                [--faults "<plan>"] [--recover]
+//!                [--checkpoint-every N]
 //!                                              multi-rank halo exchange;
 //!                                              with --recover, survivors
 //!                                              revoke/agree/shrink around
-//!                                              killed ranks and keep going
+//!                                              killed ranks and rebuild the
+//!                                              dead subdomains from the
+//!                                              last committed checkpoint
+//!                                              generation
 //! tempi-cli spec-help                          the spec mini-language
 //! ```
 //!
@@ -38,13 +42,20 @@ use tempi_core::ir::transform::simplify;
 use tempi_core::ir::translate::{translate, Translated};
 use tempi_core::model::SendModel;
 use tempi_core::tempi::{PlanKind, Tempi};
-use tempi_stencil::{Decomp, HaloConfig, HaloExchanger};
+use tempi_stencil::{CheckpointStore, Decomp, HaloConfig, HaloExchanger};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--faults \"<plan>\"]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
+        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--faults \"<plan>\"]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover] [--checkpoint-every N]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,corrupt=0.1,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
     );
     std::process::exit(2);
+}
+
+/// Parse a `--faults` plan. User input must never panic the CLI: a
+/// malformed spec becomes an error message naming the offending clause
+/// (the library error already quotes it).
+fn parse_faults(spec: &str) -> Result<FaultPlan, String> {
+    FaultPlan::parse(spec).map_err(|e| format!("invalid --faults plan: {e}"))
 }
 
 fn platform_arg(args: &[String]) -> Platform {
@@ -318,8 +329,8 @@ fn send(args: &[String]) {
     let mut cfg = WorldConfig::summit(2);
     cfg.net.ranks_per_node = 1;
     if let Some(spec) = flag_value(args, "--faults") {
-        match FaultPlan::parse(&spec) {
-            Ok(plan) => cfg.faults = Some(plan),
+        match parse_faults(&spec) {
+            Ok(plan) => cfg = cfg.with_faults(plan),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
@@ -412,24 +423,56 @@ fn send(args: &[String]) {
     }
 }
 
+/// One rank's result from the `stencil` subcommand.
+struct StencilOutcome {
+    /// Full local grid matched the serial oracle byte-for-byte.
+    ok: bool,
+    /// Revoke/agree/shrink rounds across all iterations.
+    shrinks: u64,
+    /// World ranks excluded across all shrinks.
+    excluded: Vec<usize>,
+    /// Final communicator epoch.
+    epoch: u64,
+    /// Final communicator size.
+    size: usize,
+    /// Checkpoint generations this rank committed.
+    checkpoints: u64,
+    /// Subdomain restores served from checkpoint frames.
+    restores: u64,
+}
+
 /// One rank's share of the `stencil` subcommand: build the exchanger, run
-/// `iters` halo exchanges (with ULFM-style recovery when asked), then
-/// verify the whole local grid against the serial oracle.
-#[allow(clippy::type_complexity)]
+/// `iters` halo exchanges (with ULFM-style recovery when asked), taking a
+/// coordinated checkpoint every `checkpoint_every` iterations, then verify
+/// the whole local grid against the serial oracle.
 fn run_stencil_rank(
     ctx: &mut RankCtx,
     n: usize,
     iters: usize,
     recover: bool,
-) -> Result<(bool, u64, Vec<usize>, u64, usize), MpiError> {
-    let mut mpi = InterposedMpi::new(TempiConfig::default());
+    checkpoint_every: Option<usize>,
+) -> Result<StencilOutcome, MpiError> {
+    let mut mpi = InterposedMpi::new(TempiConfig {
+        checkpoint_every,
+        ..TempiConfig::default()
+    });
     let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(n))?;
     ex.fill(ctx)?;
+    let mut store = CheckpointStore::new();
     let mut shrinks = 0u64;
     let mut excluded: Vec<usize> = Vec::new();
-    for _ in 0..iters {
+    for iter in 0..iters {
+        // Checkpoints are only taken at the original decomposition: after
+        // a shrink the restored state is the periodic extension of the
+        // *origin* grid, and re-checkpointing at the new geometry would
+        // break that provenance.
+        if let Some(every) = checkpoint_every {
+            if shrinks == 0 && iter % every == 0 {
+                ex.checkpoint(ctx, &mut mpi, &mut store)?;
+            }
+        }
         if recover {
-            let out = ex.exchange_with_recovery(ctx, &mut mpi, 4)?;
+            let out = ex.exchange_with_recovery(ctx, &mut mpi, &store, 4)?;
             shrinks += out.shrinks;
             for w in out.excluded {
                 if !excluded.contains(&w) {
@@ -442,7 +485,15 @@ fn run_stencil_rank(
     }
     let got = { ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())? };
     let ok = got == ex.expected_grid(ctx);
-    let result = (ok, shrinks, excluded, ctx.epoch(), ctx.size);
+    let result = StencilOutcome {
+        ok,
+        shrinks,
+        excluded,
+        epoch: ctx.epoch(),
+        size: ctx.size,
+        checkpoints: mpi.tempi.stats.checkpoints,
+        restores: mpi.tempi.stats.restores,
+    };
     ex.destroy(ctx)?;
     Ok(result)
 }
@@ -458,18 +509,27 @@ fn stencil(args: &[String]) {
         .map(|v| v.parse().expect("--iters takes an integer"))
         .unwrap_or(2);
     let recover = args.iter().any(|a| a == "--recover");
+    let checkpoint_every: Option<usize> = flag_value(args, "--checkpoint-every").map(|v| {
+        let every = v.parse().expect("--checkpoint-every takes an integer");
+        assert!(every > 0, "--checkpoint-every must be positive");
+        every
+    });
     let mut cfg = WorldConfig::summit(ranks);
     if let Some(spec) = flag_value(args, "--faults") {
-        match FaultPlan::parse(&spec) {
-            Ok(plan) => cfg.faults = Some(plan),
+        match parse_faults(&spec) {
+            Ok(plan) => cfg = cfg.with_faults(plan),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             }
         }
     }
+    if recover && checkpoint_every.is_none() {
+        eprintln!("error: --recover needs --checkpoint-every N: restores only rebuild from committed checkpoint generations");
+        std::process::exit(2);
+    }
     let results = World::run(&cfg, |ctx| {
-        let outcome = run_stencil_rank(ctx, n, iters, recover);
+        let outcome = run_stencil_rank(ctx, n, iters, recover, checkpoint_every);
         Ok((outcome, ctx.clock.now(), ctx.faults.stats.clone()))
     });
     let results = match results {
@@ -495,12 +555,18 @@ fn stencil(args: &[String]) {
     let mut failed = false;
     for (rank, (outcome, clock, stats)) in results.iter().enumerate() {
         match outcome {
-            Ok((ok, shrinks, excluded, epoch, size)) => {
+            Ok(o) => {
                 println!(
-                    "rank {rank}      : {} — epoch {epoch}, comm size {size}, shrinks {shrinks}, excluded {excluded:?}, clock {clock}",
-                    if *ok { "verified" } else { "MISMATCH vs oracle" }
+                    "rank {rank}      : {} — epoch {}, comm size {}, shrinks {}, excluded {:?}, checkpoints {}, restores {}, clock {clock}",
+                    if o.ok { "verified" } else { "MISMATCH vs oracle" },
+                    o.epoch,
+                    o.size,
+                    o.shrinks,
+                    o.excluded,
+                    o.checkpoints,
+                    o.restores
                 );
-                if !ok {
+                if !o.ok {
                     failed = true;
                 }
             }
@@ -514,14 +580,17 @@ fn stencil(args: &[String]) {
             }
         }
         println!(
-            "  faults    : send {}, recv {}, retries {}, peer-gone {}, death notices {}, revocations {}, stale dropped {}",
+            "  faults    : send {}, recv {}, retries {}, peer-gone {}, death notices {}, revocations {}, stale dropped {}, corruptions {}, nacks {}, retransmits {}",
             stats.send_faults,
             stats.recv_faults,
             stats.retries,
             stats.peer_gone,
             stats.death_notices,
             stats.revocations,
-            stats.stale_dropped
+            stats.stale_dropped,
+            stats.corruptions,
+            stats.nacks,
+            stats.retransmits
         );
         for ev in &stats.events {
             println!("  degrade   : {ev}");
@@ -529,5 +598,43 @@ fn stencil(args: &[String]) {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_faults;
+
+    #[test]
+    fn well_formed_fault_plans_parse() {
+        let plan =
+            parse_faults("seed=42,send=0.05,corrupt=0.1,exit=1@5ms,retries=4,backoff=10us")
+                .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert!(plan.corrupt.is_active());
+        assert_eq!(plan.rank_exits.len(), 1);
+    }
+
+    #[test]
+    fn malformed_fault_plans_name_the_offending_clause() {
+        // every error message must quote the clause the user got wrong
+        for (spec, bad_clause) in [
+            ("seed=42,warp=0.1", "warp=0.1"),
+            ("corrupt=maybe", "corrupt=maybe"),
+            ("send=1.5", "send=1.5"),
+            ("exit=1", "exit=1"),
+            ("exit=one@5ms", "exit=one@5ms"),
+            ("delay=0.2", "delay=0.2"),
+            ("backoff=10lightyears", "backoff=10lightyears"),
+            ("kernel@soon", "kernel@soon"),
+            ("justnoise", "justnoise"),
+        ] {
+            let err = parse_faults(spec).unwrap_err();
+            assert!(
+                err.contains(&format!("`{bad_clause}`")),
+                "spec `{spec}` produced an error that does not quote \
+                 `{bad_clause}`: {err}"
+            );
+        }
     }
 }

@@ -55,6 +55,12 @@ pub struct TempiConfig {
     /// that only TEMPI's receive path reassembles (a plain system receive
     /// rejects them with an error rather than delivering partial data).
     pub pipeline_chunk: Option<usize>,
+    /// Take a coordinated checkpoint every N halo-exchange iterations
+    /// (`None` disables checkpointing). Snapshots are packed with the
+    /// interposed `MPI_Pack`, framed with a content checksum, mirrored at
+    /// a buddy rank, and committed with a two-phase generation protocol so
+    /// recovery can rebuild dead ranks' subdomains without re-running.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl Default for TempiConfig {
@@ -66,6 +72,7 @@ impl Default for TempiConfig {
             use_dma: false,
             extend_struct: false,
             pipeline_chunk: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -83,6 +90,7 @@ impl TempiConfig {
     /// | `TEMPI_USE_DMA=1` | use the 2-D/3-D DMA engine where applicable |
     /// | `TEMPI_EXTEND_STRUCT=1` | enable the §8 struct block-list extension |
     /// | `TEMPI_PIPELINE_CHUNK=BYTES` | enable §8 pipelining with this chunk |
+    /// | `TEMPI_CHECKPOINT_EVERY=N` | coordinated checkpoint every N iterations |
     ///
     /// Unknown or malformed values are rejected with a message naming the
     /// variable, rather than silently ignored.
@@ -125,6 +133,15 @@ impl TempiConfig {
             }
             cfg.pipeline_chunk = Some(c);
         }
+        if let Ok(v) = std::env::var("TEMPI_CHECKPOINT_EVERY") {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("TEMPI_CHECKPOINT_EVERY must be an integer, got `{v}`"))?;
+            if n == 0 {
+                return Err("TEMPI_CHECKPOINT_EVERY must be positive".to_string());
+            }
+            cfg.checkpoint_every = Some(n);
+        }
         if cfg.force_method == Some(Method::Pipelined) && cfg.pipeline_chunk.is_none() {
             return Err(
                 "TEMPI_METHOD=pipelined requires TEMPI_PIPELINE_CHUNK to be set".to_string(),
@@ -148,18 +165,35 @@ mod tests {
             std::env::set_var("TEMPI_FORCE_WORD", "8");
             std::env::set_var("TEMPI_METHOD", "oneshot");
             std::env::set_var("TEMPI_PIPELINE_CHUNK", "262144");
+            std::env::set_var("TEMPI_CHECKPOINT_EVERY", "5");
         }
         let cfg = TempiConfig::from_env().unwrap();
         assert!(!cfg.canonicalize);
         assert_eq!(cfg.force_word, Some(8));
         assert_eq!(cfg.force_method, Some(Method::OneShot));
         assert_eq!(cfg.pipeline_chunk, Some(262144));
+        assert_eq!(cfg.checkpoint_every, Some(5));
 
         unsafe {
             std::env::set_var("TEMPI_FORCE_WORD", "3");
         }
         let err = TempiConfig::from_env().unwrap_err();
         assert!(err.contains("TEMPI_FORCE_WORD"), "{err}");
+
+        unsafe {
+            std::env::set_var("TEMPI_FORCE_WORD", "8");
+            std::env::set_var("TEMPI_CHECKPOINT_EVERY", "0");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("TEMPI_CHECKPOINT_EVERY"), "{err}");
+        unsafe {
+            std::env::set_var("TEMPI_CHECKPOINT_EVERY", "soon");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("TEMPI_CHECKPOINT_EVERY"), "{err}");
+        unsafe {
+            std::env::remove_var("TEMPI_CHECKPOINT_EVERY");
+        }
 
         unsafe {
             std::env::set_var("TEMPI_FORCE_WORD", "8");
@@ -193,5 +227,6 @@ mod tests {
         assert!(!c.use_dma);
         assert!(!c.extend_struct);
         assert!(c.pipeline_chunk.is_none());
+        assert!(c.checkpoint_every.is_none());
     }
 }

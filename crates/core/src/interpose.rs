@@ -33,6 +33,7 @@ pub enum MpiSymbol {
     Send,
     Recv,
     Alltoallv,
+    Barrier,
     CommRevoke,
     CommShrink,
     CommAgree,
@@ -266,6 +267,15 @@ impl InterposedMpi {
         // not in the override set → always the system implementation
         let _ = self.resolve(MpiSymbol::Alltoallv);
         ctx.alltoallv_bytes(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+    }
+
+    /// `MPI_Barrier` over the *current* communicator members. TEMPI does
+    /// not override this symbol — the checkpoint two-phase commit uses it
+    /// as the snapshot barrier, and it falls through to the system MPI's
+    /// dissemination barrier (which is shrink-safe).
+    pub fn barrier(&mut self, ctx: &mut RankCtx) -> MpiResult<()> {
+        let _ = self.resolve(MpiSymbol::Barrier);
+        ctx.comm_barrier()
     }
 
     /// `MPIX_Comm_revoke` (ULFM). Fault-tolerance entry points are not

@@ -135,10 +135,14 @@ pub struct TempiStats {
     /// copy path after a transient failure.
     pub degraded_xfers: u64,
     /// Operations abandoned because the communicator failed (`PeerGone`,
-    /// `Revoked`, `CommFailed`). These are *not* degradations: no rung can
-    /// route around a dead peer, so the error propagates to the caller,
-    /// whose recovery path (revoke → agree → shrink) takes over.
+    /// `Revoked`, `CommFailed`, `Corrupted`). These are *not* degradations:
+    /// no rung can route around a dead peer, so the error propagates to the
+    /// caller, whose recovery path (revoke → agree → shrink) takes over.
     pub comm_failures: u64,
+    /// Coordinated checkpoint generations this rank committed.
+    pub checkpoints: u64,
+    /// Subdomain restores served from committed checkpoint frames.
+    pub restores: u64,
 }
 
 /// Human-readable method name for degradation events.

@@ -363,6 +363,20 @@ impl Memory {
         Ok(())
     }
 
+    /// FNV-1a 64 checksum over `len` bytes at `ptr`, ignoring space rules
+    /// (the verification analogue of the `peek` backdoor: snapshot framing
+    /// and integrity checks need to summarize device bytes without staging
+    /// them through a host copy). Costs no virtual time.
+    pub fn checksum_region(&self, ptr: GpuPtr, len: usize) -> GpuResult<u64> {
+        let bytes = self.slice(ptr, len)?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(h)
+    }
+
     /// Install (or, with `None`, remove) a deterministic fault injector.
     /// Every clone of the owning [`GpuContext`] and every stream bound to
     /// it observes the change, since they all share this `Memory`.
@@ -628,6 +642,36 @@ mod tests {
         let b = c.malloc(0).unwrap();
         c.memory().dev_copy(a, b, 0).unwrap();
         assert_eq!(c.memory().peek(a, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn checksum_region_is_content_addressed() {
+        let c = ctx();
+        let a = c.malloc(32).unwrap();
+        let b = c.host_alloc(32).unwrap();
+        let data: Vec<u8> = (0..32).collect();
+        c.memory().poke(a, &data).unwrap();
+        c.memory().poke(b, &data).unwrap();
+        let mem = c.memory();
+        // same bytes → same sum, regardless of address space
+        assert_eq!(
+            mem.checksum_region(a, 32).unwrap(),
+            mem.checksum_region(b, 32).unwrap()
+        );
+        // a sub-range sums differently, and a single flipped byte changes it
+        assert_ne!(
+            mem.checksum_region(a, 32).unwrap(),
+            mem.checksum_region(a, 16).unwrap()
+        );
+        drop(mem);
+        let before = c.memory().checksum_region(a, 32).unwrap();
+        c.memory().poke(a.add(7), &[0xFF]).unwrap();
+        assert_ne!(before, c.memory().checksum_region(a, 32).unwrap());
+        // bounds are enforced like every other accessor
+        assert!(matches!(
+            c.memory().checksum_region(a.add(30), 8),
+            Err(GpuError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

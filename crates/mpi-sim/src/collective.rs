@@ -148,19 +148,12 @@ impl RankCtx {
             all[0] = data.to_vec();
             for _ in 1..self.size {
                 // The root consumes leaf messages directly, so it passes
-                // through the same receive-side fault sites as p2p.
+                // through the same receive-side fault sites and integrity
+                // verification as p2p.
                 self.fault_gate_recv(None)?;
                 let msg = self.match_message(None, Some(TAG_GATHER))?;
-                let arrival = msg.depart
-                    + self.net.transfer_time(
-                        msg.payload.len(),
-                        crate::net::Transport::Cpu,
-                        msg.src_world,
-                        self.world_rank,
-                    );
-                self.clock.advance_to(arrival);
-                self.fault_extra_delay();
-                all[msg.src] = msg.payload;
+                let payload = self.deliver_payload(&msg, gpu_sim::MemSpace::Host)?;
+                all[msg.src] = payload;
             }
             Ok(Some(all))
         } else {

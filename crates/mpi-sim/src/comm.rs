@@ -147,6 +147,10 @@ impl RankCtx {
             sender_space: MemSpace::Host,
             depart: self.clock.now(),
             part: None,
+            // control traffic never carries an integrity envelope: it is
+            // consumed by the control plane, not delivered through
+            // `deliver_payload`
+            checksum: None,
         };
         let _ = self.peers[dest_world].send(msg);
     }

@@ -77,6 +77,17 @@ pub enum MpiError {
         /// Total attempts made (1 initial + retries).
         attempts: u32,
     },
+    /// Every delivery attempt from `peer` failed its payload checksum: the
+    /// NACK/retransmit handshake exhausted its budget without a clean copy.
+    /// Like [`MpiError::CommFailed`] this is a *communicator* failure —
+    /// the link is lying, not the program — so recovery paths treat it as
+    /// repairable by revoke/agree/shrink.
+    Corrupted {
+        /// The peer rank whose payloads kept failing verification.
+        peer: usize,
+        /// Total delivery attempts made (1 initial + retransmits).
+        attempts: u32,
+    },
     /// Internal invariant violation (a bug in the simulator, not the
     /// application).
     Internal(String),
@@ -105,13 +116,17 @@ impl MpiError {
     /// program error in the operation itself?
     ///
     /// Covers dead peers ([`MpiError::PeerGone`]), revoked communicators
-    /// ([`MpiError::Revoked`]) and exhausted link retries
-    /// ([`MpiError::CommFailed`]).
+    /// ([`MpiError::Revoked`]), exhausted link retries
+    /// ([`MpiError::CommFailed`]) and exhausted corruption retransmits
+    /// ([`MpiError::Corrupted`]).
     #[must_use]
     pub fn is_comm_failure(&self) -> bool {
         matches!(
             self,
-            MpiError::PeerGone | MpiError::Revoked | MpiError::CommFailed { .. }
+            MpiError::PeerGone
+                | MpiError::Revoked
+                | MpiError::CommFailed { .. }
+                | MpiError::Corrupted { .. }
         )
     }
 }
@@ -169,6 +184,12 @@ impl fmt::Display for MpiError {
                 write!(
                     f,
                     "communication with rank {peer} failed after {attempts} attempts"
+                )
+            }
+            MpiError::Corrupted { peer, attempts } => {
+                write!(
+                    f,
+                    "payload from rank {peer} failed checksum verification on all {attempts} delivery attempts"
                 )
             }
             MpiError::Internal(s) => write!(f, "internal simulator error: {s}"),
@@ -229,6 +250,11 @@ mod tests {
         assert!(MpiError::PeerGone.is_comm_failure());
         assert!(MpiError::Revoked.is_comm_failure());
         assert!(MpiError::CommFailed {
+            peer: 2,
+            attempts: 4
+        }
+        .is_comm_failure());
+        assert!(MpiError::Corrupted {
             peer: 2,
             attempts: 4
         }

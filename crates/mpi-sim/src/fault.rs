@@ -67,6 +67,11 @@ pub struct FaultPlan {
     pub send_fail: SiteSpec,
     /// Transient receive failure site (per p2p receive call).
     pub recv_fail: SiteSpec,
+    /// In-transit payload corruption site (per delivery attempt): when it
+    /// fires, a deterministic byte of the arriving payload is flipped.
+    /// With integrity enabled the receiver detects the flip and runs the
+    /// NACK/retransmit handshake; without it the corruption is silent.
+    pub corrupt: SiteSpec,
     /// Extra-latency site (per p2p receive call).
     pub delay: DelaySpec,
     /// Scheduled rank deaths.
@@ -86,6 +91,7 @@ impl Default for FaultPlan {
             copy_fault: SiteSpec::never(),
             send_fail: SiteSpec::never(),
             recv_fail: SiteSpec::never(),
+            corrupt: SiteSpec::never(),
             delay: DelaySpec::default(),
             rank_exits: Vec::new(),
             max_retries: 3,
@@ -103,6 +109,7 @@ impl FaultPlan {
             || self.copy_fault.is_active()
             || self.send_fail.is_active()
             || self.recv_fail.is_active()
+            || self.corrupt.is_active()
             || self.delay.is_active()
             || !self.rank_exits.is_empty()
     }
@@ -112,9 +119,10 @@ impl FaultPlan {
     ///
     /// Clauses:
     /// * `seed=N` — decision seed (default 0)
-    /// * `alloc|kernel|copy|send|recv=P` — per-call failure probability
-    /// * `alloc|kernel|copy|send|recv@N` — scripted 0-based call ordinal
-    ///   (repeatable)
+    /// * `alloc|kernel|copy|send|recv|corrupt=P` — per-call failure
+    ///   probability in `[0, 1]`
+    /// * `alloc|kernel|copy|send|recv|corrupt@N` — scripted 0-based call
+    ///   ordinal (repeatable)
     /// * `delay=P:DUR` — receive-side extra latency `DUR` with probability
     ///   `P`
     /// * `exit=R@DUR` — rank `R` exits at virtual time `DUR` (repeatable)
@@ -184,11 +192,16 @@ impl FaultPlan {
                             "copy" => &mut plan.copy_fault,
                             "send" => &mut plan.send_fail,
                             "recv" => &mut plan.recv_fail,
+                            "corrupt" => &mut plan.corrupt,
                             _ => return Err(bad(clause, "unknown key")),
                         };
-                        spec.probability = val
+                        let p: f64 = val
                             .parse()
                             .map_err(|_| bad(clause, "probability must be a float"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(bad(clause, "probability must be in [0, 1]"));
+                        }
+                        spec.probability = p;
                     }
                 }
             } else if let Some((key, ord)) = clause.split_once('@') {
@@ -201,6 +214,7 @@ impl FaultPlan {
                     "copy" => &mut plan.copy_fault,
                     "send" => &mut plan.send_fail,
                     "recv" => &mut plan.recv_fail,
+                    "corrupt" => &mut plan.corrupt,
                     _ => return Err(bad(clause, "unknown site")),
                 };
                 spec.at_calls.push(n);
@@ -271,6 +285,14 @@ pub struct FaultStats {
     pub stale_dropped: u64,
     /// Completed `agree_on_failures` rounds on this rank.
     pub agreements: u64,
+    /// Payload corruptions injected on delivery attempts (detected or not).
+    pub corruptions: u64,
+    /// NACKs this rank sent after a checksum mismatch.
+    pub nacks: u64,
+    /// Retransmitted deliveries consumed after a NACK.
+    pub retransmits: u64,
+    /// Total virtual time charged to NACK/retransmit round trips.
+    pub nack_time: SimTime,
     /// The degradation-event log, in the order the downgrades happened.
     pub events: Vec<DegradeEvent>,
 }
@@ -290,6 +312,7 @@ pub struct FaultInjector {
     send_calls: u64,
     recv_calls: u64,
     delay_calls: u64,
+    corrupt_calls: u64,
 }
 
 /// Site salts for the network-level coins (distinct from the GPU salts in
@@ -297,6 +320,7 @@ pub struct FaultInjector {
 const SALT_SEND: u64 = 0x7365_6e64_5f66_6c74; // "send_flt"
 const SALT_RECV: u64 = 0x7265_6376_5f66_6c74; // "recv_flt"
 const SALT_DELAY: u64 = 0x6465_6c61_795f_6e74; // "delay_nt"
+const SALT_CORRUPT: u64 = 0x636f_7272_5f66_6c74; // "corr_flt"
 
 impl FaultInjector {
     /// Instantiate a plan for one rank. The returned GPU injector (if the
@@ -325,6 +349,7 @@ impl FaultInjector {
                 send_calls: 0,
                 recv_calls: 0,
                 delay_calls: 0,
+                corrupt_calls: 0,
             },
             gpu,
         )
@@ -364,6 +389,21 @@ impl FaultInjector {
         } else {
             None
         }
+    }
+
+    /// Record one delivery attempt and decide whether its payload is
+    /// corrupted in transit. Returns the (byte index, flip mask) to apply,
+    /// derived deterministically from the same seeded draw, so a given
+    /// delivery attempt always corrupts the same bit. `len == 0` payloads
+    /// are never corrupted (nothing to flip).
+    pub fn corrupt_delivery(&mut self, len: usize) -> Option<(usize, u8)> {
+        let n = self.corrupt_calls;
+        self.corrupt_calls += 1;
+        if len == 0 || !self.plan.corrupt.decide(self.rank_seed, SALT_CORRUPT, n) {
+            return None;
+        }
+        let h = splitmix64(self.rank_seed ^ SALT_CORRUPT ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Some((h as usize % len, 1u8 << ((h >> 40) & 7)))
     }
 
     /// Is `peer` scheduled as dead at virtual instant `now`?
@@ -478,6 +518,38 @@ mod tests {
         assert!(FaultPlan::parse("delay=0.5").is_err());
         assert!(FaultPlan::parse("exit=zero@1us").is_err());
         assert!(FaultPlan::parse("backoff=10").is_err());
+        // probabilities outside [0, 1] name the offending clause
+        let err = FaultPlan::parse("send=1.5").unwrap_err();
+        assert!(err.to_string().contains("send=1.5"), "{err}");
+        assert!(FaultPlan::parse("corrupt=-0.1").is_err());
+    }
+
+    #[test]
+    fn parse_corrupt_site() {
+        let p = FaultPlan::parse("corrupt=0.25").unwrap();
+        assert!((p.corrupt.probability - 0.25).abs() < 1e-12);
+        assert!(p.is_active());
+        let p = FaultPlan::parse("corrupt@2").unwrap();
+        assert_eq!(p.corrupt.at_calls, vec![2]);
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn corrupt_delivery_is_scripted_and_deterministic() {
+        let plan = FaultPlan::parse("corrupt@0,corrupt@2").unwrap();
+        let (mut a, _) = FaultInjector::new(plan.clone(), 1);
+        let (mut b, _) = FaultInjector::new(plan, 1);
+        let da: Vec<_> = (0..4).map(|_| a.corrupt_delivery(64)).collect();
+        let db: Vec<_> = (0..4).map(|_| b.corrupt_delivery(64)).collect();
+        assert_eq!(da, db, "same rank, same seed, same flips");
+        assert!(da[0].is_some() && da[2].is_some());
+        assert!(da[1].is_none() && da[3].is_none());
+        let (idx, mask) = da[0].unwrap();
+        assert!(idx < 64);
+        assert_eq!(mask.count_ones(), 1, "exactly one bit flips");
+        // zero-length payloads are never corrupted
+        let (mut c, _) = FaultInjector::new(FaultPlan::parse("corrupt=1.0").unwrap(), 0);
+        assert_eq!(c.corrupt_delivery(0), None);
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //! * a **deterministic fault-injection subsystem** ([`fault`]) — seeded,
 //!   replayable GPU/network fault schedules with bounded retry + backoff
 //!   in virtual time, and the degradation-event log the TEMPI layer
-//!   appends to when it downgrades a send path.
+//!   appends to when it downgrades a send path; and
+//! * an **end-to-end integrity envelope** — senders stamp payloads with a
+//!   content checksum ([`payload_checksum`]), the fault injector can flip
+//!   bytes in transit (`corrupt=` site), and receivers verify and run a
+//!   bounded NACK/retransmit handshake in virtual time before surfacing
+//!   [`MpiError::Corrupted`].
 //!
 //! All timing is virtual and deterministic; all data movement is real bytes
 //! verified against the typemap oracle.
@@ -48,6 +53,6 @@ pub use fault::{
 };
 pub use net::{NetModel, Transport};
 pub use nonblocking::Request;
-pub use p2p::{Message, PartInfo, ProbeInfo, Status};
+pub use p2p::{payload_checksum, Message, PartInfo, ProbeInfo, Status};
 pub use runtime::{RankCtx, World, WorldConfig};
 pub use vendor::{BaselineMethod, VendorId, VendorProfile};

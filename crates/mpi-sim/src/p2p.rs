@@ -18,6 +18,7 @@ use gpu_sim::{GpuPtr, MemSpace, SimTime};
 use crate::datatype::typemap::{segments, Segment};
 use crate::datatype::{Combiner, Datatype};
 use crate::error::{MpiError, MpiResult};
+use crate::fault::FaultInjector;
 use crate::net::Transport;
 use crate::runtime::RankCtx;
 use crate::vendor::{baseline_gpu_pack, baseline_gpu_unpack, is_contiguous};
@@ -76,6 +77,25 @@ pub struct Message {
     pub depart: SimTime,
     /// Chunk metadata when this is one part of a pipelined transfer.
     pub part: Option<PartInfo>,
+    /// FNV-1a 64 of `payload`, stamped by integrity-enabled senders.
+    /// Receivers verify it against the bytes that crossed the (possibly
+    /// corrupting) wire; `None` means the envelope carries no integrity
+    /// information and corruption is delivered silently.
+    pub checksum: Option<u64>,
+}
+
+/// FNV-1a 64 over a payload: the content checksum integrity-enabled
+/// envelopes carry, and the same function checkpoint frames use — one
+/// checksum algorithm end to end so a frame verified at rest and a payload
+/// verified in flight agree byte-for-byte.
+#[must_use]
+pub fn payload_checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Outcome of [`RankCtx::sift`]: what an inbound message means to the
@@ -232,6 +252,7 @@ impl RankCtx {
             sender_space: MemSpace::Host,
             depart: at,
             part: None,
+            checksum: None,
         };
         for (w, tx) in self.peers.iter().enumerate() {
             if w != self.world_rank {
@@ -341,6 +362,81 @@ impl RankCtx {
         })
     }
 
+    /// Receive-side delivery of a matched message: charge the wire time
+    /// (`completion = max(now, depart + transfer)`), apply any injected
+    /// in-transit corruption, and — when the envelope carries a checksum —
+    /// verify it and run the bounded NACK/retransmit handshake, all in
+    /// virtual time on this rank's clock. Returns the bytes that actually
+    /// land in the receive buffer.
+    ///
+    /// The corruption model is receive-sided: the sender's pristine payload
+    /// sits in the in-flight [`Message`], and this rank's seeded injector
+    /// decides per *delivery attempt* whether the bytes that crossed the
+    /// wire got a bit flipped. A retransmit therefore re-reads the pristine
+    /// copy and redraws the corruption coin; each round trip charges one
+    /// NACK wire plus one payload wire. Exhausting the budget surfaces
+    /// [`MpiError::Corrupted`]. Without a checksum (integrity disabled) a
+    /// flipped byte is delivered silently — the failure mode the integrity
+    /// envelope exists to close.
+    pub(crate) fn deliver_payload(
+        &mut self,
+        msg: &Message,
+        dst_space: MemSpace,
+    ) -> MpiResult<Vec<u8>> {
+        let bytes = msg.payload.len();
+        let transport = Transport::for_spaces(msg.sender_space, dst_space);
+        let wire = self
+            .net
+            .transfer_time(bytes, transport, msg.src_world, self.world_rank);
+        self.clock.advance_to(msg.depart + wire);
+        self.fault_extra_delay();
+        self.clock.advance(self.net.recv_overhead);
+        let max_retries = self
+            .faults
+            .injector
+            .as_ref()
+            .map_or(0, FaultInjector::max_retries);
+        let mut attempt: u32 = 0;
+        loop {
+            let flip = match self.faults.injector.as_mut() {
+                Some(inj) => inj.corrupt_delivery(bytes),
+                None => None,
+            };
+            let delivered = match flip {
+                Some((idx, mask)) => {
+                    self.faults.stats.corruptions += 1;
+                    let mut p = msg.payload.clone();
+                    p[idx] ^= mask;
+                    p
+                }
+                None => msg.payload.clone(),
+            };
+            let Some(expect) = msg.checksum else {
+                return Ok(delivered);
+            };
+            if payload_checksum(&delivered) == expect {
+                return Ok(delivered);
+            }
+            self.faults.stats.nacks += 1;
+            if attempt >= max_retries {
+                return Err(MpiError::Corrupted {
+                    peer: msg.src,
+                    attempts: attempt + 1,
+                });
+            }
+            // one NACK back to the sender plus one payload retransmit,
+            // charged to this rank's virtual clock
+            let nack_wire =
+                self.net
+                    .transfer_time(1, Transport::Cpu, self.world_rank, msg.src_world);
+            let round_trip = nack_wire + wire;
+            self.clock.advance(round_trip);
+            self.faults.stats.nack_time += round_trip;
+            self.faults.stats.retransmits += 1;
+            attempt += 1;
+        }
+    }
+
     /// Charge any injected extra delivery latency to the virtual clock
     /// (called on the receive side once a message has arrived).
     pub(crate) fn fault_extra_delay(&mut self) {
@@ -381,6 +477,11 @@ impl RankCtx {
         // `dest` is a rank in the *current* communicator; the channel table
         // is indexed by world rank.
         let dest_world = self.comm_members.get(dest).copied().unwrap_or(dest);
+        let checksum = if self.integrity {
+            Some(payload_checksum(&payload))
+        } else {
+            None
+        };
         let msg = Message {
             src: self.rank,
             src_world: self.world_rank,
@@ -390,6 +491,7 @@ impl RankCtx {
             sender_space,
             depart: self.clock.now().max(ready_at),
             part,
+            checksum,
         };
         // Unbounded channel: sends are eager and never deadlock. A closed
         // inbox means the peer rank already exited (it returned early or a
@@ -615,15 +717,8 @@ impl RankCtx {
                 envelope: None,
             });
         }
-        let transport = Transport::for_spaces(msg.sender_space, buf.space);
-        let arrival = msg.depart
-            + self
-                .net
-                .transfer_time(bytes, transport, msg.src_world, self.world_rank);
-        self.clock.advance_to(arrival);
-        self.fault_extra_delay();
-        self.clock.advance(self.net.recv_overhead);
-        self.gpu.memory().poke(buf, &msg.payload)?;
+        let payload = self.deliver_payload(&msg, buf.space)?;
+        self.gpu.memory().poke(buf, &payload)?;
         Ok(Status {
             source: msg.src,
             tag: msg.tag,
@@ -719,14 +814,7 @@ impl RankCtx {
                 envelope: self.registry().read().get_envelope(dt).ok(),
             });
         }
-        let transport = Transport::for_spaces(msg.sender_space, buf.space);
-        let arrival = msg.depart
-            + self
-                .net
-                .transfer_time(bytes, transport, msg.src_world, self.world_rank);
-        self.clock.advance_to(arrival);
-        self.fault_extra_delay();
-        self.clock.advance(self.net.recv_overhead);
+        let payload = self.deliver_payload(&msg, buf.space)?;
 
         let items = bytes.checked_div(wt.size).unwrap_or(0);
         let fully_contiguous =
@@ -745,7 +833,7 @@ impl RankCtx {
             // buffer (delivery covered by the transfer), then unpack
             // block-by-block.
             let tmp = self.gpu.malloc(bytes)?;
-            self.gpu.memory().poke(tmp, &msg.payload)?;
+            self.gpu.memory().poke(tmp, &payload)?;
             let mut pos = 0usize;
             baseline_gpu_unpack(
                 &self.vendor.clone(),
@@ -761,7 +849,7 @@ impl RankCtx {
             )?;
             self.gpu.free(tmp)?;
         } else {
-            self.scatter_payload(buf, items, &wt, &msg.payload)?;
+            self.scatter_payload(buf, items, &wt, &payload)?;
             if buf.space != MemSpace::Device && !fully_contiguous {
                 let t = self.vendor.host_pack_time(bytes, wt.segs.len() * items);
                 self.clock.advance(t);
@@ -1061,6 +1149,93 @@ mod tests {
         assert_eq!(ctx.faults.stats.delays, 1);
         assert_eq!(ctx.faults.stats.delay_time, SimTime::from_us(50));
         assert!(ctx.clock.now() - before >= SimTime::from_us(50));
+    }
+
+    #[test]
+    fn corruption_without_integrity_is_silent() {
+        // corrupt site active but the integrity envelope explicitly off:
+        // the flipped byte is delivered — the blind spot the envelope closes
+        let mut cfg = WorldConfig::summit(1).with_faults(FaultPlan::parse("corrupt@0").unwrap());
+        cfg.integrity = false;
+        let mut ctx = crate::runtime::RankCtx::standalone(&cfg);
+        let buf = ctx.gpu.host_alloc(64).unwrap();
+        ctx.gpu.memory().poke(buf, &[0u8; 64]).unwrap();
+        ctx.send_bytes(buf, 64, 0, 0).unwrap();
+        let st = ctx.recv_bytes(buf, 64, Some(0), Some(0)).unwrap();
+        assert_eq!(st.bytes, 64);
+        let got = ctx.gpu.memory().peek(buf, 64).unwrap();
+        assert_ne!(got, vec![0u8; 64], "the corruption must land silently");
+        assert_eq!(got.iter().filter(|&&b| b != 0).count(), 1);
+        assert_eq!(ctx.faults.stats.corruptions, 1);
+        assert_eq!(ctx.faults.stats.nacks, 0);
+    }
+
+    #[test]
+    fn detected_corruption_retransmits_and_delivers_pristine_bytes() {
+        // with_faults auto-enables integrity for an active corrupt site:
+        // the first delivery attempt is corrupted, detected, NACKed, and
+        // the retransmit delivers the sender's pristine payload
+        let mut ctx = faulty_ctx("corrupt@0");
+        assert!(ctx.integrity, "an active corrupt site implies integrity");
+        let buf = ctx.gpu.host_alloc(64).unwrap();
+        ctx.gpu.memory().poke(buf, &[0xAB; 64]).unwrap();
+        ctx.send_bytes(buf, 64, 0, 0).unwrap();
+        let before = ctx.clock.now();
+        let st = ctx.recv_bytes(buf, 64, Some(0), Some(0)).unwrap();
+        assert_eq!(st.bytes, 64);
+        assert_eq!(ctx.gpu.memory().peek(buf, 64).unwrap(), vec![0xAB; 64]);
+        assert_eq!(ctx.faults.stats.corruptions, 1);
+        assert_eq!(ctx.faults.stats.nacks, 1);
+        assert_eq!(ctx.faults.stats.retransmits, 1);
+        assert!(!ctx.faults.stats.nack_time.is_zero());
+        assert!(
+            ctx.clock.now() - before >= ctx.faults.stats.nack_time,
+            "the NACK round trip must be charged to the virtual clock"
+        );
+    }
+
+    #[test]
+    fn exhausted_retransmits_surface_corrupted() {
+        let mut ctx = faulty_ctx("corrupt=1.0,retries=2");
+        let buf = ctx.gpu.host_alloc(32).unwrap();
+        ctx.send_bytes(buf, 32, 0, 0).unwrap();
+        let err = ctx.recv_bytes(buf, 32, Some(0), Some(0)).unwrap_err();
+        assert_eq!(
+            err,
+            MpiError::Corrupted {
+                peer: 0,
+                attempts: 3
+            }
+        );
+        assert!(err.is_comm_failure(), "corruption exhaustion is repairable");
+        assert!(!err.is_transient());
+        assert_eq!(ctx.faults.stats.corruptions, 3);
+        assert_eq!(ctx.faults.stats.nacks, 3);
+        assert_eq!(ctx.faults.stats.retransmits, 2);
+    }
+
+    #[test]
+    fn seeded_corruption_replays_identically() {
+        let run = || {
+            let mut ctx = faulty_ctx("seed=21,corrupt=0.3,retries=6");
+            let buf = ctx.gpu.host_alloc(128).unwrap();
+            ctx.gpu.memory().poke(buf, &[7u8; 128]).unwrap();
+            for tag in 0..8 {
+                ctx.send_bytes(buf, 128, 0, tag).unwrap();
+                ctx.recv_bytes(buf, 128, Some(0), Some(tag)).unwrap();
+            }
+            (
+                ctx.clock.now(),
+                ctx.faults.stats.corruptions,
+                ctx.faults.stats.nacks,
+                ctx.faults.stats.retransmits,
+                ctx.faults.stats.nack_time,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seeded corruption schedule must replay exactly");
+        assert!(a.1 > 0, "the seeded plan must corrupt something");
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct WorldConfig {
     /// Deterministic fault plan; `None` (the default) runs fault-free with
     /// zero hot-path cost.
     pub faults: Option<FaultPlan>,
+    /// End-to-end payload integrity: senders stamp envelopes with a content
+    /// checksum and receivers verify deliveries, NACKing corrupted ones.
+    /// Auto-enabled by [`WorldConfig::with_faults`] when the plan's
+    /// `corrupt` site is active (set it back to `false` to study silent
+    /// corruption).
+    pub integrity: bool,
 }
 
 impl WorldConfig {
@@ -53,6 +59,7 @@ impl WorldConfig {
             gpu_cost: GpuCostModel::summit_v100(),
             device: DeviceProps::v100(),
             faults: None,
+            integrity: false,
         }
     }
 
@@ -66,13 +73,25 @@ impl WorldConfig {
             gpu_cost: GpuCostModel::workstation_gtx1070(),
             device: DeviceProps::gtx1070(),
             faults: None,
+            integrity: false,
         }
     }
 
-    /// Builder-style: run this world under `plan`.
+    /// Builder-style: run this world under `plan`. If the plan can corrupt
+    /// payloads in transit, integrity envelopes are switched on so receivers
+    /// can detect it (override by clearing `integrity` afterwards).
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.integrity |= plan.corrupt.is_active();
         self.faults = Some(plan);
+        self
+    }
+
+    /// Builder-style: stamp every payload-bearing envelope with a content
+    /// checksum and verify on delivery, even without a fault plan.
+    #[must_use]
+    pub fn with_integrity(mut self) -> Self {
+        self.integrity = true;
         self
     }
 }
@@ -179,6 +198,9 @@ pub struct RankCtx {
     /// Fault-injection state for this rank: the (optional) injector plus
     /// the statistics and degradation-event log accumulated so far.
     pub faults: FaultState,
+    /// Are integrity envelopes enabled? When true, sends stamp payloads
+    /// with a content checksum and receives verify it, NACKing mismatches.
+    pub integrity: bool,
     pub(crate) registry: Arc<RwLock<TypeRegistry>>,
     pub(crate) inbox: Receiver<Message>,
     pub(crate) peers: Vec<Sender<Message>>,
@@ -219,6 +241,7 @@ impl RankCtx {
             vendor: cfg.vendor.clone(),
             net: cfg.net.clone(),
             faults,
+            integrity: cfg.integrity,
             registry: Arc::new(RwLock::new(TypeRegistry::new())),
             inbox: rx,
             peers: vec![tx],
@@ -488,6 +511,7 @@ impl World {
                     vendor: cfg.vendor.clone(),
                     net: cfg.net.clone(),
                     faults,
+                    integrity: cfg.integrity,
                     registry: Arc::clone(&registry),
                     inbox,
                     peers: txs.clone(),

@@ -8,12 +8,21 @@
 //! always falls through.
 
 use gpu_sim::{GpuPtr, SimTime};
-use mpi_sim::{MpiError, MpiResult, RankCtx};
+use mpi_sim::datatype::Order;
+use mpi_sim::{Datatype, MpiError, MpiResult, RankCtx};
 use serde::{Deserialize, Serialize};
 use tempi_core::interpose::InterposedMpi;
 
+use crate::checkpoint::{provider_for, CheckpointStore, Frame, GenRecord, HEADER_LEN};
 use crate::decomp::{dir_index, opposite, Decomp, DIRS};
 use crate::halo::{HaloConfig, HaloTypes};
+
+/// User tag for mirroring a checkpoint frame at the buddy rank.
+const TAG_CKPT_MIRROR: i32 = 2_000;
+/// User tag for the restore-time generation min-agreement.
+const TAG_CKPT_GEN: i32 = 2_001;
+/// User tag for serving a checkpoint frame to a rebuilding rank.
+const TAG_CKPT_FETCH: i32 = 2_002;
 
 /// Outcome of a fault-tolerant exchange
 /// ([`HaloExchanger::exchange_with_recovery`]).
@@ -27,6 +36,9 @@ pub struct RecoveryOutcome {
     pub excluded: Vec<usize>,
     /// Communicator epoch after the successful exchange.
     pub epoch: u64,
+    /// The checkpoint generation the last rebuild restored from (`None`
+    /// when no recovery round was needed).
+    pub restored: Option<u64>,
 }
 
 /// Virtual-time split of one exchange.
@@ -57,6 +69,30 @@ pub fn cell_value(gx: usize, gy: usize, gz: usize) -> f32 {
     (h % 1_000_000) as f32
 }
 
+/// Send a host-side byte blob over the simulated wire: stage it into a
+/// host allocation, send, free. Checkpoint traffic goes through the same
+/// integrity-checked p2p path as application payloads.
+fn send_blob(ctx: &mut RankCtx, bytes: &[u8], dest: usize, tag: i32) -> MpiResult<()> {
+    let buf = ctx.gpu.host_alloc(bytes.len().max(1))?;
+    let r = (|| {
+        ctx.gpu.memory().poke(buf, bytes)?;
+        ctx.send_bytes(buf, bytes.len(), dest, tag)
+    })();
+    ctx.gpu.free(buf)?;
+    r
+}
+
+/// Receive exactly `len` bytes from `src` into a fresh `Vec`.
+fn recv_blob(ctx: &mut RankCtx, len: usize, src: usize, tag: i32) -> MpiResult<Vec<u8>> {
+    let buf = ctx.gpu.host_alloc(len.max(1))?;
+    let r = (|| -> MpiResult<Vec<u8>> {
+        let st = ctx.recv_bytes(buf, len, Some(src), Some(tag))?;
+        Ok(ctx.gpu.memory().peek(buf, st.bytes)?)
+    })();
+    ctx.gpu.free(buf)?;
+    r
+}
+
 /// Per-rank state of the halo exchange.
 pub struct HaloExchanger {
     /// Geometry.
@@ -65,6 +101,15 @@ pub struct HaloExchanger {
     pub decomp: Decomp,
     /// The 52 committed datatypes.
     pub types: HaloTypes,
+    /// The committed interior subarray datatype — the region a checkpoint
+    /// snapshots and a restore rebuilds.
+    pub interior_dt: Datatype,
+    /// Global extents of the grid at first decomposition. Restored state
+    /// after shrinks is the periodic extension of this *original* grid, so
+    /// oracles wrap positions into `origin` after wrapping into the
+    /// current global extents (the two coincide until a shrink changes the
+    /// process grid).
+    pub origin: [usize; 3],
     /// The local grid allocation (device memory).
     pub grid: GpuPtr,
     sendbuf: GpuPtr,
@@ -95,6 +140,21 @@ impl HaloExchanger {
             mpi.type_commit(ctx, types.send[i])?;
             mpi.type_commit(ctx, types.recv[i])?;
         }
+        let a = cfg.alloc_dims();
+        let (isub, istart) = cfg.interior_region();
+        let interior_dt = ctx.type_create_subarray(
+            &[a[2] as i32, a[1] as i32, a[0] as i32],
+            &[isub[2] as i32, isub[1] as i32, isub[0] as i32],
+            &[istart[2] as i32, istart[1] as i32, istart[0] as i32],
+            Order::C,
+            mpi_sim::consts::MPI_FLOAT,
+        )?;
+        mpi.type_commit(ctx, interior_dt)?;
+        let origin = [
+            cfg.local[0] * decomp.dims[0],
+            cfg.local[1] * decomp.dims[1],
+            cfg.local[2] * decomp.dims[2],
+        ];
         let me = ctx.rank;
         let n = ctx.size;
 
@@ -140,6 +200,8 @@ impl HaloExchanger {
             cfg,
             decomp,
             types,
+            interior_dt,
+            origin,
             grid,
             sendbuf,
             recvbuf,
@@ -317,6 +379,7 @@ impl HaloExchanger {
         ctx.gpu.free(self.grid)?;
         ctx.gpu.free(self.sendbuf)?;
         ctx.gpu.free(self.recvbuf)?;
+        ctx.type_free(self.interior_dt)?;
         let types = std::mem::replace(
             &mut self.types,
             HaloTypes {
@@ -335,11 +398,195 @@ impl HaloExchanger {
         self.release(ctx)
     }
 
+    /// Take one coordinated checkpoint generation: pack the interior with
+    /// the interposed `MPI_Pack`, stage it to the host, frame it with a
+    /// content checksum, mirror it at the buddy rank `(rank + 1) % size`,
+    /// and run the two-phase commit — stage, snapshot barrier, commit. A
+    /// rank dying mid-snapshot fails the barrier on every survivor, so the
+    /// generation is aborted everywhere and restore falls back to the
+    /// previous one: a torn generation is never visible.
+    pub fn checkpoint(
+        &mut self,
+        ctx: &mut RankCtx,
+        mpi: &mut InterposedMpi,
+        store: &mut CheckpointStore,
+    ) -> MpiResult<u64> {
+        let generation = store.next_generation();
+        let bytes = self.cfg.local[0] * self.cfg.local[1] * self.cfg.local[2] * 4;
+        let stage = ctx.gpu.malloc(bytes)?;
+        let host = ctx.gpu.host_alloc(bytes)?;
+        let packed = (|| -> MpiResult<Vec<u8>> {
+            let mut pos = 0usize;
+            mpi.pack(ctx, self.grid, 1, self.interior_dt, stage, bytes, &mut pos)?;
+            ctx.stream
+                .memcpy_async(&mut ctx.clock, host, stage, bytes)
+                .map_err(MpiError::Gpu)?;
+            ctx.stream.synchronize(&mut ctx.clock);
+            Ok(ctx.gpu.memory().peek(host, bytes)?)
+        })();
+        ctx.gpu.free(stage)?;
+        ctx.gpu.free(host)?;
+        let own = Frame {
+            generation,
+            epoch: ctx.epoch(),
+            comm_rank: ctx.rank,
+            world_rank: ctx.world_rank,
+            dims: self.decomp.dims,
+            local: self.cfg.local,
+            payload: packed?,
+        };
+        let record = GenRecord {
+            members: ctx.comm_members().to_vec(),
+            dims: self.decomp.dims,
+            local: self.cfg.local,
+        };
+        // Mirror around the ring: my frame to (rank+1), (rank-1)'s to me.
+        // Sends are eager, so send-before-receive cannot deadlock.
+        let enc = own.encode();
+        let mut frames = vec![own];
+        if ctx.size > 1 {
+            let dest = (ctx.rank + 1) % ctx.size;
+            let src = (ctx.rank + ctx.size - 1) % ctx.size;
+            send_blob(ctx, &enc, dest, TAG_CKPT_MIRROR)?;
+            let got = recv_blob(ctx, enc.len(), src, TAG_CKPT_MIRROR)?;
+            frames.push(Frame::decode(&got)?);
+        }
+        store.stage(generation, record, frames);
+        if let Err(e) = mpi.barrier(ctx) {
+            store.abort();
+            return Err(e);
+        }
+        store.commit(generation)?;
+        mpi.tempi.stats.checkpoints += 1;
+        Ok(generation)
+    }
+
+    /// Rebuild this rank's subdomain from the newest checkpoint generation
+    /// *every* current member committed. Runs after a shrink has already
+    /// re-decomposed the grid (or any time the in-memory grid is suspect).
+    ///
+    /// Uniform local blocks mean each post-shrink interior is exactly one
+    /// pre-shrink block — the one at this rank's coordinates wrapped into
+    /// the old process grid — so restore is: agree on the generation
+    /// (p2p min over the shrunken communicator; the full-world allgather
+    /// board is unusable once ranks are gone), fetch that one frame from
+    /// its deterministic provider (owner, else buddy, else spill), verify
+    /// its checksum, and unpack it with the interposed `MPI_Unpack`.
+    pub fn restore_from_checkpoint(
+        &mut self,
+        ctx: &mut RankCtx,
+        mpi: &mut InterposedMpi,
+        store: &CheckpointStore,
+    ) -> MpiResult<u64> {
+        const NONE: u64 = u64::MAX;
+        let mine = store.latest_committed().unwrap_or(NONE);
+        let mut agreed = mine;
+        for peer in 0..ctx.size {
+            if peer != ctx.rank {
+                send_blob(ctx, &mine.to_le_bytes(), peer, TAG_CKPT_GEN)?;
+            }
+        }
+        for peer in 0..ctx.size {
+            if peer != ctx.rank {
+                let got = recv_blob(ctx, 8, peer, TAG_CKPT_GEN)?;
+                let theirs = u64::from_le_bytes(got.try_into().map_err(|_| {
+                    MpiError::Internal("generation agreement message not 8 bytes".into())
+                })?);
+                agreed = agreed.min(theirs);
+            }
+        }
+        if agreed == NONE {
+            return Err(MpiError::Internal(
+                "no committed checkpoint generation to restore from".to_string(),
+            ));
+        }
+        let record = store
+            .record(agreed)
+            .ok_or_else(|| {
+                MpiError::Internal(format!(
+                    "generation {agreed} agreed on but not committed locally"
+                ))
+            })?
+            .clone();
+        if record.local != self.cfg.local {
+            return Err(MpiError::Internal(
+                "checkpoint local extents do not match the current geometry".to_string(),
+            ));
+        }
+        let old = Decomp { dims: record.dims };
+        let alive = ctx.comm_members().to_vec();
+        let me = ctx.world_rank;
+        // Which *old* comm rank's frame a new comm rank rebuilds from.
+        let needed = |r: usize| -> usize {
+            let c = self.decomp.coords(r);
+            old.rank_of([
+                c[0] % record.dims[0],
+                c[1] % record.dims[1],
+                c[2] % record.dims[2],
+            ])
+        };
+        // The fetch plan is a pure function of (record, survivors), so
+        // every rank computes the same one. Post all sends first (eager),
+        // then satisfy own need.
+        for r in 0..ctx.size {
+            let q = needed(r);
+            if r != ctx.rank && provider_for(&record, q, &alive) == Some(me) {
+                let owner = record.members[q];
+                let frame = store.frame(agreed, owner).ok_or_else(|| {
+                    MpiError::Internal(format!(
+                        "provider {me} lacks the frame of world rank {owner} \
+                         at generation {agreed}"
+                    ))
+                })?;
+                send_blob(ctx, &frame.encode(), r, TAG_CKPT_FETCH)?;
+            }
+        }
+        let q = needed(ctx.rank);
+        let owner = record.members[q];
+        let bytes = record.local[0] * record.local[1] * record.local[2] * 4;
+        let frame = match provider_for(&record, q, &alive) {
+            Some(p) if p == me => store.frame(agreed, owner).cloned().ok_or_else(|| {
+                MpiError::Internal(format!(
+                    "rank {me} elected itself provider but lacks the frame of \
+                     world rank {owner} at generation {agreed}"
+                ))
+            })?,
+            Some(p) => {
+                let src = alive.iter().position(|&w| w == p).ok_or_else(|| {
+                    MpiError::Internal(format!("provider world rank {p} not in communicator"))
+                })?;
+                let enc = recv_blob(ctx, HEADER_LEN + bytes + 8, src, TAG_CKPT_FETCH)?;
+                Frame::decode(&enc)?
+            }
+            // owner and buddy both died: the disk copy is the last resort
+            None => store.load_spilled(agreed, owner)?,
+        };
+        if frame.generation != agreed || frame.world_rank != owner || frame.payload.len() != bytes
+        {
+            return Err(MpiError::Internal(
+                "restored frame does not match the agreed generation".to_string(),
+            ));
+        }
+        let host = ctx.gpu.host_alloc(bytes)?;
+        let unpacked = (|| -> MpiResult<()> {
+            ctx.gpu.memory().poke(host, &frame.payload)?;
+            let mut pos = 0usize;
+            mpi.unpack(ctx, host, bytes, &mut pos, self.grid, 1, self.interior_dt)
+        })();
+        ctx.gpu.free(host)?;
+        unpacked?;
+        mpi.tempi.stats.restores += 1;
+        Ok(agreed)
+    }
+
     /// One halo exchange with ULFM-style recovery: on a communicator
     /// failure, revoke the communicator (so stragglers blocked in the
     /// exchange error out instead of hanging), agree on and shrink away
-    /// the failed ranks, re-decompose the grid over the survivors, refill
-    /// it from the global oracle, and try again.
+    /// the failed ranks, re-decompose the grid over the survivors, rebuild
+    /// every subdomain — including the dead ranks' — from the newest
+    /// checkpoint generation all survivors committed, and try again.
+    /// Checkpoints are the *only* source of restored state: a world that
+    /// never called [`HaloExchanger::checkpoint`] cannot recover.
     ///
     /// The happy path adds one `comm_barrier` per round: without it, a
     /// survivor whose `Alltoallv` traffic never touched the dead rank
@@ -354,10 +601,12 @@ impl HaloExchanger {
         &mut self,
         ctx: &mut RankCtx,
         mpi: &mut InterposedMpi,
+        store: &CheckpointStore,
         max_rounds: usize,
     ) -> MpiResult<RecoveryOutcome> {
         let mut shrinks = 0u64;
         let mut excluded = Vec::new();
+        let mut restored = None;
         for _ in 0..max_rounds {
             let failed = match self.exchange(ctx, mpi) {
                 Ok(timing) => match ctx.comm_barrier() {
@@ -367,6 +616,7 @@ impl HaloExchanger {
                             shrinks,
                             excluded,
                             epoch: ctx.epoch(),
+                            restored,
                         })
                     }
                     Err(e) => e,
@@ -383,12 +633,16 @@ impl HaloExchanger {
             let dead = mpi.comm_shrink(ctx)?;
             excluded.extend(dead);
             shrinks += 1;
-            // Re-decompose over the survivors and refill from the oracle:
-            // the global grid is now `local × dims(survivors)`.
+            // Re-decompose over the survivors and restore from the last
+            // globally-consistent checkpoint generation. The restored
+            // state is the periodic extension of the original grid, so
+            // `origin` survives the rebuild.
             let cfg = self.cfg;
+            let origin = self.origin;
             self.release(ctx)?;
             *self = HaloExchanger::new(ctx, mpi, cfg)?;
-            self.fill(ctx)?;
+            self.origin = origin;
+            restored = Some(self.restore_from_checkpoint(ctx, mpi, store)?);
         }
         Err(MpiError::Internal(format!(
             "halo exchange still failing after {max_rounds} recovery rounds"
@@ -417,7 +671,10 @@ impl HaloExchanger {
                     let gx = (c[0] * l[0] + x).wrapping_add(global[0] - r) % global[0];
                     let gy = (c[1] * l[1] + y).wrapping_add(global[1] - r) % global[1];
                     let gz = (c[2] * l[2] + z).wrapping_add(global[2] - r) % global[2];
-                    let v = cell_value(gx, gy, gz);
+                    // restored state after shrinks is the periodic
+                    // extension of the *original* grid
+                    let v =
+                        cell_value(gx % self.origin[0], gy % self.origin[1], gz % self.origin[2]);
                     let i = self.cfg.cell_index(x, y, z) * 4;
                     data[i..i + 4].copy_from_slice(&v.to_le_bytes());
                 }
@@ -455,7 +712,8 @@ impl HaloExchanger {
                     let gx = (c[0] * l[0] + x).wrapping_add(global[0] - r) % global[0];
                     let gy = (c[1] * l[1] + y).wrapping_add(global[1] - r) % global[1];
                     let gz = (c[2] * l[2] + z).wrapping_add(global[2] - r) % global[2];
-                    let want = cell_value(gx, gy, gz);
+                    let want =
+                        cell_value(gx % self.origin[0], gy % self.origin[1], gz % self.origin[2]);
                     let i = self.cfg.cell_index(x, y, z) * 4;
                     let got = f32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"));
                     if got != want {
@@ -598,14 +856,47 @@ mod tests {
             let mut mpi = InterposedMpi::new(TempiConfig::default());
             let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(4))?;
             ex.fill(ctx)?;
-            let out = ex.exchange_with_recovery(ctx, &mut mpi, 3)?;
+            let store = CheckpointStore::new();
+            let out = ex.exchange_with_recovery(ctx, &mut mpi, &store, 3)?;
             assert_eq!(out.shrinks, 0);
             assert!(out.excluded.is_empty());
             assert_eq!(out.epoch, 0);
+            assert!(out.restored.is_none());
             // the full grid — interior and ghosts — is byte-identical to
             // the serial oracle
             let got = ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())?;
             assert_eq!(got, ex.expected_grid(ctx));
+            ex.destroy(ctx)?;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(results, vec![true; 8]);
+    }
+
+    #[test]
+    fn checkpoint_restore_rebuilds_scribbled_interiors() {
+        let cfg = WorldConfig::summit(8);
+        let results = World::run(&cfg, |ctx| {
+            let mut mpi = InterposedMpi::new(TempiConfig::default());
+            let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(4))?;
+            ex.fill(ctx)?;
+            let mut store = CheckpointStore::new();
+            let gen = ex.checkpoint(ctx, &mut mpi, &mut store)?;
+            assert_eq!(gen, 0);
+            // scribble over the whole allocation — interior and ghosts
+            ctx.gpu
+                .memory()
+                .poke(ex.grid, &vec![0xEE; ex.cfg.alloc_bytes()])?;
+            let restored = ex.restore_from_checkpoint(ctx, &mut mpi, &store)?;
+            assert_eq!(restored, 0);
+            // the interior is back; one exchange rebuilds the ghosts and
+            // the grid is byte-identical to the serial oracle
+            ex.exchange(ctx, &mut mpi)?;
+            assert_eq!(ex.verify_ghosts(ctx)?, 0, "rank {}", ctx.rank);
+            let got = ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())?;
+            assert_eq!(got, ex.expected_grid(ctx));
+            assert_eq!(mpi.tempi.stats.checkpoints, 1);
+            assert_eq!(mpi.tempi.stats.restores, 1);
             ex.destroy(ctx)?;
             Ok(true)
         })

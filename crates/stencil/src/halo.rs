@@ -114,6 +114,14 @@ impl HaloConfig {
         (sub, start)
     }
 
+    /// The subarray `(subsizes, starts)` of the whole interior — the
+    /// region a checkpoint snapshots (ghost cells are reconstructed by the
+    /// next exchange, so they are never persisted).
+    pub fn interior_region(&self) -> ([usize; 3], [usize; 3]) {
+        let r = self.radius;
+        (self.local, [r, r, r])
+    }
+
     /// Number of cells in a region.
     pub fn region_cells(sub: [usize; 3]) -> usize {
         sub[0] * sub[1] * sub[2]
@@ -260,6 +268,15 @@ mod tests {
         let probe = types.send[0];
         types.free(&mut ctx).unwrap();
         assert!(ctx.attrs(probe).is_err());
+    }
+
+    #[test]
+    fn interior_region_covers_exactly_the_interior() {
+        let cfg = HaloConfig::small(6);
+        let (sub, start) = cfg.interior_region();
+        assert_eq!(sub, [6, 6, 6]);
+        assert_eq!(start, [2, 2, 2]);
+        assert_eq!(HaloConfig::region_cells(sub), 216);
     }
 
     #[test]

@@ -28,11 +28,13 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod compute;
 pub mod decomp;
 pub mod exchange;
 pub mod halo;
 
+pub use checkpoint::{CheckpointStore, Frame, GenRecord};
 pub use compute::apply_stencil;
 pub use decomp::{dir_index, opposite, Decomp, DIRS};
 pub use exchange::{cell_value, ExchangeTiming, HaloExchanger, RecoveryOutcome};

@@ -163,6 +163,135 @@ fn degraded_send_still_delivers_pack_oracle_bytes() {
 }
 
 #[test]
+fn transient_taxonomy_is_exhaustive_over_every_error_variant() {
+    // Every MpiError variant, with every GpuError variant wrapped under
+    // `Gpu`, paired with the expected (is_transient, is_comm_failure)
+    // verdicts. The retry/degrade/recover machinery keys off these two
+    // predicates, so a new variant with the wrong default silently changes
+    // fault-handling behavior — this table is the tripwire.
+    use gpu_sim::{GpuError, MemSpace};
+
+    let gpu_cases: Vec<(GpuError, bool)> = vec![
+        (GpuError::InvalidPointer { alloc: 3 }, false),
+        (
+            GpuError::OutOfBounds {
+                alloc: 3,
+                offset: 8,
+                len: 16,
+                size: 4,
+            },
+            false,
+        ),
+        (
+            GpuError::NotDeviceAccessible {
+                space: MemSpace::Host,
+            },
+            false,
+        ),
+        (GpuError::NotHostAccessible, false),
+        (
+            GpuError::InvalidLaunch {
+                reason: "grid too large".into(),
+            },
+            false,
+        ),
+        (
+            GpuError::OutOfMemory {
+                requested: 1 << 30,
+                available: 0,
+            },
+            true,
+        ),
+        (GpuError::OverlappingBuffers, false),
+        // KernelFault inherits transience from its source — one of each
+        (
+            GpuError::KernelFault {
+                kernel: "pack_2d".into(),
+                source: Box::new(GpuError::StreamFault { op: "launch".into() }),
+            },
+            true,
+        ),
+        (
+            GpuError::KernelFault {
+                kernel: "pack_2d".into(),
+                source: Box::new(GpuError::NotHostAccessible),
+            },
+            false,
+        ),
+        (GpuError::StreamFault { op: "memcpy".into() }, true),
+    ];
+    // (error, is_transient, is_comm_failure)
+    let mut cases: Vec<(MpiError, bool, bool)> = vec![
+        (MpiError::InvalidDatatype, false, false),
+        (MpiError::NotCommitted, false, false),
+        (MpiError::InvalidArg("count < 0".into()), false, false),
+        (
+            MpiError::Truncated {
+                sent: 64,
+                capacity: 32,
+                envelope: None,
+            },
+            false,
+            false,
+        ),
+        (MpiError::InvalidRank { rank: 9, size: 4 }, false, false),
+        (
+            MpiError::BufferTooSmall {
+                required: 64,
+                available: 16,
+                envelope: None,
+            },
+            false,
+            false,
+        ),
+        (MpiError::PeerGone, false, true),
+        (MpiError::Revoked, false, true),
+        (MpiError::CommTransient { peer: 1 }, true, false),
+        (
+            MpiError::CommFailed {
+                peer: 1,
+                attempts: 4,
+            },
+            false,
+            true,
+        ),
+        (
+            MpiError::Corrupted {
+                peer: 1,
+                attempts: 4,
+            },
+            false,
+            true,
+        ),
+        (MpiError::Internal("bug".into()), false, false),
+    ];
+    for (gpu, transient) in gpu_cases {
+        // GPU faults are never communicator failures: revoke/shrink cannot
+        // fix a device
+        cases.push((MpiError::Gpu(gpu), transient, false));
+    }
+    for (err, transient, comm) in &cases {
+        assert_eq!(
+            err.is_transient(),
+            *transient,
+            "is_transient({err:?}) mis-classified"
+        );
+        assert_eq!(
+            err.is_comm_failure(),
+            *comm,
+            "is_comm_failure({err:?}) mis-classified"
+        );
+        // the two classes are disjoint by construction: a transient error
+        // is retried in place, a comm failure tears the communicator down
+        assert!(
+            !(err.is_transient() && err.is_comm_failure()),
+            "{err:?} cannot be both transient and a communicator failure"
+        );
+    }
+    assert_eq!(cases.len(), 12 + 10, "one row per variant (plus GPU split)");
+}
+
+#[test]
 fn scheduled_rank_exit_fails_cleanly_not_by_hanging() {
     // A rank scheduled to die at a virtual instant: sends addressed to it
     // after that instant fail fast with PeerGone instead of deadlocking.

@@ -15,13 +15,15 @@ use gpu_sim::SimTime;
 use mpi_sim::{FaultPlan, MpiError, MpiResult, RankCtx, World, WorldConfig};
 use tempi_core::config::TempiConfig;
 use tempi_core::interpose::InterposedMpi;
-use tempi_stencil::{HaloConfig, HaloExchanger, RecoveryOutcome};
+use tempi_stencil::{CheckpointStore, HaloConfig, HaloExchanger, RecoveryOutcome};
 
 /// One rank's share of a recovering stencil run: build the exchanger,
-/// advance past any scheduled exit instant, then exchange with recovery.
-/// Returns the outcome, the full local grid bytes, the serial-oracle
-/// expectation, and the final communicator size. A rank the group decides
-/// is dead surfaces `PeerGone` to the caller.
+/// commit checkpoint generation 0 while everyone is still alive, advance
+/// past any scheduled exit instant, then exchange with recovery — the
+/// restore path rebuilds dead ranks' subdomains from the checkpoint
+/// frames alone. Returns the outcome, the full local grid bytes, the
+/// serial-oracle expectation, and the final communicator size. A rank the
+/// group decides is dead surfaces `PeerGone` to the caller.
 fn recovering_rank(
     ctx: &mut RankCtx,
     n: usize,
@@ -29,8 +31,13 @@ fn recovering_rank(
     let mut mpi = InterposedMpi::new(TempiConfig::default());
     let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(n))?;
     ex.fill(ctx)?;
-    ctx.clock.advance(SimTime::from_us(10));
-    let out = ex.exchange_with_recovery(ctx, &mut mpi, 4)?;
+    let mut store = CheckpointStore::new();
+    ex.checkpoint(ctx, &mut mpi, &mut store)?;
+    // Scheduled exits are late (10ms) so the snapshot above commits on
+    // every rank first; the advance then carries each rank past its exit
+    // instant and the death is observed *inside* the recovered exchange.
+    ctx.clock.advance(SimTime::from_ms(20));
+    let out = ex.exchange_with_recovery(ctx, &mut mpi, &store, 4)?;
     let got = { ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())? };
     let want = ex.expected_grid(ctx);
     Ok((out, got, want, ctx.size))
@@ -39,9 +46,10 @@ fn recovering_rank(
 #[test]
 fn shrink_after_kill_matches_serial_oracle_byte_for_byte() {
     // 8 ranks, rank 3 scheduled dead before the exchange: the survivors
-    // must detect, shrink to 7, re-decompose, and end up with exactly the
-    // grid a serial computation of the 7-rank problem predicts.
-    let plan = FaultPlan::parse("exit=3@5us").unwrap();
+    // must detect, shrink to 7, re-decompose, restore every subdomain from
+    // checkpoint generation 0, and end up with exactly the grid a serial
+    // computation of the 7-rank problem predicts.
+    let plan = FaultPlan::parse("exit=3@10ms").unwrap();
     let cfg = WorldConfig::summit(8).with_faults(plan);
     let results = World::run(&cfg, |ctx| match recovering_rank(ctx, 4) {
         Ok(r) => Ok(Some(r)),
@@ -58,6 +66,7 @@ fn shrink_after_kill_matches_serial_oracle_byte_for_byte() {
         assert_eq!(out.shrinks, 1, "rank {rank}");
         assert_eq!(out.excluded, vec![3], "rank {rank}");
         assert_eq!(out.epoch, 1, "rank {rank}");
+        assert_eq!(out.restored, Some(0), "rank {rank} restores generation 0");
         assert_eq!(*size, 7, "rank {rank}");
         assert_eq!(
             got, want,
@@ -173,7 +182,7 @@ fn seeded_recovery_replays_identically() {
     let run = |seed: u64| {
         let cfg = WorldConfig::summit(8).with_faults(
             FaultPlan::parse(&format!(
-                "seed={seed},send=0.1,recv=0.05,retries=8,backoff=10us,exit=5@5us"
+                "seed={seed},send=0.1,recv=0.05,retries=8,backoff=10us,exit=5@10ms"
             ))
             .unwrap(),
         );
@@ -218,4 +227,115 @@ fn seeded_recovery_replays_identically() {
     let c = run(seed.wrapping_add(687));
     assert!(c[5].is_none());
     assert_eq!(c.iter().flatten().count(), 7);
+}
+
+#[test]
+fn kill_plus_corruption_restores_from_checkpoints_and_replays() {
+    // The headline scenario: a seeded rank kill AND in-transit payload
+    // corruption in the same run. The survivors' NACK/retransmit path
+    // absorbs the corruption, the shrink rebuilds every subdomain from
+    // checkpoint generation 0 alone (there is no oracle refill left in the
+    // recovery path), the final grid matches the serial oracle
+    // byte-for-byte, and the whole schedule — fault counters, degradation
+    // log, restored state, virtual clocks — replays identically under the
+    // same seed.
+    let run = |seed: u64| {
+        let cfg = WorldConfig::summit(8).with_faults(
+            FaultPlan::parse(&format!(
+                "seed={seed},corrupt=0.2,retries=8,backoff=10us,exit=2@10ms"
+            ))
+            .unwrap(),
+        );
+        assert!(cfg.integrity, "an active corrupt site enables integrity");
+        World::run(&cfg, |ctx| match recovering_rank(ctx, 4) {
+            Ok((out, got, want, size)) => {
+                assert_eq!(
+                    got, want,
+                    "rank {}: restored grid must match the serial oracle",
+                    ctx.rank
+                );
+                Ok(Some((
+                    out,
+                    got,
+                    size,
+                    ctx.clock.now().as_ps(),
+                    ctx.faults.stats.clone(),
+                )))
+            }
+            Err(e) if e.is_comm_failure() => Ok(None),
+            Err(e) => Err(e),
+        })
+        .unwrap()
+    };
+    let a = run(424_242);
+    let b = run(424_242);
+    assert_eq!(
+        a, b,
+        "same seed must replay the identical event log and restored state"
+    );
+    assert!(a[2].is_none(), "rank 2 is the scheduled death");
+    let survivors: Vec<_> = a.iter().flatten().collect();
+    assert_eq!(survivors.len(), 7);
+    for s in &survivors {
+        assert_eq!(s.0.shrinks, 1);
+        assert_eq!(s.0.excluded, vec![2]);
+        assert_eq!(s.0.restored, Some(0), "rebuilt from checkpoints alone");
+    }
+    // corruption actually happened somewhere and was absorbed by the
+    // NACK/retransmit protocol, never surfacing to the application
+    let corruptions: u64 = survivors.iter().map(|s| s.4.corruptions).sum();
+    let nacks: u64 = survivors.iter().map(|s| s.4.nacks).sum();
+    let retransmits: u64 = survivors.iter().map(|s| s.4.retransmits).sum();
+    assert!(corruptions >= 1, "the corrupt site never fired");
+    assert!(nacks >= 1 && retransmits >= 1, "corruption must be NACKed");
+}
+
+#[test]
+fn stale_epoch_drop_and_corruption_nack_compose() {
+    // Epoch hygiene and integrity interact on the same receive: a
+    // pre-shrink in-flight message is dropped by the epoch filter *before*
+    // any checksum work (it counts as stale, not as a corruption), and the
+    // post-shrink message — whose first delivery attempt IS corrupted
+    // (`corrupt@0`) — comes through the NACK/retransmit path byte-exact.
+    let plan = FaultPlan::parse("seed=7,corrupt@0,retries=4,backoff=1us").unwrap();
+    let cfg = WorldConfig::summit(2).with_faults(plan);
+    assert!(cfg.integrity);
+    let results = World::run(&cfg, |ctx| {
+        let buf = ctx.gpu.host_alloc(8)?;
+        if ctx.rank == 0 {
+            // posted at epoch 0, will still be in flight across the shrink
+            ctx.gpu.memory().poke(buf, &[0xAA; 8])?;
+            ctx.send_bytes(buf, 8, 1, 7)?;
+        }
+        let dead = ctx.shrink()?;
+        assert!(dead.is_empty());
+        assert_eq!(ctx.epoch(), 1);
+        if ctx.rank == 0 {
+            ctx.gpu.memory().poke(buf, &[0xBB; 8])?;
+            ctx.send_bytes(buf, 8, 1, 7)?;
+            Ok((Vec::new(), ctx.faults.stats.clone()))
+        } else {
+            let st = ctx.recv_bytes(buf, 8, Some(0), Some(7))?;
+            assert_eq!(st.bytes, 8);
+            let got = { ctx.gpu.memory().peek(buf, 8)? };
+            Ok((got, ctx.faults.stats.clone()))
+        }
+    })
+    .unwrap();
+    let (got, stats) = &results[1];
+    assert_eq!(
+        got,
+        &vec![0xBB; 8],
+        "the epoch-1 payload, delivered uncorrupted after the retransmit"
+    );
+    assert!(
+        stats.stale_dropped >= 1,
+        "the stale epoch-0 message must be dropped by the epoch filter"
+    );
+    assert_eq!(stats.corruptions, 1, "corrupt@0 fires once, on delivery");
+    assert_eq!(stats.nacks, 1);
+    assert_eq!(stats.retransmits, 1);
+    // the stale message was never checksum-verified: had it been, its
+    // corruption would have been counted too
+    assert_eq!(results[0].1.corruptions, 0, "the sender never delivers");
 }
