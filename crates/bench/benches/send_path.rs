@@ -1,0 +1,125 @@
+//! Host-side microbenchmarks of the send hot path.
+//!
+//! Three variants of a 2-rank strided send, measured in *wall-clock* time
+//! (the simulator's host cost, not virtual time — virtual-time comparisons
+//! live in `bench_send`):
+//!
+//! * `cold_plan`  — a fresh `InterposedMpi` per round: type commit, plan
+//!   build, buffer-pool population, launch-geometry computation all on the
+//!   measured path;
+//! * `cached_plan` — one warm library, steady rounds: plan cache, buffer
+//!   pool and launch cache all hot (the zero-allocation path);
+//! * `tuned_bucket` — the same steady rounds with the online tuner active:
+//!   adds the per-bucket decision lookup and EWMA observations.
+//!
+//! Before timing anything, this asserts the cached path's zero-allocation
+//! property via `TempiStats`: across steady rounds, `pool_fresh_allocs`
+//! must not move while `pool_hits` and `launch_cache_hits` do.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi_sim::consts::MPI_BYTE;
+use mpi_sim::{MpiResult, RankCtx, World, WorldConfig};
+use tempi_core::config::{TempiConfig, TunerMode};
+use tempi_core::interpose::InterposedMpi;
+use tempi_core::tempi::TempiStats;
+
+fn world() -> WorldConfig {
+    let mut cfg = WorldConfig::summit(2);
+    cfg.net.ranks_per_node = 1;
+    cfg
+}
+
+fn ping_pong(
+    ctx: &mut RankCtx,
+    mpi: &mut InterposedMpi,
+    buf: gpu_sim::GpuPtr,
+    dt: mpi_sim::Datatype,
+) -> MpiResult<()> {
+    let peer = 1 - ctx.rank;
+    if ctx.rank == 0 {
+        mpi.send(ctx, buf, 1, dt, peer, 0)?;
+        mpi.recv(ctx, buf, 1, dt, Some(peer), Some(0))?;
+    } else {
+        mpi.recv(ctx, buf, 1, dt, Some(peer), Some(0))?;
+        mpi.send(ctx, buf, 1, dt, peer, 0)?;
+    }
+    Ok(())
+}
+
+/// `rounds` steady ping-pong rounds after `warmup` unmeasured ones, on a
+/// persistent library instance. Returns rank 0's wall-clock time for the
+/// measured loop plus its stats snapshots around it.
+fn steady(tuner: TunerMode, warmup: usize, rounds: u64) -> (Duration, TempiStats, TempiStats) {
+    let results = World::run(&world(), move |ctx| {
+        let mut mpi = InterposedMpi::new(TempiConfig {
+            tuner,
+            ..TempiConfig::default()
+        });
+        let dt = ctx.type_vector(64, 16, 64, MPI_BYTE)?;
+        mpi.type_commit(ctx, dt)?;
+        let buf = ctx.gpu.malloc(64 * 64 + 64)?;
+        for _ in 0..warmup {
+            ping_pong(ctx, &mut mpi, buf, dt)?;
+        }
+        let warm = mpi.tempi.stats;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            ping_pong(ctx, &mut mpi, buf, dt)?;
+        }
+        Ok((start.elapsed(), warm, mpi.tempi.stats))
+    })
+    .expect("steady world");
+    results.into_iter().next().expect("rank 0")
+}
+
+/// `rounds` rounds where every round pays the cold costs: a fresh library,
+/// a fresh type commit, an empty buffer pool.
+fn cold(rounds: u64) -> Duration {
+    let results = World::run(&world(), move |ctx| {
+        let buf = ctx.gpu.malloc(64 * 64 + 64)?;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let mut mpi = InterposedMpi::new(TempiConfig::default());
+            let dt = ctx.type_vector(64, 16, 64, MPI_BYTE)?;
+            mpi.type_commit(ctx, dt)?;
+            ping_pong(ctx, &mut mpi, buf, dt)?;
+        }
+        Ok(start.elapsed())
+    })
+    .expect("cold world");
+    results.into_iter().next().expect("rank 0")
+}
+
+fn bench_send_path(c: &mut Criterion) {
+    // The property the cached path exists for: steady-state sends perform
+    // zero fresh allocations and reuse the cached launch geometry.
+    let (_, warm, done) = steady(TunerMode::Model, 2, 10);
+    assert_eq!(
+        done.pool_fresh_allocs, warm.pool_fresh_allocs,
+        "steady-state sends must not allocate"
+    );
+    assert!(
+        done.pool_hits >= warm.pool_hits + 10,
+        "steady-state sends must come from the pool"
+    );
+    assert!(
+        done.launch_cache_hits > warm.launch_cache_hits,
+        "steady-state sends must reuse cached launch geometry"
+    );
+
+    let mut g = c.benchmark_group("send_path");
+    g.sample_size(10);
+    g.bench_function("cold_plan", |b| b.iter_custom(cold));
+    g.bench_function("cached_plan", |b| {
+        b.iter_custom(|iters| steady(TunerMode::Model, 2, iters).0)
+    });
+    g.bench_function("tuned_bucket", |b| {
+        b.iter_custom(|iters| steady(TunerMode::Online, 2, iters).0)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_send_path);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! `bench_send`: the Fig. 11 datatype zoo under the online-calibrated
+//! send-method tuner.
+//!
+//! For every 2-D object in the zoo (1 KiB / 1 MiB / 4 MiB totals across
+//! contiguous block sizes) this measures the one-way typed delivery time
+//! three ways:
+//!
+//! * **static** — `TEMPI_TUNER=off`: the §5 analytical model evaluated
+//!   fresh on every send (the pre-tuner behavior);
+//! * **tuned** — `TEMPI_TUNER=online`: the calibrated, memoized,
+//!   epsilon-greedy tuner, which may also auto-select the §8 pipelined
+//!   method with a bandwidth-crossover chunk size;
+//! * **one-shot** — `MPI_Send` forced to the one-shot method (the
+//!   single-method baseline the speedup column is quoted against).
+//!
+//! Each cell is the minimum over measured rounds after warm-up, so
+//! epsilon-probe rounds report the converged choice (the paper's
+//! steady-state methodology). The table goes to stdout and the rows to
+//! `BENCH_send.json` at the repository root.
+//!
+//! Run: `cargo run --release -p tempi-bench --bin bench_send`
+
+use gpu_sim::SimTime;
+use serde::Serialize;
+use tempi_bench::{
+    fmt_bytes, fmt_speedup, send_one_way_times, Construction, Obj2d, Platform, Table,
+};
+use tempi_core::config::{Method, TempiConfig, TunerMode};
+
+const WARMUP: usize = 4;
+const ROUNDS: usize = 8;
+
+#[derive(Serialize)]
+struct Row {
+    object: String,
+    object_bytes: usize,
+    block_bytes: usize,
+    method_static: String,
+    method_tuned: String,
+    static_ns: f64,
+    tuned_ns: f64,
+    oneshot_ns: f64,
+    speedup_vs_oneshot: f64,
+    tuned_vs_static: f64,
+}
+
+/// Minimum delivery time over the measured rounds, plus the method the
+/// sender used on that minimal round.
+fn measure(obj: Obj2d, config: TempiConfig) -> (SimTime, Option<Method>) {
+    send_one_way_times(
+        Platform::Summit,
+        config,
+        |ctx| obj.build(ctx, Construction::Hvector),
+        obj.incount,
+        obj.span(),
+        WARMUP,
+        ROUNDS,
+    )
+    .expect("send measurement")
+    .into_iter()
+    .min_by_key(|&(t, _)| t)
+    .expect("at least one round")
+}
+
+fn zoo() -> Vec<Obj2d> {
+    let mut v = Vec::new();
+    for total in [1usize << 10, 1 << 20, 4 << 20] {
+        let mut block = 8usize;
+        while block < total {
+            v.push(Obj2d {
+                incount: 1,
+                block,
+                count: total / block,
+                stride: block * 2,
+            });
+            block *= 8;
+        }
+        // fully contiguous
+        v.push(Obj2d {
+            incount: 1,
+            block: total,
+            count: 1,
+            stride: total,
+        });
+    }
+    v
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut t = Table::new(&[
+        "object",
+        "block",
+        "static",
+        "tuned",
+        "one-shot",
+        "m(static)",
+        "m(tuned)",
+        "vs 1shot",
+        "vs static",
+    ]);
+    for obj in zoo() {
+        let (stat_t, stat_m) = measure(
+            obj,
+            TempiConfig {
+                tuner: TunerMode::Off,
+                ..TempiConfig::default()
+            },
+        );
+        let (tuned_t, tuned_m) = measure(
+            obj,
+            TempiConfig {
+                tuner: TunerMode::Online,
+                ..TempiConfig::default()
+            },
+        );
+        let (oneshot_t, _) = measure(
+            obj,
+            TempiConfig {
+                force_method: Some(Method::OneShot),
+                tuner: TunerMode::Off,
+                ..TempiConfig::default()
+            },
+        );
+        let name = |m: Option<Method>| m.map_or("system".to_string(), |m| format!("{m:?}"));
+        let speedup_vs_oneshot = oneshot_t.as_ns_f64() / tuned_t.as_ns_f64();
+        let tuned_vs_static = stat_t.as_ns_f64() / tuned_t.as_ns_f64();
+        t.row(&[
+            &fmt_bytes(obj.total_bytes()),
+            &fmt_bytes(obj.block),
+            &format!("{stat_t}"),
+            &format!("{tuned_t}"),
+            &format!("{oneshot_t}"),
+            &name(stat_m),
+            &name(tuned_m),
+            &fmt_speedup(speedup_vs_oneshot),
+            &fmt_speedup(tuned_vs_static),
+        ]);
+        rows.push(Row {
+            object: fmt_bytes(obj.total_bytes()),
+            object_bytes: obj.total_bytes(),
+            block_bytes: obj.block,
+            method_static: name(stat_m),
+            method_tuned: name(tuned_m),
+            static_ns: stat_t.as_ns_f64(),
+            tuned_ns: tuned_t.as_ns_f64(),
+            oneshot_ns: oneshot_t.as_ns_f64(),
+            speedup_vs_oneshot,
+            tuned_vs_static,
+        });
+    }
+    t.print();
+
+    let best = rows
+        .iter()
+        .map(|r| r.tuned_vs_static)
+        .fold(0.0f64, f64::max);
+    println!("\nbest tuned-vs-static speedup: {}", fmt_speedup(best));
+
+    // The tuner must never lose to the static model on its own zoo, and
+    // must find at least one staged/one-shot → pipelined crossover worth
+    // ≥ 1.2× — the bar EXPERIMENTS.md quotes.
+    for r in &rows {
+        assert!(
+            r.tuned_vs_static >= 1.0 - 1e-9,
+            "tuned send lost to the static model on {} / block {}: {} ns vs {} ns",
+            r.object,
+            r.block_bytes,
+            r.tuned_ns,
+            r.static_ns
+        );
+    }
+    assert!(
+        best >= 1.2,
+        "no zoo workload shows the >=1.2x pipelined crossover (best {best:.3}x)"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_send.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(s) => match std::fs::write(path, s + "\n") {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("note: cannot write {path}: {e}"),
+        },
+        Err(e) => eprintln!("note: cannot serialize rows: {e}"),
+    }
+    tempi_bench::write_json("BENCH_send", &rows);
+}

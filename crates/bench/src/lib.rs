@@ -12,6 +12,8 @@ pub mod measure;
 pub mod report;
 pub mod workloads;
 
-pub use measure::{commit_breakdown, pack_time, send_pair_time, trimean, Mode, Platform};
+pub use measure::{
+    commit_breakdown, pack_time, send_one_way_times, send_pair_time, trimean, Mode, Platform,
+};
 pub use report::{fmt_bytes, fmt_speedup, write_json, Table};
 pub use workloads::{fig6_set, Construction, Fig6Object, Obj2d, Obj3d};

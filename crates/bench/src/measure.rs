@@ -4,7 +4,7 @@
 use gpu_sim::SimTime;
 use mpi_sim::{Datatype, MpiResult, RankCtx, VendorProfile, World, WorldConfig};
 use serde::{Deserialize, Serialize};
-use tempi_core::config::TempiConfig;
+use tempi_core::config::{Method, TempiConfig};
 use tempi_core::interpose::InterposedMpi;
 
 /// The paper's three experimental platforms (Table 1).
@@ -229,6 +229,64 @@ pub fn send_pair_time(
     Ok(SimTime::from_ps(results[0] / 2))
 }
 
+/// One-way typed delivery times (rank 0 → rank 1 on separate nodes),
+/// `rounds` measured rounds after `warmup` unmeasured ones, one barrier per
+/// round so the clocks re-synchronize and every round is independent.
+///
+/// Each element is `(delivery time, method rank 0 chose that round)`. The
+/// caller typically takes the *minimum* over rounds: with the online tuner
+/// active, individual rounds may be epsilon-probes of a deliberately
+/// non-optimal method, and the minimum reports the converged choice — the
+/// same way the paper's trimean-of-thousands reports steady state.
+#[allow(clippy::too_many_arguments)]
+pub fn send_one_way_times(
+    platform: Platform,
+    config: TempiConfig,
+    build: impl Fn(&mut RankCtx) -> MpiResult<Datatype> + Sync,
+    incount: usize,
+    span: usize,
+    warmup: usize,
+    rounds: usize,
+) -> MpiResult<Vec<(SimTime, Option<Method>)>> {
+    assert!(rounds > 0);
+    let mut cfg = platform.world(2);
+    cfg.net.ranks_per_node = 1;
+    let config = &config;
+    let build = &build;
+    let results = World::run(&cfg, move |ctx| {
+        let mut mpi = InterposedMpi::new(config.clone());
+        let dt = build(ctx)?;
+        mpi.type_commit(ctx, dt)?;
+        let buf = ctx.gpu.malloc(span.max(1))?;
+        let one =
+            |ctx: &mut RankCtx, mpi: &mut InterposedMpi| -> MpiResult<(u64, Option<Method>)> {
+                ctx.barrier();
+                if ctx.rank == 0 {
+                    let m = mpi.send(ctx, buf, incount, dt, 1, 0)?;
+                    Ok((0, m))
+                } else {
+                    let t0 = ctx.clock.now();
+                    mpi.recv(ctx, buf, incount, dt, Some(0), Some(0))?;
+                    Ok(((ctx.clock.now() - t0).as_ps(), None))
+                }
+            };
+        for _ in 0..warmup {
+            one(ctx, &mut mpi)?;
+        }
+        let mut out = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            out.push(one(ctx, &mut mpi)?);
+        }
+        Ok(out)
+    })?;
+    // times come from the receiving rank, methods from the sending rank
+    Ok(results[1]
+        .iter()
+        .zip(&results[0])
+        .map(|(&(ps, _), &(_, m))| (SimTime::from_ps(ps), m))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +368,39 @@ mod tests {
         let sp =
             commit_breakdown(Platform::Summit, |ctx| obj.build(ctx, Construction::Vector)).unwrap();
         assert!(sp.commit_tempi - sp.commit_system > mv.commit_tempi - mv.commit_system);
+    }
+
+    #[test]
+    fn one_way_tuned_never_loses_to_static() {
+        use tempi_core::config::TunerMode;
+        let obj = Obj2d {
+            incount: 1,
+            block: 64,
+            count: 256,
+            stride: 128,
+        };
+        let run = |tuner: TunerMode| {
+            send_one_way_times(
+                Platform::Summit,
+                TempiConfig {
+                    tuner,
+                    ..TempiConfig::default()
+                },
+                |ctx| obj.build(ctx, Construction::Vector),
+                1,
+                obj.span(),
+                4,
+                8,
+            )
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .min()
+            .unwrap()
+        };
+        let stat = run(TunerMode::Off);
+        let tuned = run(TunerMode::Online);
+        assert!(tuned <= stat, "tuned {tuned} vs static {stat}");
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //! tempi-cli model <bytes> <block> [--word W] [--chunk C]
 //!                                              evaluate the §5 method models
 //! tempi-cli send "<spec>" [--incount N] [--method device|oneshot|staged]
+//!                [--tuner off|model|online]
+//!                [--rounds R]
 //!                [--faults "<plan>"]           2-rank send/recv, optionally
 //!                                              under a deterministic fault
-//!                                              plan; prints the degradation
-//!                                              log and fault statistics
+//!                                              plan; prints the method, the
+//!                                              tuner counters, the
+//!                                              degradation log and fault
+//!                                              statistics
 //! tempi-cli stencil [--ranks P] [--n N] [--iters I]
 //!                [--faults "<plan>"] [--recover]
 //!                [--checkpoint-every N]
@@ -35,7 +39,7 @@ use gpu_sim::PackDir;
 use mpi_sim::datatype::pack_cpu;
 use mpi_sim::{FaultPlan, MpiError, RankCtx, World, WorldConfig};
 use tempi_bench::{commit_breakdown, fmt_speedup, measure::unpack_time, pack_time, Mode, Platform};
-use tempi_core::config::{Method, TempiConfig};
+use tempi_core::config::{Method, TempiConfig, TunerMode};
 use tempi_core::interpose::InterposedMpi;
 use tempi_core::ir::strided_block::strided_block;
 use tempi_core::ir::transform::simplify;
@@ -46,7 +50,7 @@ use tempi_stencil::{CheckpointStore, Decomp, HaloConfig, HaloExchanger};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--faults \"<plan>\"]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover] [--checkpoint-every N]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,corrupt=0.1,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
+        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--tuner off|model|online] [--rounds R] [--faults \"<plan>\"]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover] [--checkpoint-every N]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,corrupt=0.1,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
     );
     std::process::exit(2);
 }
@@ -326,6 +330,20 @@ fn send(args: &[String]) {
             std::process::exit(2);
         }
     };
+    let tuner = match flag_value(args, "--tuner").as_deref() {
+        None => TunerMode::default(),
+        Some("off") => TunerMode::Off,
+        Some("model") => TunerMode::Model,
+        Some("online") => TunerMode::Online,
+        Some(other) => {
+            eprintln!("unknown tuner mode `{other}` (use off, model or online)");
+            std::process::exit(2);
+        }
+    };
+    let rounds: usize = flag_value(args, "--rounds")
+        .map(|v| v.parse().expect("--rounds takes an integer"))
+        .unwrap_or(1)
+        .max(1);
     let mut cfg = WorldConfig::summit(2);
     cfg.net.ranks_per_node = 1;
     if let Some(spec) = flag_value(args, "--faults") {
@@ -340,6 +358,7 @@ fn send(args: &[String]) {
     let results = World::run(&cfg, |ctx| {
         let mut mpi = InterposedMpi::new(TempiConfig {
             force_method: method,
+            tuner,
             ..TempiConfig::default()
         });
         let dt = spec::build_str(&input, ctx)?;
@@ -349,33 +368,35 @@ fn send(args: &[String]) {
             (a.true_ub.max(a.ub) + (incount as i64 - 1) * a.extent().max(0)).max(1) as usize + 64;
         let packed_len = a.size as usize * incount;
         let buf = ctx.gpu.malloc(span)?;
-        let (label, ok) = if ctx.rank == 0 {
-            ctx.gpu.memory().poke(buf, &fill(span))?;
-            let m = mpi.send(ctx, buf, incount, dt, 1, 0)?;
-            (
-                m.map_or("system fall-through".to_string(), |m| format!("{m:?}")),
-                true,
-            )
-        } else {
-            let st = mpi.recv(ctx, buf, incount, dt, Some(0), Some(0))?;
-            // verify the typed bytes against the CPU pack oracle
-            let raw = ctx.gpu.memory().peek(buf, span)?;
-            let reg = ctx.registry().clone();
-            let reg = reg.read();
-            let mut got = vec![0u8; packed_len];
-            let mut pos = 0;
-            pack_cpu::pack(&reg, &raw, 0, incount, dt, &mut got, &mut pos)?;
-            let mut want = vec![0u8; packed_len];
-            let mut pos = 0;
-            pack_cpu::pack(&reg, &fill(span), 0, incount, dt, &mut want, &mut pos)?;
-            ("recv".to_string(), st.bytes == packed_len && got == want)
-        };
+        let mut label = "recv".to_string();
+        let mut ok = true;
+        for round in 0..rounds {
+            if ctx.rank == 0 {
+                ctx.gpu.memory().poke(buf, &fill(span))?;
+                let m = mpi.send(ctx, buf, incount, dt, 1, round as i32)?;
+                label = m.map_or("system fall-through".to_string(), |m| format!("{m:?}"));
+            } else {
+                let st = mpi.recv(ctx, buf, incount, dt, Some(0), Some(round as i32))?;
+                // verify the typed bytes against the CPU pack oracle
+                let raw = ctx.gpu.memory().peek(buf, span)?;
+                let reg = ctx.registry().clone();
+                let reg = reg.read();
+                let mut got = vec![0u8; packed_len];
+                let mut pos = 0;
+                pack_cpu::pack(&reg, &raw, 0, incount, dt, &mut got, &mut pos)?;
+                let mut want = vec![0u8; packed_len];
+                let mut pos = 0;
+                pack_cpu::pack(&reg, &fill(span), 0, incount, dt, &mut want, &mut pos)?;
+                ok &= st.bytes == packed_len && got == want;
+            }
+        }
         Ok((
             label,
             ok,
             packed_len,
             ctx.clock.now(),
             ctx.faults.stats.clone(),
+            mpi.tempi.stats,
         ))
     });
     let results = match results {
@@ -393,7 +414,20 @@ fn send(args: &[String]) {
             "fault-free"
         }
     );
-    println!("send method   : {}", results[0].0);
+    println!(
+        "send method   : {} (last of {rounds} round(s))",
+        results[0].0
+    );
+    let ts = &results[0].5;
+    println!(
+        "tuner         : mode {tuner:?} — probes {}, bucket hits {}, method switches {}, pool reuse {}/{}, launch-cache hits {}",
+        ts.tuner_probes,
+        ts.tuner_bucket_hits,
+        ts.tuner_method_switches,
+        ts.pool_hits,
+        ts.pool_hits + ts.pool_fresh_allocs,
+        ts.launch_cache_hits
+    );
     println!(
         "payload       : {} packed bytes — {}",
         results[1].2,
@@ -403,7 +437,7 @@ fn send(args: &[String]) {
             "MISMATCH vs the CPU pack oracle"
         }
     );
-    for (rank, (_, _, _, clock, stats)) in results.iter().enumerate() {
+    for (rank, (_, _, _, clock, stats, _)) in results.iter().enumerate() {
         println!(
             "rank {rank}        : clock {clock}, send faults {}, recv faults {}, retries {} (backoff {}), delays {} (+{}), peer-gone {}",
             stats.send_faults,
@@ -607,9 +641,8 @@ mod tests {
 
     #[test]
     fn well_formed_fault_plans_parse() {
-        let plan =
-            parse_faults("seed=42,send=0.05,corrupt=0.1,exit=1@5ms,retries=4,backoff=10us")
-                .unwrap();
+        let plan = parse_faults("seed=42,send=0.05,corrupt=0.1,exit=1@5ms,retries=4,backoff=10us")
+            .unwrap();
         assert_eq!(plan.seed, 42);
         assert!(plan.corrupt.is_active());
         assert_eq!(plan.rank_exits.len(), 1);

@@ -18,6 +18,10 @@ pub struct BufferPool {
     pinned: Vec<(GpuPtr, usize)>,
     /// Fresh allocations performed (for tests/reporting).
     pub fresh_allocs: u64,
+    /// Takes satisfied from the pool without allocating. Together with
+    /// [`BufferPool::fresh_allocs`] this gives the reuse rate the
+    /// steady-state ("zero allocation") assertion checks.
+    pub hits: u64,
 }
 
 impl BufferPool {
@@ -58,7 +62,9 @@ impl BufferPool {
             }
         }
         if let Some(i) = best {
-            return Ok(list.swap_remove(i));
+            let hit = list.swap_remove(i);
+            self.hits += 1;
+            return Ok(hit);
         }
         self.fresh_allocs += 1;
         ctx.clock.advance(ctx.stream.cost_model().alloc_overhead);
@@ -119,6 +125,7 @@ mod tests {
         assert_eq!(ctx.clock.now(), t1, "reuse must be free");
         assert_eq!((p2, sz2), (p, 4096));
         assert_eq!(pool.fresh_allocs, 1);
+        assert_eq!(pool.hits, 1);
     }
 
     #[test]

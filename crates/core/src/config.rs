@@ -24,6 +24,26 @@ pub enum Method {
     Pipelined,
 }
 
+/// How the per-send method decision is made.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TunerMode {
+    /// Legacy behavior: evaluate the §5 analytical model from scratch on
+    /// every send. No memoization, no measurement.
+    Off,
+    /// Memoize the analytical model's decision per (shape, size, peer)
+    /// bucket. Identical choices to `Off`, amortized lookup cost. The
+    /// default.
+    #[default]
+    Model,
+    /// Full online calibration: virtual-time measurements of pack, copy
+    /// and wire stages EWMA-correct the model's constants per bucket, the
+    /// memoized choice is revisited epsilon-greedily under a seeded RNG,
+    /// and the pipelined method (with an auto-tuned chunk) joins the
+    /// candidate set. Requires TEMPI on both peers for pipelined sends,
+    /// like [`TempiConfig::pipeline_chunk`].
+    Online,
+}
+
 /// TEMPI configuration switches.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TempiConfig {
@@ -61,6 +81,13 @@ pub struct TempiConfig {
     /// a buddy rank, and committed with a two-phase generation protocol so
     /// recovery can rebuild dead ranks' subdomains without re-running.
     pub checkpoint_every: Option<usize>,
+    /// How the per-send method decision is made: fresh model evaluation
+    /// (`Off`), memoized model decision (`Model`, default), or online
+    /// calibration with epsilon-greedy re-probing (`Online`).
+    pub tuner: TunerMode,
+    /// Seed for the tuner's exploration RNG. Same seed + same fault-free
+    /// world ⇒ identical method sequence, so tuned runs replay exactly.
+    pub tuner_seed: u64,
 }
 
 impl Default for TempiConfig {
@@ -73,6 +100,8 @@ impl Default for TempiConfig {
             extend_struct: false,
             pipeline_chunk: None,
             checkpoint_every: None,
+            tuner: TunerMode::Model,
+            tuner_seed: 0x7e3a_11c5,
         }
     }
 }
@@ -91,6 +120,8 @@ impl TempiConfig {
     /// | `TEMPI_EXTEND_STRUCT=1` | enable the §8 struct block-list extension |
     /// | `TEMPI_PIPELINE_CHUNK=BYTES` | enable §8 pipelining with this chunk |
     /// | `TEMPI_CHECKPOINT_EVERY=N` | coordinated checkpoint every N iterations |
+    /// | `TEMPI_TUNER=off\|model\|online` | method decision mode (default `model`) |
+    /// | `TEMPI_TUNER_SEED=N` | seed for the tuner's exploration RNG |
     ///
     /// Unknown or malformed values are rejected with a message naming the
     /// variable, rather than silently ignored.
@@ -142,6 +173,23 @@ impl TempiConfig {
             }
             cfg.checkpoint_every = Some(n);
         }
+        if let Ok(v) = std::env::var("TEMPI_TUNER") {
+            cfg.tuner = match v.to_ascii_lowercase().as_str() {
+                "off" => TunerMode::Off,
+                "model" => TunerMode::Model,
+                "online" => TunerMode::Online,
+                other => {
+                    return Err(format!(
+                        "TEMPI_TUNER must be off/model/online, got `{other}`"
+                    ))
+                }
+            };
+        }
+        if let Ok(v) = std::env::var("TEMPI_TUNER_SEED") {
+            cfg.tuner_seed = v
+                .parse()
+                .map_err(|_| format!("TEMPI_TUNER_SEED must be an integer, got `{v}`"))?;
+        }
         if cfg.force_method == Some(Method::Pipelined) && cfg.pipeline_chunk.is_none() {
             return Err(
                 "TEMPI_METHOD=pipelined requires TEMPI_PIPELINE_CHUNK to be set".to_string(),
@@ -166,6 +214,8 @@ mod tests {
             std::env::set_var("TEMPI_METHOD", "oneshot");
             std::env::set_var("TEMPI_PIPELINE_CHUNK", "262144");
             std::env::set_var("TEMPI_CHECKPOINT_EVERY", "5");
+            std::env::set_var("TEMPI_TUNER", "online");
+            std::env::set_var("TEMPI_TUNER_SEED", "12345");
         }
         let cfg = TempiConfig::from_env().unwrap();
         assert!(!cfg.canonicalize);
@@ -173,6 +223,24 @@ mod tests {
         assert_eq!(cfg.force_method, Some(Method::OneShot));
         assert_eq!(cfg.pipeline_chunk, Some(262144));
         assert_eq!(cfg.checkpoint_every, Some(5));
+        assert_eq!(cfg.tuner, TunerMode::Online);
+        assert_eq!(cfg.tuner_seed, 12345);
+
+        unsafe {
+            std::env::set_var("TEMPI_TUNER", "clairvoyant");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("TEMPI_TUNER"), "{err}");
+        unsafe {
+            std::env::set_var("TEMPI_TUNER", "model");
+            std::env::set_var("TEMPI_TUNER_SEED", "not-a-number");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("TEMPI_TUNER_SEED"), "{err}");
+        unsafe {
+            std::env::remove_var("TEMPI_TUNER");
+            std::env::remove_var("TEMPI_TUNER_SEED");
+        }
 
         unsafe {
             std::env::set_var("TEMPI_FORCE_WORD", "3");
@@ -228,5 +296,6 @@ mod tests {
         assert!(!c.extend_struct);
         assert!(c.pipeline_chunk.is_none());
         assert!(c.checkpoint_every.is_none());
+        assert_eq!(c.tuner, TunerMode::Model);
     }
 }

@@ -148,6 +148,18 @@ impl InterposedMpi {
         p
     }
 
+    /// TEMPI's counters (plan-cache hits, tuner probes/bucket hits,
+    /// buffer-pool reuse, …) — the interposed library's observability
+    /// surface, exposed without reaching into [`Tempi`] internals.
+    pub fn stats(&self) -> &crate::tempi::TempiStats {
+        &self.tempi.stats
+    }
+
+    /// The tuner mode the interposed library is running with (`TEMPI_TUNER`).
+    pub fn tuner_mode(&self) -> crate::config::TunerMode {
+        self.tempi.tuner.mode()
+    }
+
     /// `MPI_Type_commit`. TEMPI's version performs the native commit and
     /// then the translation/transformation/kernel-selection pipeline.
     pub fn type_commit(&mut self, ctx: &mut RankCtx, dt: Datatype) -> MpiResult<()> {

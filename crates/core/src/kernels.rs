@@ -180,6 +180,38 @@ pub fn execute_strided(
     packed: GpuPtr,
     packed_off: usize,
 ) -> MpiResult<usize> {
+    execute_strided_with(
+        plan,
+        None,
+        stream,
+        clock,
+        dir,
+        strided,
+        item_extent,
+        incount,
+        packed,
+        packed_off,
+    )
+}
+
+/// [`execute_strided`] with an optionally pre-computed launch geometry.
+/// The hot send path caches the [`LaunchConfig`] per `(datatype, incount)`
+/// so steady-state sends skip the grid/block derivation; `None` derives it
+/// from the plan as usual. The caller must have derived `cached` from this
+/// same plan and `incount`.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_strided_with(
+    plan: &KernelPlan,
+    cached: Option<LaunchConfig>,
+    stream: &mut Stream,
+    clock: &mut SimClock,
+    dir: PackDir,
+    strided: GpuPtr,
+    item_extent: i64,
+    incount: usize,
+    packed: GpuPtr,
+    packed_off: usize,
+) -> MpiResult<usize> {
     let total = (plan.sb.data_bytes() as usize) * incount;
     let word = effective_word(plan.word, strided, packed.add(packed_off));
     let target = target_for(strided.space, packed.space);
@@ -191,7 +223,13 @@ pub fn execute_strided(
         word,
         plan.sb.ndims(),
     );
-    let cfg = plan.launch_config(incount);
+    let cfg = match cached {
+        Some(cfg) => {
+            debug_assert_eq!(cfg, plan.launch_config(incount));
+            cfg
+        }
+        None => plan.launch_config(incount),
+    };
     let name = match (dir, plan.kind) {
         (PackDir::Pack, KernelKind::Pack2D) => "tempi_pack_2d",
         (PackDir::Pack, KernelKind::Pack3D) => "tempi_pack_3d",

@@ -21,6 +21,10 @@
 //! * [`interpose`] — the Section-4 architecture: a symbol-resolution
 //!   table deciding, per MPI entry point, whether TEMPI or the system MPI
 //!   serves the call, with automatic fall-through.
+//! * [`tuner`] — the online calibration layer: per-bucket EWMA ratios of
+//!   measured to modeled component times, epsilon-greedy re-probing, and
+//!   memoized per-(shape, size, peer) method decisions feeding [`tempi`]'s
+//!   zero-allocation hot send path.
 //!
 //! ## Quickstart
 //!
@@ -52,8 +56,10 @@ pub mod ir;
 pub mod kernels;
 pub mod model;
 pub mod tempi;
+pub mod tuner;
 
-pub use config::{Method, TempiConfig};
+pub use config::{Method, TempiConfig, TunerMode};
 pub use interpose::{InterposedMpi, Linker, MpiSymbol, Provider};
 pub use model::{Breakdown, SendModel};
 pub use tempi::{CommitReport, PlanKind, Tempi, TempiStats, TypePlan};
+pub use tuner::{BucketKey, Decision, Tuner, Workload};

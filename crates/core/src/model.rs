@@ -17,6 +17,8 @@
 //! send; the figure harnesses evaluate the same equations to regenerate
 //! Figs. 8, 10 and 11.
 
+use std::sync::Arc;
+
 use gpu_sim::{CopyKind, GpuCostModel, PackDir, PackTarget, SimTime};
 use mpi_sim::{NetModel, Transport};
 use serde::{Deserialize, Serialize};
@@ -25,12 +27,15 @@ use crate::config::Method;
 
 /// The model, parameterized by the calibrated GPU and network models and a
 /// (source, destination) rank placement.
+///
+/// The cost tables are `Arc`-shared rather than owned: the send hot path
+/// builds one of these per call, and an Arc bump must be all that costs.
 #[derive(Debug, Clone)]
 pub struct SendModel {
     /// GPU cost model (pack kernels, DMA engine).
-    pub gpu: GpuCostModel,
+    pub gpu: Arc<GpuCostModel>,
     /// Fabric model.
-    pub net: NetModel,
+    pub net: Arc<NetModel>,
     /// Source rank (placement decides intra- vs inter-node).
     pub src: usize,
     /// Destination rank.
@@ -55,13 +60,48 @@ impl Breakdown {
     }
 }
 
+/// Per-chunk stage durations of the §8 pipeline (see
+/// [`SendModel::pipeline_terms`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineTerms {
+    /// Per-chunk device pack (launch + kernel, no sync).
+    pub pack: SimTime,
+    /// Per-chunk D2H copy (memcpy overhead + engine time).
+    pub d2h: SimTime,
+    /// Per-chunk CPU wire transfer.
+    pub wire: SimTime,
+    /// Per-chunk H2D copy on the receiver.
+    pub h2d: SimTime,
+    /// Per-chunk device unpack (launch + kernel, no sync).
+    pub unpack: SimTime,
+    /// Number of chunks.
+    pub n: u64,
+    /// One trailing stream synchronize.
+    pub sync: SimTime,
+}
+
+impl PipelineTerms {
+    /// Pipeline bound: fill (one traversal of every stage) plus `(n-1)`
+    /// repetitions of the bottleneck stage, plus the trailing sync.
+    pub fn total(&self) -> SimTime {
+        let fill = self.pack + self.d2h + self.wire + self.h2d + self.unpack;
+        let bottleneck = self
+            .pack
+            .max(self.d2h)
+            .max(self.wire)
+            .max(self.h2d)
+            .max(self.unpack);
+        fill + bottleneck * (self.n - 1) + self.sync
+    }
+}
+
 impl SendModel {
     /// Model with both ranks on different Summit nodes (the paper's
     /// measurement placement).
     pub fn summit_internode() -> Self {
-        let net = NetModel::summit();
+        let net = Arc::new(NetModel::summit());
         SendModel {
-            gpu: GpuCostModel::summit_v100(),
+            gpu: Arc::new(GpuCostModel::summit_v100()),
             net,
             src: 0,
             dst: 6, // different node (6 ranks/node)
@@ -141,11 +181,17 @@ impl SendModel {
         }
     }
 
-    /// The §8 pipelining extension: the staged composition executed in
-    /// `chunk`-byte pieces so its four stages (pack kernel, D2H copy, CPU
-    /// wire, H2D + unpack) overlap. Classic pipeline bound: one traversal
-    /// of every stage plus `(n-1)` repetitions of the slowest stage.
-    pub fn t_pipelined(&self, bytes: usize, block: usize, word: usize, chunk: usize) -> SimTime {
+    /// Per-chunk stage terms of the §8 pipeline for a given chunk size.
+    /// Exposed separately from [`SendModel::t_pipelined`] so the online
+    /// tuner can rescale each stage by its measured/model calibration
+    /// ratio without re-deriving the pipeline algebra.
+    pub fn pipeline_terms(
+        &self,
+        bytes: usize,
+        block: usize,
+        word: usize,
+        chunk: usize,
+    ) -> PipelineTerms {
         let chunk = chunk.min(bytes).max(1);
         let n = bytes.div_ceil(chunk) as u64;
         let pack = self.gpu.kernel_launch_overhead
@@ -159,9 +205,23 @@ impl SendModel {
             + self
                 .gpu
                 .pack_kernel_time(PackDir::Unpack, PackTarget::Device, chunk, block, word);
-        let fill = pack + d2h + wire + h2d + unpack;
-        let bottleneck = pack.max(d2h).max(wire).max(h2d).max(unpack);
-        fill + bottleneck * (n - 1) + self.gpu.stream_sync_overhead
+        PipelineTerms {
+            pack,
+            d2h,
+            wire,
+            h2d,
+            unpack,
+            n,
+            sync: self.gpu.stream_sync_overhead,
+        }
+    }
+
+    /// The §8 pipelining extension: the staged composition executed in
+    /// `chunk`-byte pieces so its four stages (pack kernel, D2H copy, CPU
+    /// wire, H2D + unpack) overlap. Classic pipeline bound: one traversal
+    /// of every stage plus `(n-1)` repetitions of the slowest stage.
+    pub fn t_pipelined(&self, bytes: usize, block: usize, word: usize, chunk: usize) -> SimTime {
+        self.pipeline_terms(bytes, block, word, chunk).total()
     }
 
     /// The per-send decision: device or one-shot, whichever the model says

@@ -10,20 +10,22 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use gpu_sim::{GpuPtr, MemSpace, PackDir, SimTime};
+use gpu_sim::{CopyKind, GpuPtr, LaunchConfig, MemSpace, PackDir, PackTarget, SimTime};
 use mpi_sim::datatype::typemap::segments;
-use mpi_sim::{Combiner, Datatype, DegradeEvent, MpiError, MpiResult, RankCtx, Status};
+use mpi_sim::{Combiner, Datatype, DegradeEvent, MpiError, MpiResult, RankCtx, Status, Transport};
 use serde::{Deserialize, Serialize};
 
 use crate::buffers::BufferPool;
-use crate::config::{Method, TempiConfig};
+use crate::config::{Method, TempiConfig, TunerMode};
 use crate::ir::transform::simplify;
 use crate::ir::translate::{translate, CountingIntrospect, Translated};
 use crate::ir::{strided_block::strided_block, BlockList};
 use crate::kernels::{
-    execute_blocklist, execute_dma_2d, execute_strided, select_kernel, KernelKind, KernelPlan,
+    execute_blocklist, execute_dma_2d, execute_strided, execute_strided_with, select_kernel,
+    KernelKind, KernelPlan,
 };
 use crate::model::SendModel;
+use crate::tuner::{BucketKey, Tuner, Workload, CHUNK_CANDIDATES};
 
 /// CPU cost per IR node per canonicalization pass (tiny; Fig. 6's commit
 /// overhead is dominated by the vendor-priced introspection calls).
@@ -34,6 +36,13 @@ const CANON_NODE_COST: SimTime = SimTime::from_ns(20);
 /// mvapich-specialized-vector cases show speedups slightly *below* 1
 /// (0.89×–0.98×): TEMPI does the same work plus this dispatch overhead.
 const TEMPI_DISPATCH_OVERHEAD: SimTime = SimTime::from_ns(300);
+
+/// How long (virtual time) a transiently-failed method stays off the
+/// degradation ladder for a datatype. Transient faults are load- and
+/// state-dependent; a permanent ban would pin a degraded method choice
+/// long after the fault cleared, so the rung is re-attempted once the
+/// quarantine expires (and re-quarantined if it fails again).
+pub const QUARANTINE_TTL: SimTime = SimTime::from_ms(50);
 
 /// What a committed type resolved to.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +152,24 @@ pub struct TempiStats {
     pub checkpoints: u64,
     /// Subdomain restores served from committed checkpoint frames.
     pub restores: u64,
+    /// Tuner decisions that were exploration probes (deliberately non-best
+    /// methods run to refresh their calibration ratios).
+    pub tuner_probes: u64,
+    /// Tuner decisions served from a warm (memoized) bucket.
+    pub tuner_bucket_hits: u64,
+    /// Times the calibrated argmin changed a bucket's memoized method.
+    pub tuner_method_switches: u64,
+    /// Pool takes satisfied from a pooled buffer (mirror of
+    /// [`crate::buffers::BufferPool::hits`], refreshed per operation).
+    pub pool_hits: u64,
+    /// Fresh pool allocations (mirror of
+    /// [`crate::buffers::BufferPool::fresh_allocs`], refreshed per
+    /// operation). `pool_hits / (pool_hits + pool_fresh_allocs)` is the
+    /// reuse rate; steady state must not grow this counter.
+    pub pool_fresh_allocs: u64,
+    /// Kernel launches whose geometry (or dynamically derived 2-D plan)
+    /// was served from the per-(datatype, count) cache.
+    pub launch_cache_hits: u64,
 }
 
 /// Human-readable method name for degradation events.
@@ -175,10 +202,21 @@ pub struct Tempi {
     pub pool: BufferPool,
     /// Operation counters.
     pub stats: TempiStats,
+    /// Online send-method autotuner: component calibration plus per-bucket
+    /// memoized decisions (see [`crate::tuner`]).
+    pub tuner: Tuner,
     cache: HashMap<Datatype, Arc<TypePlan>>,
-    /// Send methods that failed transiently for a datatype; subsequent
-    /// sends of that type skip them (part of the degradation ladder).
-    quarantine: HashSet<(Datatype, Method)>,
+    /// Launch geometry per (datatype, incount): steady-state sends skip
+    /// the grid/block derivation entirely.
+    launch_cache: HashMap<(Datatype, usize), LaunchConfig>,
+    /// Dynamically derived 2-D plans for contiguous-with-padding packs,
+    /// per (datatype, incount): the reshape allocates stride vectors, so
+    /// the hot path must build it once, not per send.
+    reshape_cache: HashMap<(Datatype, usize), KernelPlan>,
+    /// Send methods that failed transiently for a datatype, with the
+    /// virtual time their quarantine expires; until then, sends of that
+    /// type skip them (part of the degradation ladder).
+    quarantine: HashMap<(Datatype, Method), SimTime>,
     /// Datatypes whose kernel pack/unpack path failed transiently;
     /// subsequent pack/unpack calls go straight to the CPU copy path.
     pack_quarantine: HashSet<Datatype>,
@@ -193,19 +231,34 @@ impl Default for Tempi {
 impl Tempi {
     /// Fresh library state with the given configuration.
     pub fn new(config: TempiConfig) -> Self {
+        let tuner = Tuner::new(config.tuner, config.tuner_seed);
         Tempi {
             config,
             pool: BufferPool::new(),
             stats: TempiStats::default(),
+            tuner,
             cache: HashMap::new(),
-            quarantine: HashSet::new(),
+            launch_cache: HashMap::new(),
+            reshape_cache: HashMap::new(),
+            quarantine: HashMap::new(),
             pack_quarantine: HashSet::new(),
         }
     }
 
-    /// Is `method` quarantined for `dt` (a previous transient failure)?
-    pub fn is_quarantined(&self, dt: Datatype, method: Method) -> bool {
-        self.quarantine.contains(&(dt, method))
+    /// Is `method` quarantined for `dt` at virtual time `now`? Entries
+    /// older than [`QUARANTINE_TTL`] no longer count: the rung is eligible
+    /// again and will be re-quarantined if it fails again.
+    pub fn is_quarantined(&self, dt: Datatype, method: Method, now: SimTime) -> bool {
+        self.quarantine
+            .get(&(dt, method))
+            .is_some_and(|&until| now < until)
+    }
+
+    /// Copy the pool counters into the stats snapshot so callers reading
+    /// `TempiStats` see the current reuse rate.
+    fn sync_pool_stats(&mut self) {
+        self.stats.pool_hits = self.pool.hits;
+        self.stats.pool_fresh_allocs = self.pool.fresh_allocs;
     }
 
     /// The cached plan for a committed type, if any.
@@ -321,7 +374,7 @@ impl Tempi {
     ) -> MpiResult<()> {
         self.stats.pack_calls += 1;
         ctx.clock.advance(TEMPI_DISPATCH_OVERHEAD);
-        self.xfer(
+        let r = self.xfer(
             ctx,
             PackDir::Pack,
             inbuf,
@@ -330,7 +383,9 @@ impl Tempi {
             outbuf,
             outsize,
             position,
-        )
+        );
+        self.sync_pool_stats();
+        r
     }
 
     /// TEMPI's `MPI_Unpack`: mirror of [`Tempi::pack`] (`inbuf` holds
@@ -349,7 +404,7 @@ impl Tempi {
     ) -> MpiResult<()> {
         self.stats.unpack_calls += 1;
         ctx.clock.advance(TEMPI_DISPATCH_OVERHEAD);
-        self.xfer(
+        let r = self.xfer(
             ctx,
             PackDir::Unpack,
             outbuf,
@@ -358,7 +413,9 @@ impl Tempi {
             inbuf,
             insize,
             position,
-        )
+        );
+        self.sync_pool_stats();
+        r
     }
 
     /// Shared pack/unpack dispatch. `strided` is the datatype-shaped
@@ -518,15 +575,23 @@ impl Tempi {
                         return Ok(());
                     }
                     // incount acts as an extra stride dimension, handled
-                    // dynamically (§3.3): view as 2-D and launch once.
-                    let sb2 = crate::ir::strided_block::StridedBlock {
-                        start: kp.sb.start,
-                        counts: vec![plan.size as i64, count as i64],
-                        strides: vec![1, plan.extent],
-                    };
-                    let kp2 = select_kernel(sb2, self.config.force_word);
+                    // dynamically (§3.3): view as 2-D and launch once. The
+                    // derived plan allocates stride vectors, so it is
+                    // cached per (type, count) and steady-state sends
+                    // rebuild nothing.
+                    if self.reshape_cache.contains_key(&(dt, count)) {
+                        self.stats.launch_cache_hits += 1;
+                    } else {
+                        let sb2 = crate::ir::strided_block::StridedBlock {
+                            start: kp.sb.start,
+                            counts: vec![plan.size as i64, count as i64],
+                            strides: vec![1, plan.extent],
+                        };
+                        self.reshape_cache
+                            .insert((dt, count), select_kernel(sb2, self.config.force_word));
+                    }
                     execute_strided(
-                        &kp2,
+                        &self.reshape_cache[&(dt, count)],
                         &mut ctx.stream,
                         &mut ctx.clock,
                         dir,
@@ -569,8 +634,22 @@ impl Tempi {
                     )?;
                     return Ok(());
                 }
-                execute_strided(
+                // Steady-state fast path: the launch geometry for this
+                // (type, count) pair is cached after the first send.
+                let cfg = match self.launch_cache.get(&(dt, count)).copied() {
+                    Some(c) => {
+                        self.stats.launch_cache_hits += 1;
+                        c
+                    }
+                    None => {
+                        let c = kp.launch_config(count);
+                        self.launch_cache.insert((dt, count), c);
+                        c
+                    }
+                };
+                execute_strided_with(
                     kp,
+                    Some(cfg),
                     &mut ctx.stream,
                     &mut ctx.clock,
                     dir,
@@ -598,21 +677,22 @@ impl Tempi {
             }
             PlanKind::Fallback(_) => {
                 // Fall through to the system MPI's copy-per-block handling.
+                // The registry lock is scoped so the vendor pricing below
+                // borrows ctx fields disjointly — no Arc or profile clones
+                // on this path.
                 self.stats.fallbacks += 1;
-                let reg = ctx.registry().clone();
                 let (segs, root_is_vector) = {
-                    let reg = reg.read();
+                    let reg = ctx.registry().read();
                     (
                         segments(&reg, dt)?,
                         matches!(reg.get_envelope(dt)?.combiner, Combiner::Vector),
                     )
                 };
-                let vendor = ctx.vendor.clone();
                 let mut pos = packed_off;
                 match dir {
                     PackDir::Pack => {
                         mpi_sim::vendor::baseline_gpu_pack(
-                            &vendor,
+                            &ctx.vendor,
                             &mut ctx.stream,
                             &mut ctx.clock,
                             &segs,
@@ -626,7 +706,7 @@ impl Tempi {
                     }
                     PackDir::Unpack => {
                         mpi_sim::vendor::baseline_gpu_unpack(
-                            &vendor,
+                            &ctx.vendor,
                             &mut ctx.stream,
                             &mut ctx.clock,
                             &segs,
@@ -705,11 +785,13 @@ impl Tempi {
 
     // ---- datatype-accelerated send/recv (§5) ----------------------------
 
-    /// The Section-5 model for traffic between this rank and `peer`.
+    /// The Section-5 model for traffic between this rank and `peer`. Built
+    /// per send on the hot path, so the cost tables are handed over as
+    /// shared `Arc`s — two refcount bumps, no table copies.
     pub fn send_model(&self, ctx: &RankCtx, peer: usize) -> SendModel {
         SendModel {
-            gpu: ctx.stream.cost_model().clone(),
-            net: ctx.net.clone(),
+            gpu: ctx.stream.cost_model_shared(),
+            net: Arc::clone(&ctx.net),
             src: ctx.rank,
             dst: peer,
         }
@@ -717,10 +799,90 @@ impl Tempi {
 
     /// TEMPI's `MPI_Send`. Non-contiguous device data is packed with the
     /// selected kernel into an intermediate buffer and shipped through the
-    /// system MPI; the method (device / one-shot / staged) follows the
-    /// model unless forced. Returns which method was used (`None` = fell
-    /// through to the system MPI).
+    /// system MPI; the method (device / one-shot / staged / pipelined)
+    /// follows the tuner-calibrated model unless forced. Returns which
+    /// method was used (`None` = fell through to the system MPI).
     pub fn send(
+        &mut self,
+        ctx: &mut RankCtx,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        dest: usize,
+        tag: i32,
+    ) -> MpiResult<Option<Method>> {
+        let r = self.send_inner(ctx, buf, count, dt, dest, tag);
+        self.sync_pool_stats();
+        r
+    }
+
+    /// Pick the method for one accelerated send. Forced methods bypass the
+    /// tuner; `TunerMode::Off` evaluates the static model per call (the
+    /// pre-tuner behavior); `Model`/`Online` go through the bucketed tuner.
+    /// Returns the method and, for pipelined, the chunk to use.
+    #[allow(clippy::too_many_arguments)]
+    fn choose_method(
+        &mut self,
+        ctx: &RankCtx,
+        plan: &TypePlan,
+        dt: Datatype,
+        bytes: usize,
+        count: usize,
+        dest: usize,
+        now: SimTime,
+    ) -> (Method, Option<usize>) {
+        if let Some(forced) = self.config.force_method {
+            return (forced, self.config.pipeline_chunk);
+        }
+        let model = self.send_model(ctx, dest);
+        if self.tuner.mode() == TunerMode::Off {
+            return (
+                model.choose(bytes, plan.block_bytes(), plan.word()),
+                self.config.pipeline_chunk,
+            );
+        }
+        let shape = match &plan.kind {
+            PlanKind::Strided(kp) if kp.kind == KernelKind::Memcpy1D => 0,
+            PlanKind::Strided(_) => 1,
+            PlanKind::Blocks(_) => 2,
+            _ => 3,
+        };
+        let intra = ctx.net.same_node(ctx.rank, dest);
+        let key = BucketKey::new(shape, plan.block_bytes(), bytes, intra);
+        let wl = Workload {
+            bytes,
+            block: plan.block_bytes(),
+            word: plan.word(),
+        };
+        // Candidate set: ladder rungs minus quarantined ones; in Online
+        // mode, pipelined joins whenever the plan can be chunked at all
+        // (the tuner's own chunk argmin rejects one-chunk payloads).
+        let mut allowed: Vec<Method> = [Method::Device, Method::OneShot, Method::Staged]
+            .into_iter()
+            .filter(|&m| !self.is_quarantined(dt, m, now))
+            .collect();
+        let chunkable = matches!(&plan.kind, PlanKind::Strided(kp)
+            if kp.kind != KernelKind::Memcpy1D && kp.sb.block_bytes() > 0 && count > 0);
+        if self.tuner.mode() == TunerMode::Online
+            && chunkable
+            && bytes > CHUNK_CANDIDATES[0]
+            && !self.is_quarantined(dt, Method::Pipelined, now)
+        {
+            allowed.push(Method::Pipelined);
+        }
+        if allowed.is_empty() {
+            // Every rung quarantined: hand the ladder its usual starting
+            // point and let it fall through to the system MPI.
+            return (Method::Device, None);
+        }
+        let d = self.tuner.choose(key, wl, &model, &allowed, now);
+        self.stats.tuner_probes += d.probe as u64;
+        self.stats.tuner_bucket_hits += d.bucket_hit as u64;
+        self.stats.tuner_method_switches += d.switched as u64;
+        (d.method, d.chunk.or(self.config.pipeline_chunk))
+    }
+
+    fn send_inner(
         &mut self,
         ctx: &mut RankCtx,
         buf: GpuPtr,
@@ -741,24 +903,28 @@ impl Tempi {
             ctx.send(buf, count, dt, dest, tag)?;
             return Ok(None);
         }
-        let mut method = self.config.force_method.unwrap_or_else(|| {
-            self.send_model(ctx, dest)
-                .choose(bytes, plan.block_bytes(), plan.word())
-        });
+        let now = ctx.clock.now();
+        let (mut method, mut chunk) = self.choose_method(ctx, &plan, dt, bytes, count, dest, now);
         // the pipelined method needs a strided plan with more than one
         // chunk of blocks; otherwise it degenerates to plain staged
         if method == Method::Pipelined || self.config.force_method.is_none() {
-            let viable = match (&plan.kind, self.config.pipeline_chunk) {
-                (PlanKind::Strided(kp), Some(chunk)) => {
+            let viable = match (&plan.kind, chunk) {
+                (PlanKind::Strided(kp), Some(c)) => {
                     let block_len = kp.sb.block_bytes().max(1) as usize;
-                    kp.sb.block_count() * count as i64 > (chunk / block_len).max(1) as i64
+                    kp.sb.block_count() * count as i64 > (c / block_len).max(1) as i64
                 }
                 _ => false,
             };
             if method == Method::Pipelined && !viable {
                 method = Method::Staged;
-            } else if self.config.force_method.is_none() && viable {
-                let chunk = self.config.pipeline_chunk.ok_or_else(|| {
+            } else if self.config.force_method.is_none()
+                && method != Method::Pipelined
+                && self.tuner.mode() != TunerMode::Online
+                && viable
+            {
+                // Legacy upgrade check against the configured chunk; the
+                // Online tuner already weighed pipelined itself.
+                let c = chunk.ok_or_else(|| {
                     MpiError::Internal("pipeline viability computed without a chunk size".into())
                 })?;
                 let m = self.send_model(ctx, dest);
@@ -766,7 +932,7 @@ impl Tempi {
                     Method::Device => m.t_device(bytes, plan.block_bytes(), plan.word()).total(),
                     _ => m.t_oneshot(bytes, plan.block_bytes(), plan.word()).total(),
                 };
-                if m.t_pipelined(bytes, plan.block_bytes(), plan.word(), chunk) < current {
+                if m.t_pipelined(bytes, plan.block_bytes(), plan.word(), c) < current {
                     method = Method::Pipelined;
                 }
             }
@@ -775,7 +941,10 @@ impl Tempi {
             // Mid-pipeline degradation is unsafe — the receiver has already
             // seen parts and expects the rest — so the pipelined method is
             // not a rung on the ladder; its errors propagate.
-            if let Err(e) = self.send_pipelined(ctx, &plan, buf, count, dt, dest, tag, bytes) {
+            let c = chunk.take().ok_or_else(|| {
+                MpiError::InvalidArg("pipelined method requires pipeline_chunk".to_string())
+            })?;
+            if let Err(e) = self.send_pipelined(ctx, &plan, buf, count, dt, dest, tag, bytes, c) {
                 self.note_comm_failure(&e);
                 return Err(e);
             }
@@ -789,7 +958,7 @@ impl Tempi {
         let rungs: Vec<Method> = [Method::Device, Method::OneShot, Method::Staged]
             .into_iter()
             .skip_while(|&m| m != method)
-            .filter(|&m| !self.quarantine.contains(&(dt, m)))
+            .filter(|&m| !self.is_quarantined(dt, m, now))
             .collect();
         let mut idx = 0usize;
         loop {
@@ -805,7 +974,8 @@ impl Tempi {
             match self.send_via(ctx, current, &plan, bytes, buf, count, dt, dest, tag) {
                 Ok(()) => return Ok(Some(current)),
                 Err(e) if e.is_transient() => {
-                    self.quarantine.insert((dt, current));
+                    self.quarantine
+                        .insert((dt, current), ctx.clock.now() + QUARANTINE_TTL);
                     self.stats.degraded_sends += 1;
                     let to = rungs.get(idx + 1).map_or("SystemMpi", |&m| method_name(m));
                     record_degrade(ctx, dt, method_name(current), to, &e);
@@ -820,6 +990,50 @@ impl Tempi {
                 }
             }
         }
+    }
+
+    /// Feed one measured pack/unpack duration to the tuner, paired with
+    /// what the §5 model predicted for the same shape. No-op outside
+    /// [`TunerMode::Online`]. The measured time is a virtual-clock delta
+    /// around the actual kernel path, so model/reality divergences (e.g.
+    /// alignment-degraded word sizes) show up as ratios ≠ 1.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_pack_measurement(
+        &mut self,
+        ctx: &RankCtx,
+        dir: PackDir,
+        target: PackTarget,
+        bytes: usize,
+        block: usize,
+        word: usize,
+        measured: SimTime,
+    ) {
+        if self.tuner.mode() != TunerMode::Online {
+            return;
+        }
+        let g = ctx.stream.cost_model();
+        let modeled = g.kernel_launch_overhead
+            + g.pack_kernel_time(dir, target, bytes, block, word)
+            + g.stream_sync_overhead;
+        self.tuner.observe_pack(target, modeled, measured);
+    }
+
+    /// Feed one measured copy-engine transfer to the tuner (see
+    /// [`Tempi::observe_pack_measurement`]).
+    fn observe_copy_measurement(
+        &mut self,
+        ctx: &RankCtx,
+        kind: CopyKind,
+        bytes: usize,
+        measured: SimTime,
+    ) {
+        if self.tuner.mode() != TunerMode::Online {
+            return;
+        }
+        let g = ctx.stream.cost_model();
+        let modeled =
+            g.memcpy_async_overhead + g.copy_engine_time(kind, bytes) + g.stream_sync_overhead;
+        self.tuner.observe_copy(kind, modeled, measured);
     }
 
     /// Count an error against the communicator-failure statistic if it is
@@ -904,7 +1118,22 @@ impl Tempi {
         dest: usize,
         tag: i32,
     ) -> MpiResult<()> {
+        let t0 = ctx.clock.now();
         self.gpu_xfer(ctx, PackDir::Pack, plan, buf, count, dt, tmp, 0)?;
+        let target = if tmp.space == MemSpace::Device {
+            PackTarget::Device
+        } else {
+            PackTarget::MappedHost
+        };
+        self.observe_pack_measurement(
+            ctx,
+            PackDir::Pack,
+            target,
+            bytes,
+            plan.block_bytes(),
+            plan.word(),
+            ctx.clock.now() - t0,
+        );
         ctx.send_bytes(tmp, bytes, dest, tag)
     }
 
@@ -924,11 +1153,23 @@ impl Tempi {
         dest: usize,
         tag: i32,
     ) -> MpiResult<()> {
+        let t0 = ctx.clock.now();
         self.gpu_xfer(ctx, PackDir::Pack, plan, buf, count, dt, dev, 0)?;
+        let t1 = ctx.clock.now();
+        self.observe_pack_measurement(
+            ctx,
+            PackDir::Pack,
+            PackTarget::Device,
+            bytes,
+            plan.block_bytes(),
+            plan.word(),
+            t1 - t0,
+        );
         ctx.stream
             .memcpy_async(&mut ctx.clock, pin, dev, bytes)
             .map_err(MpiError::Gpu)?;
         ctx.stream.synchronize(&mut ctx.clock);
+        self.observe_copy_measurement(ctx, CopyKind::D2H, bytes, ctx.clock.now() - t1);
         ctx.send_bytes(pin, bytes, dest, tag)
     }
 
@@ -947,18 +1188,13 @@ impl Tempi {
         dest: usize,
         tag: i32,
         bytes: usize,
+        chunk: usize,
     ) -> MpiResult<()> {
-        let Some(chunk) = self.config.pipeline_chunk else {
-            return Err(MpiError::InvalidArg(
-                "pipelined method requires pipeline_chunk".to_string(),
-            ));
-        };
         let PlanKind::Strided(kp) = &plan.kind else {
             return Err(MpiError::Internal(
                 "pipelined send needs a strided plan".to_string(),
             ));
         };
-        let kp = kp.clone();
         let block_len = kp.sb.block_bytes() as usize;
         let total_blocks = kp.sb.block_count() * count as i64;
         let blocks_per_chunk = (chunk / block_len).max(1) as i64;
@@ -984,7 +1220,7 @@ impl Tempi {
                 let n = blocks_per_chunk.min(total_blocks - first);
                 let len = n as usize * block_len;
                 crate::kernels::execute_strided_range_async(
-                    &kp,
+                    kp,
                     &mut ctx.stream,
                     &mut ctx.clock,
                     PackDir::Pack,
@@ -1028,6 +1264,20 @@ impl Tempi {
     /// sender's buffer space, receives into the matching intermediate
     /// buffer, and unpacks with the selected kernel.
     pub fn recv(
+        &mut self,
+        ctx: &mut RankCtx,
+        buf: GpuPtr,
+        count: usize,
+        dt: Datatype,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> MpiResult<(Status, Option<Method>)> {
+        let r = self.recv_inner(ctx, buf, count, dt, src, tag);
+        self.sync_pool_stats();
+        r
+    }
+
+    fn recv_inner(
         &mut self,
         ctx: &mut RankCtx,
         buf: GpuPtr,
@@ -1084,6 +1334,7 @@ impl Tempi {
             _ => (MemSpace::Mapped, Method::OneShot),
         };
         let (tmp, sz) = self.pool.take(ctx, space, info.bytes)?;
+        let t_wire = ctx.clock.now();
         let st = match ctx.recv_bytes(tmp, info.bytes, Some(info.source), Some(info.tag)) {
             Ok(st) => st,
             Err(e) => {
@@ -1092,6 +1343,25 @@ impl Tempi {
                 return Err(e);
             }
         };
+        // Wire time is only visible on the receiving clock (senders pay
+        // just the send overhead), so the wire ratio is calibrated here:
+        // measured wait-plus-transfer against the modeled transfer for the
+        // transport this payload actually used.
+        if self.tuner.mode() == TunerMode::Online {
+            let transport = if space == MemSpace::Device {
+                Transport::Gpu
+            } else {
+                Transport::Cpu
+            };
+            let intra = ctx.net.same_node(ctx.rank, info.source);
+            let model = self.send_model(ctx, info.source);
+            let modeled = match transport {
+                Transport::Gpu => model.t_gpu_gpu(info.bytes),
+                Transport::Cpu => model.t_cpu_cpu(info.bytes),
+            };
+            self.tuner
+                .observe_wire(transport, intra, modeled, ctx.clock.now() - t_wire);
+        }
         // Unpack ladder: a quarantined (or transiently failing) kernel path
         // degrades to the CPU copy path, which reads the staging buffer
         // with host-side accessors and touches no further GPU resources.
@@ -1156,11 +1426,24 @@ impl Tempi {
         dev: GpuPtr,
         bytes: usize,
     ) -> MpiResult<()> {
+        let t0 = ctx.clock.now();
         ctx.stream
             .memcpy_async(&mut ctx.clock, dev, tmp, bytes)
             .map_err(MpiError::Gpu)?;
         ctx.stream.synchronize(&mut ctx.clock);
-        self.gpu_xfer(ctx, PackDir::Unpack, plan, buf, items, dt, dev, 0)
+        self.observe_copy_measurement(ctx, CopyKind::H2D, bytes, ctx.clock.now() - t0);
+        let t1 = ctx.clock.now();
+        self.gpu_xfer(ctx, PackDir::Unpack, plan, buf, items, dt, dev, 0)?;
+        self.observe_pack_measurement(
+            ctx,
+            PackDir::Unpack,
+            PackTarget::Device,
+            bytes,
+            plan.block_bytes(),
+            plan.word(),
+            ctx.clock.now() - t1,
+        );
+        Ok(())
     }
 
     /// Consume a pipelined multi-part transfer: receive each chunk into a
@@ -1212,10 +1495,8 @@ impl Tempi {
         capacity: usize,
     ) -> MpiResult<Status> {
         let mut received = 0usize;
-        let mut per_chunk_unpack: Option<(KernelPlan, i64)> = match &plan.kind {
-            PlanKind::Strided(kp) if kp.sb.block_bytes() > 0 => {
-                Some((kp.clone(), kp.sb.block_bytes()))
-            }
+        let mut per_chunk_unpack: Option<(&KernelPlan, i64)> = match &plan.kind {
+            PlanKind::Strided(kp) if kp.sb.block_bytes() > 0 => Some((kp, kp.sb.block_bytes())),
             _ => None,
         };
         let mut last = Status {
@@ -2004,6 +2285,183 @@ mod tests {
         })
         .unwrap();
         assert!(results[1], "plain recv must reject pipelined parts");
+    }
+
+    #[test]
+    fn online_tuner_is_deterministic_per_seed() {
+        let mut cfg = WorldConfig::summit(2);
+        cfg.net.ranks_per_node = 1;
+        let run = |seed: u64| -> Vec<Option<Method>> {
+            let results = World::run(&cfg, |ctx| {
+                let mut tempi = Tempi::new(TempiConfig {
+                    tuner: TunerMode::Online,
+                    tuner_seed: seed,
+                    ..TempiConfig::default()
+                });
+                let dt = ctx.type_vector(256, 64, 128, MPI_BYTE)?; // 16 KiB
+                tempi.type_commit(ctx, dt)?;
+                let buf = ctx.gpu.malloc(255 * 128 + 64)?;
+                let mut methods = Vec::new();
+                for i in 0..40 {
+                    if ctx.rank == 0 {
+                        methods.push(tempi.send(ctx, buf, 1, dt, 1, i)?);
+                    } else {
+                        tempi.recv(ctx, buf, 1, dt, Some(0), Some(i))?;
+                    }
+                }
+                Ok(methods)
+            })
+            .unwrap();
+            results[0].clone()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must replay the same method sequence");
+        assert_eq!(a.len(), 40);
+        assert!(a.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn online_tuner_converges_to_the_model_choice() {
+        // The simulator prices sends with the same cost tables the model
+        // reads, so every calibration ratio stays ~1.0 and the memoized
+        // method must settle on the oracle model's pick despite probes.
+        let mut cfg = WorldConfig::summit(2);
+        cfg.net.ranks_per_node = 1;
+        let results = World::run(&cfg, |ctx| {
+            let mut tempi = Tempi::new(TempiConfig {
+                tuner: TunerMode::Online,
+                ..TempiConfig::default()
+            });
+            let dt = ctx.type_vector(256, 64, 128, MPI_BYTE)?; // 16 KiB
+            let plan = tempi.type_commit(ctx, dt)?;
+            let buf = ctx.gpu.malloc(255 * 128 + 64)?;
+            for i in 0..32 {
+                if ctx.rank == 0 {
+                    tempi.send(ctx, buf, 1, dt, 1, i)?;
+                } else {
+                    tempi.recv(ctx, buf, 1, dt, Some(0), Some(i))?;
+                }
+            }
+            if ctx.rank != 0 {
+                return Ok(true);
+            }
+            let oracle = tempi.send_model(ctx, 1).choose(
+                plan.size as usize,
+                plan.block_bytes(),
+                plan.word(),
+            );
+            let key = BucketKey::new(1, plan.block_bytes(), plan.size as usize, false);
+            let memo = tempi.tuner.memoized(&key);
+            Ok(memo.map(|(m, _)| m) == Some(oracle) && tempi.stats.tuner_bucket_hits > 0)
+        })
+        .unwrap();
+        assert!(results[0], "memoized method must match the oracle model");
+    }
+
+    #[test]
+    fn online_tuner_discovers_pipelined_on_large_coarse_objects() {
+        // 4 MiB with 4 KiB blocks is the staged/one-shot crossover where
+        // the §8 pipeline wins; with no configured chunk, Online mode must
+        // find it (and a chunk) by itself on the very first (cold) send.
+        let mut cfg = WorldConfig::summit(2);
+        cfg.net.ranks_per_node = 1;
+        let count = (4usize << 20) / 4096;
+        let results = World::run(&cfg, |ctx| {
+            let mut tempi = Tempi::new(TempiConfig {
+                tuner: TunerMode::Online,
+                ..TempiConfig::default()
+            });
+            let dt = ctx.type_vector(count as i32, 4096, 8192, MPI_BYTE)?;
+            tempi.type_commit(ctx, dt)?;
+            let buf = ctx.gpu.malloc(count * 8192)?;
+            if ctx.rank == 0 {
+                tempi.send(ctx, buf, 1, dt, 1, 0)
+            } else {
+                let (_, m) = tempi.recv(ctx, buf, 1, dt, Some(0), Some(0))?;
+                Ok(m)
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0], Some(Method::Pipelined));
+        assert_eq!(results[1], Some(Method::Pipelined));
+    }
+
+    #[test]
+    fn quarantine_expires_and_the_rung_is_retried() {
+        // Same OOM world as send_degrades_to_oneshot_on_device_oom, but
+        // after the quarantine TTL lapses the ladder must retry Device and
+        // log a *second* degradation when it fails again.
+        let mut cfg = WorldConfig::summit(2);
+        cfg.net.ranks_per_node = 1;
+        cfg.device.global_mem_bytes = 160 << 10;
+        let results = World::run(&cfg, |ctx| {
+            let mut tempi = Tempi::new(TempiConfig {
+                force_method: Some(Method::Device),
+                ..TempiConfig::default()
+            });
+            let dt = ctx.type_vector(1024, 64, 128, MPI_BYTE)?; // 64 KiB
+            tempi.type_commit(ctx, dt)?;
+            let buf = ctx.gpu.malloc(128 << 10)?;
+            if ctx.rank == 0 {
+                tempi.send(ctx, buf, 1, dt, 1, 0)?; // degrade + quarantine
+                let e1 = ctx.faults.stats.events.len();
+                tempi.send(ctx, buf, 1, dt, 1, 1)?; // silent: still banned
+                let e2 = ctx.faults.stats.events.len();
+                ctx.clock.advance(QUARANTINE_TTL + SimTime::from_ms(1));
+                tempi.send(ctx, buf, 1, dt, 1, 2)?; // retried, fails anew
+                let e3 = ctx.faults.stats.events.len();
+                Ok((e1, e2, e3, tempi.stats.degraded_sends))
+            } else {
+                tempi.recv(ctx, buf, 1, dt, Some(0), Some(0))?;
+                tempi.recv(ctx, buf, 1, dt, Some(0), Some(1))?;
+                tempi.recv(ctx, buf, 1, dt, Some(0), Some(2))?;
+                Ok((0, 0, 0, 0))
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0], (1, 1, 2, 2));
+    }
+
+    #[test]
+    fn steady_state_sends_allocate_nothing_and_reuse_launch_geometry() {
+        let mut cfg = WorldConfig::summit(2);
+        cfg.net.ranks_per_node = 1;
+        let results = World::run(&cfg, |ctx| {
+            let mut tempi = Tempi::default();
+            let dt = ctx.type_vector(64, 16, 64, MPI_BYTE)?;
+            tempi.type_commit(ctx, dt)?;
+            let span = 63 * 64 + 16;
+            let buf = ctx.gpu.malloc(span)?;
+            // warm-up: allocates intermediates, derives launch geometry
+            for i in 0..2 {
+                if ctx.rank == 0 {
+                    tempi.send(ctx, buf, 1, dt, 1, i)?;
+                } else {
+                    tempi.recv(ctx, buf, 1, dt, Some(0), Some(i))?;
+                }
+            }
+            let warm_allocs = tempi.stats.pool_fresh_allocs;
+            let warm_hits = tempi.stats.pool_hits;
+            for i in 2..12 {
+                if ctx.rank == 0 {
+                    tempi.send(ctx, buf, 1, dt, 1, i)?;
+                } else {
+                    tempi.recv(ctx, buf, 1, dt, Some(0), Some(i))?;
+                }
+            }
+            Ok((
+                tempi.stats.pool_fresh_allocs - warm_allocs,
+                tempi.stats.pool_hits - warm_hits,
+                tempi.stats.launch_cache_hits,
+            ))
+        })
+        .unwrap();
+        for (rank, &(fresh, hits, launch_hits)) in results.iter().enumerate() {
+            assert_eq!(fresh, 0, "rank {rank} allocated in steady state");
+            assert!(hits >= 10, "rank {rank} pool hits only {hits}");
+            assert!(launch_hits > 0, "rank {rank} never hit the launch cache");
+        }
     }
 
     #[test]

@@ -182,14 +182,22 @@ impl GpuCostModel {
         }
     }
 
-    /// Engine (GPU-timeline) duration of a plain copy of `bytes`.
-    pub fn copy_engine_time(&self, kind: CopyKind, bytes: usize) -> SimTime {
-        let bw = match kind {
+    /// Engine bandwidth (bytes/ns) for a copy kind. Exposed so online
+    /// calibration can compare the copy engine against wire bandwidths
+    /// (the pipelined-chunk crossover) without re-deriving it from timed
+    /// transfers.
+    pub fn copy_engine_bpns(&self, kind: CopyKind) -> f64 {
+        match kind {
             CopyKind::H2D => self.h2d_bpns,
             CopyKind::D2H => self.d2h_bpns,
             CopyKind::D2D => self.d2d_bpns,
             CopyKind::H2H => self.h2h_bpns,
-        };
+        }
+    }
+
+    /// Engine (GPU-timeline) duration of a plain copy of `bytes`.
+    pub fn copy_engine_time(&self, kind: CopyKind, bytes: usize) -> SimTime {
+        let bw = self.copy_engine_bpns(kind);
         self.copy_engine_setup + SimTime::from_ns_f64(bytes as f64 / bw)
     }
 

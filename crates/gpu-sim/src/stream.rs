@@ -10,6 +10,8 @@
 //! each rank's program in order — virtual timestamps, not execution order,
 //! carry all performance information.
 
+use std::sync::Arc;
+
 use crate::clock::{SimClock, SimTime};
 use crate::cost::{CopyKind, GpuCostModel};
 use crate::error::{GpuError, GpuResult};
@@ -39,7 +41,9 @@ pub struct StreamStats {
 /// A simulated CUDA stream bound to one [`GpuContext`].
 pub struct Stream {
     ctx: GpuContext,
-    cost: GpuCostModel,
+    // Shared, not owned: the send hot path hands the model to per-call
+    // cost estimators, and an Arc bump must be all that costs.
+    cost: Arc<GpuCostModel>,
     busy_until: SimTime,
     stats: StreamStats,
 }
@@ -49,7 +53,7 @@ impl Stream {
     pub fn new(ctx: GpuContext, cost: GpuCostModel) -> Self {
         Stream {
             ctx,
-            cost,
+            cost: Arc::new(cost),
             busy_until: SimTime::ZERO,
             stats: StreamStats::default(),
         }
@@ -63,6 +67,12 @@ impl Stream {
     /// The cost model pricing this stream's work.
     pub fn cost_model(&self) -> &GpuCostModel {
         &self.cost
+    }
+
+    /// Shared handle to the cost model, for callers that need to keep the
+    /// model alive past the stream borrow without copying its tables.
+    pub fn cost_model_shared(&self) -> Arc<GpuCostModel> {
+        Arc::clone(&self.cost)
     }
 
     /// Instant at which all currently submitted work completes.

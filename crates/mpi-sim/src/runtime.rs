@@ -193,8 +193,10 @@ pub struct RankCtx {
     pub stream: Stream,
     /// The system-MPI vendor this world emulates.
     pub vendor: VendorProfile,
-    /// The fabric model.
-    pub net: NetModel,
+    /// The fabric model. Shared (`Arc`), not owned: per-send cost
+    /// estimators hold a handle to it, and cloning the model's tables on
+    /// the hot path would dwarf the work being priced.
+    pub net: Arc<NetModel>,
     /// Fault-injection state for this rank: the (optional) injector plus
     /// the statistics and degradation-event log accumulated so far.
     pub faults: FaultState,
@@ -239,7 +241,7 @@ impl RankCtx {
             gpu: gpu.clone(),
             stream: Stream::new(gpu, cfg.gpu_cost.clone()),
             vendor: cfg.vendor.clone(),
-            net: cfg.net.clone(),
+            net: Arc::new(cfg.net.clone()),
             faults,
             integrity: cfg.integrity,
             registry: Arc::new(RwLock::new(TypeRegistry::new())),
@@ -483,6 +485,7 @@ impl World {
         let size = cfg.size;
         assert!(size > 0, "world size must be positive");
         let registry = Arc::new(RwLock::new(TypeRegistry::new()));
+        let net = Arc::new(cfg.net.clone());
         let barrier = Arc::new(ClockBarrier::new(size, cfg.net.barrier_cost));
         let board = Arc::new(Board {
             slots: Mutex::new(vec![0; size]),
@@ -509,7 +512,7 @@ impl World {
                     gpu: gpu.clone(),
                     stream: Stream::new(gpu, cfg.gpu_cost.clone()),
                     vendor: cfg.vendor.clone(),
-                    net: cfg.net.clone(),
+                    net: Arc::clone(&net),
                     faults,
                     integrity: cfg.integrity,
                     registry: Arc::clone(&registry),

@@ -94,9 +94,8 @@ impl Frame {
         if bytes.len() < HEADER_LEN + 8 {
             return Err(bad("too short"));
         }
-        let word = |i: usize| {
-            u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
-        };
+        let word =
+            |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
         if word(0) != FRAME_MAGIC {
             return Err(bad("has bad magic"));
         }
@@ -106,7 +105,9 @@ impl Frame {
         }
         let body = &bytes[..HEADER_LEN + payload_len];
         let stored = u64::from_le_bytes(
-            bytes[HEADER_LEN + payload_len..].try_into().expect("8 bytes"),
+            bytes[HEADER_LEN + payload_len..]
+                .try_into()
+                .expect("8 bytes"),
         );
         if fnv1a(body) != stored {
             return Err(bad("failed checksum verification"));
@@ -211,16 +212,12 @@ impl CheckpointStore {
         match self.pending.take() {
             Some((g, entry)) if g == generation => {
                 if let Some(dir) = &self.spill_dir {
-                    std::fs::create_dir_all(dir).map_err(|e| {
-                        MpiError::Internal(format!("checkpoint spill dir: {e}"))
-                    })?;
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| MpiError::Internal(format!("checkpoint spill dir: {e}")))?;
                     for frame in entry.frames.values() {
                         let path = Self::spill_path(dir, g, frame.world_rank);
                         std::fs::write(&path, frame.encode()).map_err(|e| {
-                            MpiError::Internal(format!(
-                                "checkpoint spill {}: {e}",
-                                path.display()
-                            ))
+                            MpiError::Internal(format!("checkpoint spill {}: {e}", path.display()))
                         })?;
                     }
                 }
@@ -260,9 +257,8 @@ impl CheckpointStore {
             MpiError::Internal("no spill directory configured for checkpoint restore".into())
         })?;
         let path = Self::spill_path(dir, generation, world_rank);
-        let bytes = std::fs::read(&path).map_err(|e| {
-            MpiError::Internal(format!("checkpoint read {}: {e}", path.display()))
-        })?;
+        let bytes = std::fs::read(&path)
+            .map_err(|e| MpiError::Internal(format!("checkpoint read {}: {e}", path.display())))?;
         Frame::decode(&bytes)
     }
 
@@ -359,10 +355,7 @@ mod tests {
 
     #[test]
     fn spill_roundtrips_and_detects_disk_corruption() {
-        let dir = std::env::temp_dir().join(format!(
-            "tempi-ckpt-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("tempi-ckpt-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut store = CheckpointStore::with_spill(&dir);
         store.stage(2, record(), vec![frame(2, 4, 0x5A)]);

@@ -561,8 +561,7 @@ impl HaloExchanger {
             // owner and buddy both died: the disk copy is the last resort
             None => store.load_spilled(agreed, owner)?,
         };
-        if frame.generation != agreed || frame.world_rank != owner || frame.payload.len() != bytes
-        {
+        if frame.generation != agreed || frame.world_rank != owner || frame.payload.len() != bytes {
             return Err(MpiError::Internal(
                 "restored frame does not match the agreed generation".to_string(),
             ));
@@ -673,8 +672,11 @@ impl HaloExchanger {
                     let gz = (c[2] * l[2] + z).wrapping_add(global[2] - r) % global[2];
                     // restored state after shrinks is the periodic
                     // extension of the *original* grid
-                    let v =
-                        cell_value(gx % self.origin[0], gy % self.origin[1], gz % self.origin[2]);
+                    let v = cell_value(
+                        gx % self.origin[0],
+                        gy % self.origin[1],
+                        gz % self.origin[2],
+                    );
                     let i = self.cfg.cell_index(x, y, z) * 4;
                     data[i..i + 4].copy_from_slice(&v.to_le_bytes());
                 }
@@ -712,8 +714,11 @@ impl HaloExchanger {
                     let gx = (c[0] * l[0] + x).wrapping_add(global[0] - r) % global[0];
                     let gy = (c[1] * l[1] + y).wrapping_add(global[1] - r) % global[1];
                     let gz = (c[2] * l[2] + z).wrapping_add(global[2] - r) % global[2];
-                    let want =
-                        cell_value(gx % self.origin[0], gy % self.origin[1], gz % self.origin[2]);
+                    let want = cell_value(
+                        gx % self.origin[0],
+                        gy % self.origin[1],
+                        gz % self.origin[2],
+                    );
                     let i = self.cfg.cell_index(x, y, z) * 4;
                     let got = f32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"));
                     if got != want {

@@ -207,7 +207,9 @@ fn transient_taxonomy_is_exhaustive_over_every_error_variant() {
         (
             GpuError::KernelFault {
                 kernel: "pack_2d".into(),
-                source: Box::new(GpuError::StreamFault { op: "launch".into() }),
+                source: Box::new(GpuError::StreamFault {
+                    op: "launch".into(),
+                }),
             },
             true,
         ),
@@ -218,7 +220,12 @@ fn transient_taxonomy_is_exhaustive_over_every_error_variant() {
             },
             false,
         ),
-        (GpuError::StreamFault { op: "memcpy".into() }, true),
+        (
+            GpuError::StreamFault {
+                op: "memcpy".into(),
+            },
+            true,
+        ),
     ];
     // (error, is_transient, is_comm_failure)
     let mut cases: Vec<(MpiError, bool, bool)> = vec![
