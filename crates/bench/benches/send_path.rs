@@ -14,7 +14,11 @@
 //!
 //! Before timing anything, this asserts the cached path's zero-allocation
 //! property via `TempiStats`: across steady rounds, `pool_fresh_allocs`
-//! must not move while `pool_hits` and `launch_cache_hits` do.
+//! must not move while `pool_hits` and `launch_cache_hits` do — and that
+//! the property survives an attached-but-off tracer (`TEMPI_TRACE=off`),
+//! which must record zero events. A fourth benchmark variant
+//! (`cached_plan_traced`) runs the same steady rounds under
+//! `TEMPI_TRACE=full` so the recording overhead stays visible.
 
 use std::time::{Duration, Instant};
 
@@ -24,11 +28,12 @@ use mpi_sim::{MpiResult, RankCtx, World, WorldConfig};
 use tempi_core::config::{TempiConfig, TunerMode};
 use tempi_core::interpose::InterposedMpi;
 use tempi_core::tempi::TempiStats;
+use tempi_core::{TraceLevel, Tracer};
 
-fn world() -> WorldConfig {
+fn world(tracer: &Tracer) -> WorldConfig {
     let mut cfg = WorldConfig::summit(2);
     cfg.net.ranks_per_node = 1;
-    cfg
+    cfg.with_tracer(tracer.clone())
 }
 
 fn ping_pong(
@@ -49,10 +54,16 @@ fn ping_pong(
 }
 
 /// `rounds` steady ping-pong rounds after `warmup` unmeasured ones, on a
-/// persistent library instance. Returns rank 0's wall-clock time for the
-/// measured loop plus its stats snapshots around it.
-fn steady(tuner: TunerMode, warmup: usize, rounds: u64) -> (Duration, TempiStats, TempiStats) {
-    let results = World::run(&world(), move |ctx| {
+/// persistent library instance with `tracer` attached to the world.
+/// Returns rank 0's wall-clock time for the measured loop plus its stats
+/// snapshots around it.
+fn steady(
+    tuner: TunerMode,
+    tracer: &Tracer,
+    warmup: usize,
+    rounds: u64,
+) -> (Duration, TempiStats, TempiStats) {
+    let results = World::run(&world(tracer), move |ctx| {
         let mut mpi = InterposedMpi::new(TempiConfig {
             tuner,
             ..TempiConfig::default()
@@ -77,7 +88,7 @@ fn steady(tuner: TunerMode, warmup: usize, rounds: u64) -> (Duration, TempiStats
 /// `rounds` rounds where every round pays the cold costs: a fresh library,
 /// a fresh type commit, an empty buffer pool.
 fn cold(rounds: u64) -> Duration {
-    let results = World::run(&world(), move |ctx| {
+    let results = World::run(&world(&Tracer::off()), move |ctx| {
         let buf = ctx.gpu.malloc(64 * 64 + 64)?;
         let start = Instant::now();
         for _ in 0..rounds {
@@ -94,8 +105,16 @@ fn cold(rounds: u64) -> Duration {
 
 fn bench_send_path(c: &mut Criterion) {
     // The property the cached path exists for: steady-state sends perform
-    // zero fresh allocations and reuse the cached launch geometry.
-    let (_, warm, done) = steady(TunerMode::Model, 2, 10);
+    // zero fresh allocations and reuse the cached launch geometry — with
+    // an off tracer attached (TEMPI_TRACE=off), which must stay invisible:
+    // zero events recorded, zero extra allocations.
+    let off = Tracer::new(TraceLevel::Off);
+    let (_, warm, done) = steady(TunerMode::Model, &off, 2, 10);
+    assert_eq!(
+        off.event_count(),
+        0,
+        "an off tracer must record nothing on the send path"
+    );
     assert_eq!(
         done.pool_fresh_allocs, warm.pool_fresh_allocs,
         "steady-state sends must not allocate"
@@ -109,14 +128,30 @@ fn bench_send_path(c: &mut Criterion) {
         "steady-state sends must reuse cached launch geometry"
     );
 
+    // Full tracing records spans but must not disturb the buffer-pool
+    // steady state: the hot path stays allocation-free even while traced.
+    let full = Tracer::new(TraceLevel::Full);
+    let (_, twarm, tdone) = steady(TunerMode::Model, &full, 2, 10);
+    assert!(
+        full.event_count() > 0,
+        "a full tracer must capture the steady send rounds"
+    );
+    assert_eq!(
+        tdone.pool_fresh_allocs, twarm.pool_fresh_allocs,
+        "tracing must not put allocations back on the steady send path"
+    );
+
     let mut g = c.benchmark_group("send_path");
     g.sample_size(10);
     g.bench_function("cold_plan", |b| b.iter_custom(cold));
     g.bench_function("cached_plan", |b| {
-        b.iter_custom(|iters| steady(TunerMode::Model, 2, iters).0)
+        b.iter_custom(|iters| steady(TunerMode::Model, &Tracer::off(), 2, iters).0)
     });
     g.bench_function("tuned_bucket", |b| {
-        b.iter_custom(|iters| steady(TunerMode::Online, 2, iters).0)
+        b.iter_custom(|iters| steady(TunerMode::Online, &Tracer::off(), 2, iters).0)
+    });
+    g.bench_function("cached_plan_traced", |b| {
+        b.iter_custom(|iters| steady(TunerMode::Model, &Tracer::new(TraceLevel::Full), 2, iters).0)
     });
     g.finish();
 }

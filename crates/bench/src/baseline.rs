@@ -1,0 +1,222 @@
+//! Perf-baseline comparison backing the `check_bench` CI gate.
+//!
+//! `bench_send` writes the datatype-zoo timing rows to `BENCH_send.json`
+//! at the repository root; a reviewed copy lives in
+//! `results/BENCH_send.baseline.json`. The gate re-runs the zoo and fails
+//! the build when any row got more than [`TOLERANCE`] slower than the
+//! committed baseline on any of its three timing columns.
+//!
+//! All times are *virtual* nanoseconds from the simulator clock, so the
+//! comparison is exactly reproducible: a regression here is an algorithmic
+//! change (method choice, chunking, extra hops), never host noise.
+
+use serde::{Deserialize, Serialize};
+
+/// One datatype-zoo row, matching what `bench_send` serializes.
+///
+/// The derived columns (`speedup_vs_oneshot`, `tuned_vs_static`) and the
+/// method labels are carried for the report but not gated on — the gate
+/// compares raw times only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Human-readable object size (e.g. `"1.0 MiB"`).
+    #[serde(default)]
+    pub object: String,
+    /// Total packed bytes of the object — half of the row key.
+    pub object_bytes: usize,
+    /// Contiguous block size in bytes — the other half of the row key.
+    pub block_bytes: usize,
+    /// Method the static model chose on the minimal round.
+    #[serde(default)]
+    pub method_static: String,
+    /// Method the online tuner chose on the minimal round.
+    #[serde(default)]
+    pub method_tuned: String,
+    /// One-way delivery time under `TEMPI_TUNER=off`, virtual ns.
+    pub static_ns: f64,
+    /// One-way delivery time under `TEMPI_TUNER=online`, virtual ns.
+    pub tuned_ns: f64,
+    /// One-way delivery time with the one-shot method forced, virtual ns.
+    pub oneshot_ns: f64,
+    /// `oneshot_ns / tuned_ns` (reported, not gated).
+    #[serde(default)]
+    pub speedup_vs_oneshot: f64,
+    /// `static_ns / tuned_ns` (reported, not gated).
+    #[serde(default)]
+    pub tuned_vs_static: f64,
+}
+
+impl BenchRow {
+    /// The identity of a zoo row across runs.
+    pub fn key(&self) -> (usize, usize) {
+        (self.object_bytes, self.block_bytes)
+    }
+}
+
+/// One gated metric of one zoo row that got slower than the baseline
+/// allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Total packed bytes of the offending object.
+    pub object_bytes: usize,
+    /// Contiguous block size of the offending object.
+    pub block_bytes: usize,
+    /// Which timing column regressed: `"static_ns"`, `"tuned_ns"` or
+    /// `"oneshot_ns"`.
+    pub metric: &'static str,
+    /// The committed baseline time, virtual ns.
+    pub baseline_ns: f64,
+    /// The freshly measured time, virtual ns.
+    pub current_ns: f64,
+}
+
+impl Regression {
+    /// Slowdown factor, `current / baseline`.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "object {} B / block {} B: {} {:.0} ns -> {:.0} ns ({:.2}x, limit {:.2}x)",
+            self.object_bytes,
+            self.block_bytes,
+            self.metric,
+            self.baseline_ns,
+            self.current_ns,
+            self.ratio(),
+            TOLERANCE
+        )
+    }
+}
+
+/// Largest allowed `current / baseline` ratio per gated metric: a 10%
+/// slowdown budget, absorbing intentional small costs (an extra branch,
+/// a dispatch-overhead bump) while catching method-choice regressions,
+/// which move rows by integer factors.
+pub const TOLERANCE: f64 = 1.10;
+
+/// Compare a fresh zoo run against the committed baseline.
+///
+/// Every baseline row must be present in `current` (keyed by
+/// `(object_bytes, block_bytes)`) — a vanished row is an error, not a
+/// pass, so shrinking the zoo cannot silently shrink the gate. Extra
+/// current rows are fine: a grown zoo gates on the old rows until the
+/// baseline is re-recorded. Returns the regressions, worst first.
+pub fn compare(baseline: &[BenchRow], current: &[BenchRow]) -> Result<Vec<Regression>, String> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key() == b.key()) else {
+            return Err(format!(
+                "baseline row object {} B / block {} B is missing from the current run \
+                 (zoo shrank? re-record results/BENCH_send.baseline.json)",
+                b.object_bytes, b.block_bytes
+            ));
+        };
+        for (metric, base, cur) in [
+            ("static_ns", b.static_ns, c.static_ns),
+            ("tuned_ns", b.tuned_ns, c.tuned_ns),
+            ("oneshot_ns", b.oneshot_ns, c.oneshot_ns),
+        ] {
+            if base.is_nan() || base <= 0.0 {
+                return Err(format!(
+                    "baseline row object {} B / block {} B has non-positive {metric} ({base})",
+                    b.object_bytes, b.block_bytes
+                ));
+            }
+            if cur > base * TOLERANCE {
+                regressions.push(Regression {
+                    object_bytes: b.object_bytes,
+                    block_bytes: b.block_bytes,
+                    metric,
+                    baseline_ns: base,
+                    current_ns: cur,
+                });
+            }
+        }
+    }
+    regressions.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(object_bytes: usize, block_bytes: usize, ns: f64) -> BenchRow {
+        BenchRow {
+            object: String::new(),
+            object_bytes,
+            block_bytes,
+            method_static: String::new(),
+            method_tuned: String::new(),
+            static_ns: ns,
+            tuned_ns: ns,
+            oneshot_ns: ns,
+            speedup_vs_oneshot: 1.0,
+            tuned_vs_static: 1.0,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![row(1 << 20, 64, 50_000.0), row(1 << 20, 512, 20_000.0)];
+        assert_eq!(compare(&base, &base).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_speedups_pass() {
+        let base = vec![row(1 << 20, 64, 50_000.0)];
+        let mut cur = base.clone();
+        cur[0].tuned_ns = 50_000.0 * 1.09; // inside the 10% budget
+        cur[0].static_ns = 50_000.0 * 0.5; // got faster: never a failure
+        assert_eq!(compare(&base, &cur).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let base = vec![row(1 << 20, 64, 50_000.0), row(4 << 20, 512, 80_000.0)];
+        let mut cur = base.clone();
+        cur[1].tuned_ns = 80_000.0 * 1.2; // the injected 1.2x slowdown
+        let regs = compare(&base, &cur).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "tuned_ns");
+        assert_eq!(regs[0].object_bytes, 4 << 20);
+        assert!((regs[0].ratio() - 1.2).abs() < 1e-9);
+        // the message names the row, the metric and the limit
+        let msg = regs[0].to_string();
+        assert!(
+            msg.contains("block 512 B") && msg.contains("tuned_ns"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn worst_regression_sorts_first() {
+        let base = vec![row(1 << 10, 8, 1_000.0), row(1 << 20, 64, 1_000.0)];
+        let mut cur = base.clone();
+        cur[0].static_ns = 1_300.0;
+        cur[1].oneshot_ns = 2_000.0;
+        let regs = compare(&base, &cur).unwrap();
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].metric, "oneshot_ns");
+    }
+
+    #[test]
+    fn missing_zoo_row_is_an_error_not_a_pass() {
+        let base = vec![row(1 << 20, 64, 50_000.0)];
+        let err = compare(&base, &[]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn rows_round_trip_through_bench_send_json() {
+        let base = vec![row(1 << 20, 64, 50_000.0)];
+        let s = serde_json::to_string(&base).unwrap();
+        let back: Vec<BenchRow> = serde_json::from_str(&s).unwrap();
+        assert_eq!(back[0].key(), (1 << 20, 64));
+    }
+}

@@ -1,0 +1,96 @@
+//! `check_bench`: the CI perf gate over the `bench_send` datatype zoo.
+//!
+//! Reads the fresh `BENCH_send.json` at the repository root (written by a
+//! preceding `bench_send` run) and the committed
+//! `results/BENCH_send.baseline.json`, and exits non-zero when any zoo
+//! row got more than 10% slower on any timing column (see
+//! [`tempi_bench::baseline`]). All times are virtual nanoseconds, so the
+//! gate is deterministic — no flake budget needed.
+//!
+//! Bootstrap: an empty (`[]`) or absent baseline records the current rows
+//! as the new baseline and passes. That is how the baseline is
+//! (re-)captured after an intentional perf change: delete the file's
+//! contents down to `[]`, re-run `bench_send` then `check_bench`, and
+//! commit the rewritten baseline.
+//!
+//! Run: `cargo run --release -p tempi-bench --bin check_bench`
+
+use tempi_bench::baseline::{compare, BenchRow, TOLERANCE};
+
+fn read_rows(path: &str) -> Result<Vec<BenchRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let current_path = format!("{root}/BENCH_send.json");
+    let baseline_path = format!("{root}/results/BENCH_send.baseline.json");
+
+    let current = match read_rows(&current_path) {
+        Ok(rows) if !rows.is_empty() => rows,
+        Ok(_) => {
+            eprintln!("check_bench: {current_path} is empty — run `bench_send` first");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("check_bench: {e} — run `bench_send` first");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match std::fs::metadata(&baseline_path) {
+        Ok(_) => match read_rows(&baseline_path) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("check_bench: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+
+    if baseline.is_empty() {
+        let s = serde_json::to_string_pretty(&current).expect("serializable rows");
+        match std::fs::write(&baseline_path, s + "\n") {
+            Ok(()) => println!(
+                "check_bench: baseline was empty — recorded {} zoo rows to {baseline_path}; \
+                 review and commit it",
+                current.len()
+            ),
+            Err(e) => {
+                eprintln!("check_bench: cannot bootstrap {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    match compare(&baseline, &current) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!(
+                "check_bench: {} zoo rows within the {:.0}% budget of {baseline_path}",
+                baseline.len(),
+                (TOLERANCE - 1.0) * 100.0
+            );
+        }
+        Ok(regressions) => {
+            eprintln!(
+                "check_bench: {} regression(s) beyond the {:.0}% budget:",
+                regressions.len(),
+                (TOLERANCE - 1.0) * 100.0
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            eprintln!(
+                "if intentional, re-record the baseline (empty {baseline_path} to `[]`, \
+                 re-run bench_send + check_bench, commit)"
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("check_bench: {e}");
+            std::process::exit(1);
+        }
+    }
+}

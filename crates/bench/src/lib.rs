@@ -8,10 +8,12 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod measure;
 pub mod report;
 pub mod workloads;
 
+pub use baseline::{compare, BenchRow, Regression};
 pub use measure::{
     commit_breakdown, pack_time, send_one_way_times, send_pair_time, trimean, Mode, Platform,
 };

@@ -12,7 +12,7 @@
 //!                [--tuner off|model|online]
 //!                [--rounds R]
 //!                [--faults "<plan>"]           2-rank send/recv, optionally
-//!                                              under a deterministic fault
+//!                [--trace out.json]            under a deterministic fault
 //!                                              plan; prints the method, the
 //!                                              tuner counters, the
 //!                                              degradation log and fault
@@ -20,6 +20,7 @@
 //! tempi-cli stencil [--ranks P] [--n N] [--iters I]
 //!                [--faults "<plan>"] [--recover]
 //!                [--checkpoint-every N]
+//!                [--trace out.json]
 //!                                              multi-rank halo exchange;
 //!                                              with --recover, survivors
 //!                                              revoke/agree/shrink around
@@ -29,6 +30,12 @@
 //!                                              generation
 //! tempi-cli spec-help                          the spec mini-language
 //! ```
+//!
+//! `--trace out.json` records every rank's spans in virtual time and
+//! writes a Chrome `trace_event` file (open in `chrome://tracing` or
+//! Perfetto). `TEMPI_TRACE=off|spans|full` overrides the recording level;
+//! `TEMPI_TRACE_FILE=metrics.jsonl` additionally dumps the metrics
+//! registry as JSONL.
 //!
 //! Spec examples: `vector(13, 100, 256, byte)`,
 //! `subarray([1024,512,256],[47,13,100],[0,0,0],byte)`.
@@ -46,11 +53,12 @@ use tempi_core::ir::transform::simplify;
 use tempi_core::ir::translate::{translate, Translated};
 use tempi_core::model::SendModel;
 use tempi_core::tempi::{PlanKind, Tempi};
+use tempi_core::{TraceLevel, Tracer};
 use tempi_stencil::{CheckpointStore, Decomp, HaloConfig, HaloExchanger};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--tuner off|model|online] [--rounds R] [--faults \"<plan>\"]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover] [--checkpoint-every N]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,corrupt=0.1,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
+        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--tuner off|model|online] [--rounds R] [--faults \"<plan>\"] [--trace out.json]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover] [--checkpoint-every N] [--trace out.json]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,corrupt=0.1,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
     );
     std::process::exit(2);
 }
@@ -78,6 +86,60 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Build the tracer a subcommand attaches to its virtual world.
+///
+/// `--trace FILE` turns recording on (at `full` unless `TEMPI_TRACE`
+/// names another level) and returns the Chrome-trace output path.
+/// Without `--trace`, setting `TEMPI_TRACE=spans|full` alone also
+/// records — useful with `TEMPI_TRACE_FILE` for a metrics-only dump.
+fn trace_setup(args: &[String]) -> (Tracer, Option<String>) {
+    let path = flag_value(args, "--trace");
+    let env_level = match std::env::var("TEMPI_TRACE") {
+        Ok(v) => match TraceLevel::parse(&v) {
+            Ok(level) => Some(level),
+            Err(e) => {
+                eprintln!("error: TEMPI_TRACE: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => None,
+    };
+    let level = match (env_level, &path) {
+        (Some(level), _) => level,
+        (None, Some(_)) => TraceLevel::Full,
+        (None, None) => TraceLevel::Off,
+    };
+    (Tracer::new(level), path)
+}
+
+/// After a traced run: write the Chrome trace where `--trace` asked for
+/// it, and the metrics JSONL wherever `TEMPI_TRACE_FILE` points.
+fn trace_export(tracer: &Tracer, path: Option<&String>) {
+    if let Some(p) = path {
+        match tracer.write_chrome_trace(p) {
+            Ok(()) => println!(
+                "trace         : {} events -> {p} (open in chrome://tracing)",
+                tracer.event_count()
+            ),
+            Err(e) => {
+                eprintln!("error: writing trace file `{p}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Ok(mp) = std::env::var("TEMPI_TRACE_FILE") {
+        if tracer.enabled() {
+            match tracer.write_metrics_jsonl(&mp) {
+                Ok(()) => println!("metrics       : -> {mp}"),
+                Err(e) => {
+                    eprintln!("error: writing metrics file `{mp}`: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }
 
 fn main() {
@@ -355,6 +417,8 @@ fn send(args: &[String]) {
             }
         }
     }
+    let (tracer, trace_path) = trace_setup(args);
+    cfg = cfg.with_tracer(tracer.clone());
     let results = World::run(&cfg, |ctx| {
         let mut mpi = InterposedMpi::new(TempiConfig {
             force_method: method,
@@ -390,6 +454,7 @@ fn send(args: &[String]) {
                 ok &= st.bytes == packed_len && got == want;
             }
         }
+        mpi.publish_metrics(&ctx.tracer);
         Ok((
             label,
             ok,
@@ -452,6 +517,7 @@ fn send(args: &[String]) {
             println!("  degrade     : {ev}");
         }
     }
+    trace_export(&tracer, trace_path.as_ref());
     if !results[1].1 {
         std::process::exit(1);
     }
@@ -528,6 +594,7 @@ fn run_stencil_rank(
         checkpoints: mpi.tempi.stats.checkpoints,
         restores: mpi.tempi.stats.restores,
     };
+    mpi.publish_metrics(&ctx.tracer);
     ex.destroy(ctx)?;
     Ok(result)
 }
@@ -562,6 +629,8 @@ fn stencil(args: &[String]) {
         eprintln!("error: --recover needs --checkpoint-every N: restores only rebuild from committed checkpoint generations");
         std::process::exit(2);
     }
+    let (tracer, trace_path) = trace_setup(args);
+    cfg = cfg.with_tracer(tracer.clone());
     let results = World::run(&cfg, |ctx| {
         let outcome = run_stencil_rank(ctx, n, iters, recover, checkpoint_every);
         Ok((outcome, ctx.clock.now(), ctx.faults.stats.clone()))
@@ -630,6 +699,7 @@ fn stencil(args: &[String]) {
             println!("  degrade   : {ev}");
         }
     }
+    trace_export(&tracer, trace_path.as_ref());
     if failed {
         std::process::exit(1);
     }

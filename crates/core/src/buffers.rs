@@ -64,6 +64,7 @@ impl BufferPool {
         if let Some(i) = best {
             let hit = list.swap_remove(i);
             self.hits += 1;
+            Self::trace_take(ctx, space, len, true);
             return Ok(hit);
         }
         self.fresh_allocs += 1;
@@ -78,6 +79,7 @@ impl BufferPool {
                 ))
             }
         };
+        Self::trace_take(ctx, space, len, false);
         Ok((ptr, len))
     }
 
@@ -93,6 +95,26 @@ impl BufferPool {
     /// Number of buffers currently pooled across all spaces.
     pub fn pooled(&self) -> usize {
         self.device.len() + self.mapped.len() + self.pinned.len()
+    }
+
+    /// One `pool.take` instant on the rank's CPU lane (recorded only at
+    /// [`tempi_trace::TraceLevel::Full`]; the arguments are materialized
+    /// after that check, so the hot path never formats anything).
+    fn trace_take(ctx: &RankCtx, space: MemSpace, len: usize, hit: bool) {
+        ctx.tracer.debug_instant(
+            ctx.world_rank as u32,
+            tempi_trace::LANE_CPU,
+            "tempi",
+            "pool.take",
+            ctx.clock.now().as_ps(),
+            || {
+                vec![
+                    ("space", format!("{space:?}").into()),
+                    ("len", len.into()),
+                    ("hit", hit.into()),
+                ]
+            },
+        );
     }
 }
 

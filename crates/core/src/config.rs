@@ -5,6 +5,7 @@
 //! them programmatically and deterministically.
 
 use serde::{Deserialize, Serialize};
+use tempi_trace::TraceLevel;
 
 /// Which Section-5 communication method a datatype send uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -88,6 +89,13 @@ pub struct TempiConfig {
     /// Seed for the tuner's exploration RNG. Same seed + same fault-free
     /// world ⇒ identical method sequence, so tuned runs replay exactly.
     pub tuner_seed: u64,
+    /// Observability level (`TEMPI_TRACE`): `Off` keeps every tracer call
+    /// a single branch, `Spans` records begin/end/GPU-complete events,
+    /// `Full` adds per-call instants (tuner decisions, pool takes, wire
+    /// departures) and live metrics. The level here configures the tracer
+    /// the harness builds; the library itself only consults the
+    /// [`tempi_trace::Tracer`] handed to each rank.
+    pub trace: TraceLevel,
 }
 
 impl Default for TempiConfig {
@@ -102,6 +110,7 @@ impl Default for TempiConfig {
             checkpoint_every: None,
             tuner: TunerMode::Model,
             tuner_seed: 0x7e3a_11c5,
+            trace: TraceLevel::Off,
         }
     }
 }
@@ -122,6 +131,7 @@ impl TempiConfig {
     /// | `TEMPI_CHECKPOINT_EVERY=N` | coordinated checkpoint every N iterations |
     /// | `TEMPI_TUNER=off\|model\|online` | method decision mode (default `model`) |
     /// | `TEMPI_TUNER_SEED=N` | seed for the tuner's exploration RNG |
+    /// | `TEMPI_TRACE=off\|spans\|full` | observability level (default `off`) |
     ///
     /// Unknown or malformed values are rejected with a message naming the
     /// variable, rather than silently ignored.
@@ -189,6 +199,9 @@ impl TempiConfig {
             cfg.tuner_seed = v
                 .parse()
                 .map_err(|_| format!("TEMPI_TUNER_SEED must be an integer, got `{v}`"))?;
+        }
+        if let Ok(v) = std::env::var("TEMPI_TRACE") {
+            cfg.trace = TraceLevel::parse(&v)?;
         }
         if cfg.force_method == Some(Method::Pipelined) && cfg.pipeline_chunk.is_none() {
             return Err(
@@ -276,6 +289,21 @@ mod tests {
         }
         let err = TempiConfig::from_env().unwrap_err();
         assert!(err.contains("requires TEMPI_PIPELINE_CHUNK"), "{err}");
+
+        unsafe {
+            std::env::set_var("TEMPI_METHOD", "device");
+            std::env::set_var("TEMPI_TRACE", "full");
+        }
+        let cfg = TempiConfig::from_env().unwrap();
+        assert_eq!(cfg.trace, TraceLevel::Full);
+        unsafe {
+            std::env::set_var("TEMPI_TRACE", "loud");
+        }
+        let err = TempiConfig::from_env().unwrap_err();
+        assert!(err.contains("TEMPI_TRACE"), "{err}");
+        unsafe {
+            std::env::remove_var("TEMPI_TRACE");
+        }
 
         unsafe {
             std::env::remove_var("TEMPI_NO_CANONICALIZE");

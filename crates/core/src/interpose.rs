@@ -155,6 +155,12 @@ impl InterposedMpi {
         &self.tempi.stats
     }
 
+    /// Publish the interposed library's counters into `tracer`'s metrics
+    /// registry (see [`Tempi::publish_metrics`]).
+    pub fn publish_metrics(&self, tracer: &tempi_trace::Tracer) {
+        self.tempi.publish_metrics(tracer);
+    }
+
     /// The tuner mode the interposed library is running with (`TEMPI_TUNER`).
     pub fn tuner_mode(&self) -> crate::config::TunerMode {
         self.tempi.tuner.mode()

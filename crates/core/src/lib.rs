@@ -62,4 +62,5 @@ pub use config::{Method, TempiConfig, TunerMode};
 pub use interpose::{InterposedMpi, Linker, MpiSymbol, Provider};
 pub use model::{Breakdown, SendModel};
 pub use tempi::{CommitReport, PlanKind, Tempi, TempiStats, TypePlan};
+pub use tempi_trace::{TraceLevel, Tracer};
 pub use tuner::{BucketKey, Decision, Tuner, Workload};

@@ -14,6 +14,7 @@ use gpu_sim::{CopyKind, GpuPtr, LaunchConfig, MemSpace, PackDir, PackTarget, Sim
 use mpi_sim::datatype::typemap::segments;
 use mpi_sim::{Combiner, Datatype, DegradeEvent, MpiError, MpiResult, RankCtx, Status, Transport};
 use serde::{Deserialize, Serialize};
+use tempi_trace::{Tracer, LANE_CPU};
 
 use crate::buffers::BufferPool;
 use crate::config::{Method, TempiConfig, TunerMode};
@@ -266,6 +267,38 @@ impl Tempi {
         self.cache.get(&dt).cloned()
     }
 
+    /// Publish every [`TempiStats`] counter into `tracer`'s metrics
+    /// registry under `tempi.*` names. Counters accumulate: call this once
+    /// per rank at export time (the CLI does, before writing the JSONL
+    /// dump), not per operation.
+    pub fn publish_metrics(&self, tracer: &Tracer) {
+        if !tracer.enabled() {
+            return;
+        }
+        let s = &self.stats;
+        tracer.count("tempi.commits", s.commits);
+        tracer.count("tempi.commit_cache_hits", s.commit_cache_hits);
+        tracer.count("tempi.pack_calls", s.pack_calls);
+        tracer.count("tempi.unpack_calls", s.unpack_calls);
+        tracer.count("tempi.device_sends", s.device_sends);
+        tracer.count("tempi.oneshot_sends", s.oneshot_sends);
+        tracer.count("tempi.staged_sends", s.staged_sends);
+        tracer.count("tempi.pipelined_sends", s.pipelined_sends);
+        tracer.count("tempi.pipelined_recvs", s.pipelined_recvs);
+        tracer.count("tempi.fallbacks", s.fallbacks);
+        tracer.count("tempi.degraded_sends", s.degraded_sends);
+        tracer.count("tempi.degraded_xfers", s.degraded_xfers);
+        tracer.count("tempi.comm_failures", s.comm_failures);
+        tracer.count("tempi.checkpoints", s.checkpoints);
+        tracer.count("tempi.restores", s.restores);
+        tracer.count("tempi.tuner_probes", s.tuner_probes);
+        tracer.count("tempi.tuner_bucket_hits", s.tuner_bucket_hits);
+        tracer.count("tempi.tuner_method_switches", s.tuner_method_switches);
+        tracer.count("tempi.pool_hits", s.pool_hits);
+        tracer.count("tempi.pool_fresh_allocs", s.pool_fresh_allocs);
+        tracer.count("tempi.launch_cache_hits", s.launch_cache_hits);
+    }
+
     /// TEMPI's `MPI_Type_commit` (paper §3): native commit, then
     /// translation → transformation → kernel selection, cached per type.
     pub fn type_commit(&mut self, ctx: &mut RankCtx, dt: Datatype) -> MpiResult<Arc<TypePlan>> {
@@ -273,9 +306,17 @@ impl Tempi {
             self.stats.commit_cache_hits += 1;
             return Ok(Arc::clone(p));
         }
+        ctx.with_span("tempi", "type_commit", |ctx| self.type_commit_body(ctx, dt))
+    }
+
+    /// The traced body of [`Tempi::type_commit`], with nested spans for
+    /// the translation and canonicalization pipeline stages.
+    fn type_commit_body(&mut self, ctx: &mut RankCtx, dt: Datatype) -> MpiResult<Arc<TypePlan>> {
+        let pid = ctx.world_rank as u32;
         let t0 = ctx.clock.now();
         ctx.type_commit_native(dt)?;
 
+        let t_tr = ctx.clock.now();
         let mut counting = CountingIntrospect::new(ctx);
         let translated = if self.config.extend_struct {
             crate::ir::translate::translate_struct_blocks(&mut counting, dt)?
@@ -283,6 +324,15 @@ impl Tempi {
             translate(&mut counting, dt)?
         };
         let introspection_calls = counting.calls;
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "translate",
+            t_tr.as_ps(),
+            (ctx.clock.now() - t_tr).as_ps(),
+            || vec![("introspection_calls", introspection_calls.into())],
+        );
 
         let (kind, passes, nodes_before, nodes_after) = match translated {
             Translated::Empty => (PlanKind::Empty, 0, 0, 0),
@@ -293,6 +343,7 @@ impl Tempi {
             Translated::Unsupported(c) => (PlanKind::Fallback(c), 0, 0, 0),
             Translated::Strided(tree) => {
                 let nodes_before = tree.node_count();
+                let t_canon = ctx.clock.now();
                 let (canon, passes) = if self.config.canonicalize {
                     simplify(tree)
                 } else {
@@ -301,13 +352,39 @@ impl Tempi {
                 let nodes_after = canon.node_count();
                 ctx.clock
                     .advance(CANON_NODE_COST * (nodes_before * (passes + 1)) as u64);
+                ctx.tracer.complete(
+                    pid,
+                    LANE_CPU,
+                    "tempi",
+                    "canonicalize",
+                    t_canon.as_ps(),
+                    (ctx.clock.now() - t_canon).as_ps(),
+                    || {
+                        vec![
+                            ("passes", passes.into()),
+                            ("nodes_before", nodes_before.into()),
+                            ("nodes_after", nodes_after.into()),
+                        ]
+                    },
+                );
                 match strided_block(&canon) {
-                    Some(sb) => (
-                        PlanKind::Strided(select_kernel(sb, self.config.force_word)),
-                        passes,
-                        nodes_before,
-                        nodes_after,
-                    ),
+                    Some(sb) => {
+                        let kp = select_kernel(sb, self.config.force_word);
+                        ctx.tracer.debug_instant(
+                            pid,
+                            LANE_CPU,
+                            "tempi",
+                            "kernel_select",
+                            ctx.clock.now().as_ps(),
+                            || {
+                                vec![
+                                    ("kind", format!("{:?}", kp.kind).into()),
+                                    ("word", kp.word.into()),
+                                ]
+                            },
+                        );
+                        (PlanKind::Strided(kp), passes, nodes_before, nodes_after)
+                    }
                     None => (
                         PlanKind::Fallback(ctx.combiner(dt)?),
                         passes,
@@ -374,16 +451,18 @@ impl Tempi {
     ) -> MpiResult<()> {
         self.stats.pack_calls += 1;
         ctx.clock.advance(TEMPI_DISPATCH_OVERHEAD);
-        let r = self.xfer(
-            ctx,
-            PackDir::Pack,
-            inbuf,
-            incount,
-            dt,
-            outbuf,
-            outsize,
-            position,
-        );
+        let r = ctx.with_span("tempi", "MPI_Pack", |ctx| {
+            self.xfer(
+                ctx,
+                PackDir::Pack,
+                inbuf,
+                incount,
+                dt,
+                outbuf,
+                outsize,
+                position,
+            )
+        });
         self.sync_pool_stats();
         r
     }
@@ -404,16 +483,18 @@ impl Tempi {
     ) -> MpiResult<()> {
         self.stats.unpack_calls += 1;
         ctx.clock.advance(TEMPI_DISPATCH_OVERHEAD);
-        let r = self.xfer(
-            ctx,
-            PackDir::Unpack,
-            outbuf,
-            outcount,
-            dt,
-            inbuf,
-            insize,
-            position,
-        );
+        let r = ctx.with_span("tempi", "MPI_Unpack", |ctx| {
+            self.xfer(
+                ctx,
+                PackDir::Unpack,
+                outbuf,
+                outcount,
+                dt,
+                inbuf,
+                insize,
+                position,
+            )
+        });
         self.sync_pool_stats();
         r
     }
@@ -811,8 +892,31 @@ impl Tempi {
         dest: usize,
         tag: i32,
     ) -> MpiResult<Option<Method>> {
+        if !ctx.tracer.enabled() {
+            let r = self.send_inner(ctx, buf, count, dt, dest, tag);
+            self.sync_pool_stats();
+            return r;
+        }
+        let tracer = ctx.tracer.clone();
+        let pid = ctx.world_rank as u32;
+        tracer.begin(pid, LANE_CPU, "tempi", "MPI_Send", ctx.clock.now().as_ps());
         let r = self.send_inner(ctx, buf, count, dt, dest, tag);
         self.sync_pool_stats();
+        tracer.end_args(pid, LANE_CPU, ctx.clock.now().as_ps(), || match &r {
+            Ok(m) => {
+                let name = match m {
+                    Some(m) => method_name(*m),
+                    None => "SystemMpi",
+                };
+                vec![
+                    ("method", name.into()),
+                    ("dest", dest.into()),
+                    ("count", count.into()),
+                    ("ok", true.into()),
+                ]
+            }
+            Err(_) => vec![("ok", false.into())],
+        });
         r
     }
 
@@ -879,6 +983,21 @@ impl Tempi {
         self.stats.tuner_probes += d.probe as u64;
         self.stats.tuner_bucket_hits += d.bucket_hit as u64;
         self.stats.tuner_method_switches += d.switched as u64;
+        ctx.tracer.debug_instant(
+            ctx.world_rank as u32,
+            LANE_CPU,
+            "tempi",
+            "tuner.decide",
+            now.as_ps(),
+            || {
+                vec![
+                    ("method", method_name(d.method).into()),
+                    ("origin", d.origin().into()),
+                    ("bytes", bytes.into()),
+                    ("chunk", d.chunk.unwrap_or(0).into()),
+                ]
+            },
+        );
         (d.method, d.chunk.or(self.config.pipeline_chunk))
     }
 
@@ -894,6 +1013,7 @@ impl Tempi {
         ctx.clock.advance(TEMPI_DISPATCH_OVERHEAD);
         let plan = self.plan_or_commit(ctx, dt)?;
         let bytes = plan.size as usize * count;
+        ctx.tracer.observe("tempi.send.bytes", bytes as u64);
         let accel = buf.space == MemSpace::Device
             && bytes > 0
             && matches!(plan.kind, PlanKind::Strided(_) | PlanKind::Blocks(_))
@@ -1118,8 +1238,19 @@ impl Tempi {
         dest: usize,
         tag: i32,
     ) -> MpiResult<()> {
+        let pid = ctx.world_rank as u32;
         let t0 = ctx.clock.now();
         self.gpu_xfer(ctx, PackDir::Pack, plan, buf, count, dt, tmp, 0)?;
+        let t1 = ctx.clock.now();
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "pack",
+            t0.as_ps(),
+            (t1 - t0).as_ps(),
+            || vec![("bytes", bytes.into())],
+        );
         let target = if tmp.space == MemSpace::Device {
             PackTarget::Device
         } else {
@@ -1132,9 +1263,26 @@ impl Tempi {
             bytes,
             plan.block_bytes(),
             plan.word(),
-            ctx.clock.now() - t0,
+            t1 - t0,
         );
-        ctx.send_bytes(tmp, bytes, dest, tag)
+        let t_wire = ctx.clock.now();
+        let r = ctx.send_bytes(tmp, bytes, dest, tag);
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "wire",
+            t_wire.as_ps(),
+            (ctx.clock.now() - t_wire).as_ps(),
+            || {
+                vec![
+                    ("bytes", bytes.into()),
+                    ("dest", dest.into()),
+                    ("ok", r.is_ok().into()),
+                ]
+            },
+        );
+        r
     }
 
     /// Staged rung body: kernel pack into `dev`, engine D2H into `pin`,
@@ -1153,9 +1301,19 @@ impl Tempi {
         dest: usize,
         tag: i32,
     ) -> MpiResult<()> {
+        let pid = ctx.world_rank as u32;
         let t0 = ctx.clock.now();
         self.gpu_xfer(ctx, PackDir::Pack, plan, buf, count, dt, dev, 0)?;
         let t1 = ctx.clock.now();
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "pack",
+            t0.as_ps(),
+            (t1 - t0).as_ps(),
+            || vec![("bytes", bytes.into())],
+        );
         self.observe_pack_measurement(
             ctx,
             PackDir::Pack,
@@ -1169,8 +1327,35 @@ impl Tempi {
             .memcpy_async(&mut ctx.clock, pin, dev, bytes)
             .map_err(MpiError::Gpu)?;
         ctx.stream.synchronize(&mut ctx.clock);
-        self.observe_copy_measurement(ctx, CopyKind::D2H, bytes, ctx.clock.now() - t1);
-        ctx.send_bytes(pin, bytes, dest, tag)
+        let t2 = ctx.clock.now();
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "copy",
+            t1.as_ps(),
+            (t2 - t1).as_ps(),
+            || vec![("bytes", bytes.into()), ("kind", "D2H".into())],
+        );
+        self.observe_copy_measurement(ctx, CopyKind::D2H, bytes, t2 - t1);
+        let t_wire = ctx.clock.now();
+        let r = ctx.send_bytes(pin, bytes, dest, tag);
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "wire",
+            t_wire.as_ps(),
+            (ctx.clock.now() - t_wire).as_ps(),
+            || {
+                vec![
+                    ("bytes", bytes.into()),
+                    ("dest", dest.into()),
+                    ("ok", r.is_ok().into()),
+                ]
+            },
+        );
+        r
     }
 
     /// §8 extension: chunked staged pipeline. Each chunk is packed by an
@@ -1272,8 +1457,31 @@ impl Tempi {
         src: Option<usize>,
         tag: Option<i32>,
     ) -> MpiResult<(Status, Option<Method>)> {
+        if !ctx.tracer.enabled() {
+            let r = self.recv_inner(ctx, buf, count, dt, src, tag);
+            self.sync_pool_stats();
+            return r;
+        }
+        let tracer = ctx.tracer.clone();
+        let pid = ctx.world_rank as u32;
+        tracer.begin(pid, LANE_CPU, "tempi", "MPI_Recv", ctx.clock.now().as_ps());
         let r = self.recv_inner(ctx, buf, count, dt, src, tag);
         self.sync_pool_stats();
+        tracer.end_args(pid, LANE_CPU, ctx.clock.now().as_ps(), || match &r {
+            Ok((st, m)) => {
+                let name = match m {
+                    Some(m) => method_name(*m),
+                    None => "SystemMpi",
+                };
+                vec![
+                    ("method", name.into()),
+                    ("source", st.source.into()),
+                    ("bytes", st.bytes.into()),
+                    ("ok", true.into()),
+                ]
+            }
+            Err(_) => vec![("ok", false.into())],
+        });
         r
     }
 
@@ -1333,6 +1541,8 @@ impl Tempi {
             MemSpace::Pinned => (MemSpace::Pinned, Method::Staged),
             _ => (MemSpace::Mapped, Method::OneShot),
         };
+        ctx.tracer.observe("tempi.recv.bytes", info.bytes as u64);
+        let pid = ctx.world_rank as u32;
         let (tmp, sz) = self.pool.take(ctx, space, info.bytes)?;
         let t_wire = ctx.clock.now();
         let st = match ctx.recv_bytes(tmp, info.bytes, Some(info.source), Some(info.tag)) {
@@ -1343,6 +1553,15 @@ impl Tempi {
                 return Err(e);
             }
         };
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "wire",
+            t_wire.as_ps(),
+            (ctx.clock.now() - t_wire).as_ps(),
+            || vec![("bytes", info.bytes.into()), ("source", info.source.into())],
+        );
         // Wire time is only visible on the receiving clock (senders pay
         // just the send overhead), so the wire ratio is calibrated here:
         // measured wait-plus-transfer against the modeled transfer for the
@@ -1365,6 +1584,7 @@ impl Tempi {
         // Unpack ladder: a quarantined (or transiently failing) kernel path
         // degrades to the CPU copy path, which reads the staging buffer
         // with host-side accessors and touches no further GPU resources.
+        let t_unpack = ctx.clock.now();
         let r = if self.pack_quarantine.contains(&dt) {
             self.host_xfer(ctx, PackDir::Unpack, &plan, buf, items, dt, tmp, 0)
         } else {
@@ -1379,6 +1599,21 @@ impl Tempi {
                 Err(e) => Err(e),
             }
         };
+        ctx.tracer.complete(
+            pid,
+            LANE_CPU,
+            "tempi",
+            "unpack",
+            t_unpack.as_ps(),
+            (ctx.clock.now() - t_unpack).as_ps(),
+            || {
+                vec![
+                    ("bytes", info.bytes.into()),
+                    ("method", method_name(method).into()),
+                    ("ok", r.is_ok().into()),
+                ]
+            },
+        );
         self.pool.put(tmp, sz);
         r?;
         Ok((st, Some(method)))
@@ -1431,6 +1666,15 @@ impl Tempi {
             .memcpy_async(&mut ctx.clock, dev, tmp, bytes)
             .map_err(MpiError::Gpu)?;
         ctx.stream.synchronize(&mut ctx.clock);
+        ctx.tracer.complete(
+            ctx.world_rank as u32,
+            LANE_CPU,
+            "tempi",
+            "copy",
+            t0.as_ps(),
+            (ctx.clock.now() - t0).as_ps(),
+            || vec![("bytes", bytes.into()), ("kind", "H2D".into())],
+        );
         self.observe_copy_measurement(ctx, CopyKind::H2D, bytes, ctx.clock.now() - t0);
         let t1 = ctx.clock.now();
         self.gpu_xfer(ctx, PackDir::Unpack, plan, buf, items, dt, dev, 0)?;

@@ -222,6 +222,20 @@ pub struct Decision {
     pub switched: bool,
 }
 
+impl Decision {
+    /// Where this decision came from, for trace instants: an exploration
+    /// `"probe"`, a warm `"memo"` bucket, or a `"cold"` first evaluation.
+    pub fn origin(&self) -> &'static str {
+        if self.probe {
+            "probe"
+        } else if self.bucket_hit {
+            "memo"
+        } else {
+            "cold"
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Bucket {
     chosen: Method,

@@ -57,3 +57,4 @@ pub use fault::{GpuFaultInjector, GpuFaultSite, GpuFaultSpec, SiteSpec};
 pub use kernel::{div_ceil, next_pow2, Dim3, LaunchConfig};
 pub use memory::{GpuContext, GpuPtr, MemSpace, Memory};
 pub use stream::{Event, Stream, StreamStats};
+pub use tempi_trace::{TraceLevel, Tracer};

@@ -12,6 +12,8 @@
 
 use std::sync::Arc;
 
+use tempi_trace::{Tracer, LANE_GPU};
+
 use crate::clock::{SimClock, SimTime};
 use crate::cost::{CopyKind, GpuCostModel};
 use crate::error::{GpuError, GpuResult};
@@ -46,6 +48,9 @@ pub struct Stream {
     cost: Arc<GpuCostModel>,
     busy_until: SimTime,
     stats: StreamStats,
+    // Off by default: every submit pays exactly one branch on the tracer.
+    tracer: Tracer,
+    trace_pid: u32,
 }
 
 impl Stream {
@@ -56,7 +61,16 @@ impl Stream {
             cost: Arc::new(cost),
             busy_until: SimTime::ZERO,
             stats: StreamStats::default(),
+            tracer: Tracer::off(),
+            trace_pid: 0,
         }
+    }
+
+    /// Attach a tracer; submitted work appears as complete events on the
+    /// GPU lane of process `pid` (the owning MPI world rank).
+    pub fn set_tracer(&mut self, tracer: Tracer, pid: u32) {
+        self.tracer = tracer;
+        self.trace_pid = pid;
     }
 
     /// The context this stream submits to.
@@ -98,9 +112,32 @@ impl Stream {
         self.busy_until = SimTime::ZERO;
     }
 
-    fn enqueue(&mut self, clock: &SimClock, gpu_time: SimTime) {
+    fn enqueue(&mut self, clock: &SimClock, gpu_time: SimTime) -> SimTime {
         let start = self.busy_until.max(clock.now());
         self.busy_until = start + gpu_time;
+        start
+    }
+
+    /// Record an enqueued operation as a complete event on the GPU lane.
+    /// Start and duration are both known at submit time (the stream model
+    /// computes them), so the GPU timeline traces as `X` events.
+    #[inline]
+    fn trace_gpu(
+        &self,
+        name: &str,
+        start: SimTime,
+        dur: SimTime,
+        args: impl FnOnce() -> tempi_trace::Args,
+    ) {
+        self.tracer.complete(
+            self.trace_pid,
+            LANE_GPU,
+            "gpu",
+            name,
+            start.as_ps(),
+            dur.as_ps(),
+            args,
+        );
     }
 
     /// Fault-injection check for an async stream operation, run under the
@@ -139,7 +176,11 @@ impl Stream {
             CopyKind::infer(d_space, s_space)
         };
         clock.advance(self.cost.memcpy_async_overhead);
-        self.enqueue(clock, self.cost.copy_engine_time(kind, len));
+        let dur = self.cost.copy_engine_time(kind, len);
+        let start = self.enqueue(clock, dur);
+        self.trace_gpu("memcpy", start, dur, || {
+            vec![("kind", format!("{kind:?}").into()), ("bytes", len.into())]
+        });
         self.stats.memcpys += 1;
         self.stats.copy_bytes += len as u64;
         Ok(kind)
@@ -178,7 +219,15 @@ impl Stream {
             CopyKind::infer(d_space, s_space)
         };
         clock.advance(self.cost.memcpy_async_overhead);
-        self.enqueue(clock, self.cost.copy_engine_time_2d(kind, width, height));
+        let dur = self.cost.copy_engine_time_2d(kind, width, height);
+        let start = self.enqueue(clock, dur);
+        self.trace_gpu("memcpy2d", start, dur, || {
+            vec![
+                ("kind", format!("{kind:?}").into()),
+                ("bytes", (width * height).into()),
+                ("rows", height.into()),
+            ]
+        });
         self.stats.memcpys_2d += 1;
         self.stats.copy_bytes += (width * height) as u64;
         Ok(kind)
@@ -230,10 +279,15 @@ impl Stream {
             CopyKind::infer(d_space, s_space)
         };
         clock.advance(self.cost.memcpy_async_overhead);
-        self.enqueue(
-            clock,
-            self.cost.copy_engine_time_2d(kind, width, height * depth),
-        );
+        let dur = self.cost.copy_engine_time_2d(kind, width, height * depth);
+        let start = self.enqueue(clock, dur);
+        self.trace_gpu("memcpy3d", start, dur, || {
+            vec![
+                ("kind", format!("{kind:?}").into()),
+                ("bytes", (width * height * depth).into()),
+                ("rows", (height * depth).into()),
+            ]
+        });
         self.stats.memcpys_2d += 1;
         self.stats.copy_bytes += (width * height * depth) as u64;
         Ok(kind)
@@ -275,7 +329,13 @@ impl Stream {
             })?;
         }
         clock.advance(self.cost.kernel_launch_overhead);
-        self.enqueue(clock, exec_time);
+        let start = self.enqueue(clock, exec_time);
+        self.trace_gpu(name, start, exec_time, || {
+            vec![
+                ("grid", format!("{:?}", cfg.grid).into()),
+                ("block", format!("{:?}", cfg.block).into()),
+            ]
+        });
         self.stats.kernel_launches += 1;
         Ok(())
     }
@@ -325,7 +385,9 @@ impl Stream {
         } else {
             CopyKind::H2H
         };
-        self.enqueue(clock, self.cost.copy_engine_time(kind, data.len()));
+        let dur = self.cost.copy_engine_time(kind, data.len());
+        let start = self.enqueue(clock, dur);
+        self.trace_gpu("upload", start, dur, || vec![("bytes", data.len().into())]);
         self.stats.memcpys += 1;
         self.stats.copy_bytes += data.len() as u64;
         self.synchronize(clock);
@@ -350,7 +412,9 @@ impl Stream {
         } else {
             CopyKind::H2H
         };
-        self.enqueue(clock, self.cost.copy_engine_time(kind, len));
+        let dur = self.cost.copy_engine_time(kind, len);
+        let start = self.enqueue(clock, dur);
+        self.trace_gpu("download", start, dur, || vec![("bytes", len.into())]);
         self.stats.memcpys += 1;
         self.stats.copy_bytes += len as u64;
         self.synchronize(clock);

@@ -18,6 +18,7 @@
 //! hang.
 
 use gpu_sim::{GpuPtr, SimTime};
+use tempi_trace::LANE_CPU;
 
 use crate::error::{MpiError, MpiResult};
 use crate::p2p::{TAG_ALLTOALLV, TAG_GATHER};
@@ -67,6 +68,35 @@ impl RankCtx {
     /// `recvcounts[j]` bytes arriving from rank `j` land at
     /// `recvbuf + rdispls[j]`.
     pub fn alltoallv_bytes(
+        &mut self,
+        sendbuf: GpuPtr,
+        sendcounts: &[usize],
+        sdispls: &[usize],
+        recvbuf: GpuPtr,
+        recvcounts: &[usize],
+        rdispls: &[usize],
+    ) -> MpiResult<()> {
+        if self.tracer.enabled() {
+            let tracer = self.tracer.clone();
+            let pid = self.world_rank as u32;
+            tracer.begin(pid, LANE_CPU, "mpi", "alltoallv", self.clock.now().as_ps());
+            let r = self
+                .alltoallv_bytes_body(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls);
+            tracer.end_args(pid, LANE_CPU, self.clock.now().as_ps(), || {
+                vec![
+                    ("send_bytes", sendcounts.iter().sum::<usize>().into()),
+                    ("recv_bytes", recvcounts.iter().sum::<usize>().into()),
+                    ("ok", r.is_ok().into()),
+                ]
+            });
+            return r;
+        }
+        self.alltoallv_bytes_body(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+    }
+
+    /// The untraced `alltoallv` schedule (validation + windowed exchange).
+    #[allow(clippy::too_many_arguments)]
+    fn alltoallv_bytes_body(
         &mut self,
         sendbuf: GpuPtr,
         sendcounts: &[usize],
@@ -142,6 +172,10 @@ impl RankCtx {
     /// Gather each rank's byte buffer to rank 0 (harness helper). Returns
     /// `Some(per-rank payloads)` on rank 0, `None` elsewhere.
     pub fn gather_bytes_to_root(&mut self, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        self.with_span("mpi", "gather", |ctx| ctx.gather_bytes_to_root_body(data))
+    }
+
+    fn gather_bytes_to_root_body(&mut self, data: &[u8]) -> MpiResult<Option<Vec<Vec<u8>>>> {
         self.collective_entry()?;
         if self.rank == 0 {
             let mut all = vec![Vec::new(); self.size];
@@ -178,6 +212,10 @@ impl RankCtx {
     /// `MPI_Bcast` on raw bytes, binomial tree rooted at `root`. Buffers
     /// may be device or host memory.
     pub fn bcast_bytes(&mut self, buf: GpuPtr, len: usize, root: usize) -> MpiResult<()> {
+        self.with_span("mpi", "bcast", |ctx| ctx.bcast_bytes_body(buf, len, root))
+    }
+
+    fn bcast_bytes_body(&mut self, buf: GpuPtr, len: usize, root: usize) -> MpiResult<()> {
         self.collective_entry()?;
         self.check_rank(root)?;
         let n = self.size;
@@ -215,6 +253,15 @@ impl RankCtx {
     /// `MPI_Reduce` of `f64` values (elementwise `op`), binomial tree to
     /// `root`. Returns the reduced vector on the root, `None` elsewhere.
     pub fn reduce_f64(
+        &mut self,
+        values: &[f64],
+        op: fn(f64, f64) -> f64,
+        root: usize,
+    ) -> MpiResult<Option<Vec<f64>>> {
+        self.with_span("mpi", "reduce", |ctx| ctx.reduce_f64_body(values, op, root))
+    }
+
+    fn reduce_f64_body(
         &mut self,
         values: &[f64],
         op: fn(f64, f64) -> f64,
@@ -273,6 +320,14 @@ impl RankCtx {
 
     /// `MPI_Allreduce` of `f64` values: reduce to rank 0 then broadcast.
     pub fn allreduce_f64(
+        &mut self,
+        values: &[f64],
+        op: fn(f64, f64) -> f64,
+    ) -> MpiResult<Vec<f64>> {
+        self.with_span("mpi", "allreduce", |ctx| ctx.allreduce_f64_body(values, op))
+    }
+
+    fn allreduce_f64_body(
         &mut self,
         values: &[f64],
         op: fn(f64, f64) -> f64,

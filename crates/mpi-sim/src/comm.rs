@@ -58,6 +58,7 @@
 use std::collections::BTreeSet;
 
 use gpu_sim::{MemSpace, SimTime};
+use tempi_trace::LANE_CPU;
 
 use crate::error::{MpiError, MpiResult};
 use crate::p2p::{Message, Sifted, TAG_AGREE_DECIDE, TAG_AGREE_GATHER, TAG_BARRIER, TAG_REVOKE};
@@ -165,6 +166,15 @@ impl RankCtx {
         }
         self.revoked = true;
         self.faults.stats.revocations += 1;
+        let epoch = self.epoch;
+        self.tracer.instant(
+            self.world_rank as u32,
+            LANE_CPU,
+            "mpi",
+            "comm.revoke",
+            self.clock.now().as_ps(),
+            || vec![("epoch", epoch.into())],
+        );
         for w in self.other_members() {
             self.control_send(w, TAG_REVOKE, Vec::new());
         }
@@ -234,6 +244,15 @@ impl RankCtx {
         }
         self.clock.advance(self.net.agree_cost());
         self.faults.stats.agreements += 1;
+        let epoch = self.epoch;
+        self.tracer.instant(
+            self.world_rank as u32,
+            LANE_CPU,
+            "mpi",
+            "comm.agree",
+            self.clock.now().as_ps(),
+            || vec![("epoch", epoch.into()), ("dead", decided.len().into())],
+        );
         Ok(decided)
     }
 
@@ -339,6 +358,21 @@ impl RankCtx {
         let before = self.pending.len();
         self.pending.retain(|m| m.epoch >= epoch);
         self.faults.stats.stale_dropped += (before - self.pending.len()) as u64;
+        let new_size = self.size;
+        self.tracer.instant(
+            self.world_rank as u32,
+            LANE_CPU,
+            "mpi",
+            "comm.shrink",
+            self.clock.now().as_ps(),
+            || {
+                vec![
+                    ("epoch", epoch.into()),
+                    ("size", new_size.into()),
+                    ("dead", dead.len().into()),
+                ]
+            },
+        );
         // Synchronize the survivors on the new epoch (also a smoke test of
         // p2p on the shrunk communicator).
         self.comm_barrier()?;

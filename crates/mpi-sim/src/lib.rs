@@ -55,4 +55,5 @@ pub use net::{NetModel, Transport};
 pub use nonblocking::Request;
 pub use p2p::{payload_checksum, Message, PartInfo, ProbeInfo, Status};
 pub use runtime::{RankCtx, World, WorldConfig};
+pub use tempi_trace::{TraceLevel, Tracer};
 pub use vendor::{BaselineMethod, VendorId, VendorProfile};

@@ -493,6 +493,24 @@ impl RankCtx {
             part,
             checksum,
         };
+        // Stamped at the CPU's now (not the possibly-future departure
+        // instant) so lane timestamps stay monotone; the actual departure
+        // goes in the args.
+        self.tracer.debug_instant(
+            self.world_rank as u32,
+            tempi_trace::LANE_CPU,
+            "mpi",
+            "wire.depart",
+            self.clock.now().as_ps(),
+            || {
+                vec![
+                    ("dest", dest_world.into()),
+                    ("tag", f64::from(tag).into()),
+                    ("bytes", msg.payload.len().into()),
+                    ("depart_ps", msg.depart.as_ps().into()),
+                ]
+            },
+        );
         // Unbounded channel: sends are eager and never deadlock. A closed
         // inbox means the peer rank already exited (it returned early or a
         // scheduled rank-exit fault fired there): surface that as the same

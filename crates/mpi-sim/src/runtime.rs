@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use gpu_sim::{DeviceProps, GpuContext, GpuCostModel, SimClock, SimTime, Stream};
+use gpu_sim::{DeviceProps, GpuContext, GpuCostModel, SimClock, SimTime, Stream, Tracer};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::datatype::{Combiner, Contents, Datatype, Envelope, Order, TypeAttrs, TypeRegistry};
@@ -47,6 +47,9 @@ pub struct WorldConfig {
     /// `corrupt` site is active (set it back to `false` to study silent
     /// corruption).
     pub integrity: bool,
+    /// Observability sink shared by every rank of this world (the default,
+    /// [`Tracer::off`], records nothing and costs one branch per hook).
+    pub tracer: Tracer,
 }
 
 impl WorldConfig {
@@ -60,6 +63,7 @@ impl WorldConfig {
             device: DeviceProps::v100(),
             faults: None,
             integrity: false,
+            tracer: Tracer::off(),
         }
     }
 
@@ -74,6 +78,7 @@ impl WorldConfig {
             device: DeviceProps::gtx1070(),
             faults: None,
             integrity: false,
+            tracer: Tracer::off(),
         }
     }
 
@@ -92,6 +97,14 @@ impl WorldConfig {
     #[must_use]
     pub fn with_integrity(mut self) -> Self {
         self.integrity = true;
+        self
+    }
+
+    /// Builder-style: record this world's activity into `tracer`. All ranks
+    /// share the one event buffer, so a single export covers the world.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -203,6 +216,9 @@ pub struct RankCtx {
     /// Are integrity envelopes enabled? When true, sends stamp payloads
     /// with a content checksum and receives verify it, NACKing mismatches.
     pub integrity: bool,
+    /// Observability sink (cheap clone of the world's tracer; off by
+    /// default). Layers above record spans against `world_rank`.
+    pub tracer: Tracer,
     pub(crate) registry: Arc<RwLock<TypeRegistry>>,
     pub(crate) inbox: Receiver<Message>,
     pub(crate) peers: Vec<Sender<Message>>,
@@ -232,18 +248,21 @@ impl RankCtx {
         let (tx, rx) = unbounded();
         let gpu = GpuContext::new(cfg.device.clone());
         let faults = init_faults(cfg, 0, &gpu);
+        let mut stream = Stream::new(gpu.clone(), cfg.gpu_cost.clone());
+        stream.set_tracer(cfg.tracer.clone(), 0);
         RankCtx {
             rank: 0,
             size: 1,
             world_rank: 0,
             world_size: 1,
             clock: SimClock::new(),
-            gpu: gpu.clone(),
-            stream: Stream::new(gpu, cfg.gpu_cost.clone()),
+            gpu,
+            stream,
             vendor: cfg.vendor.clone(),
             net: Arc::new(cfg.net.clone()),
             faults,
             integrity: cfg.integrity,
+            tracer: cfg.tracer.clone(),
             registry: Arc::new(RwLock::new(TypeRegistry::new())),
             inbox: rx,
             peers: vec![tx],
@@ -259,6 +278,35 @@ impl RankCtx {
             known_dead: BTreeMap::new(),
             death_sent: false,
         }
+    }
+
+    /// Run `body` inside a tracing span named `name` on this rank's CPU
+    /// lane. The span closes on success and error alike (with an `ok` arg),
+    /// so traced error paths never leave a dangling `B` event. When the
+    /// tracer is off this is a single branch plus the call.
+    pub fn with_span<T>(
+        &mut self,
+        cat: &'static str,
+        name: &str,
+        body: impl FnOnce(&mut Self) -> MpiResult<T>,
+    ) -> MpiResult<T> {
+        if !self.tracer.enabled() {
+            return body(self);
+        }
+        let tracer = self.tracer.clone();
+        let pid = self.world_rank as u32;
+        tracer.begin(
+            pid,
+            tempi_trace::LANE_CPU,
+            cat,
+            name,
+            self.clock.now().as_ps(),
+        );
+        let r = body(self);
+        tracer.end_args(pid, tempi_trace::LANE_CPU, self.clock.now().as_ps(), || {
+            vec![("ok", r.is_ok().into())]
+        });
+        r
     }
 
     /// Validate a peer rank.
@@ -503,18 +551,21 @@ impl World {
             .map(|(rank, inbox)| {
                 let gpu = GpuContext::new(cfg.device.clone());
                 let faults = init_faults(cfg, rank, &gpu);
+                let mut stream = Stream::new(gpu.clone(), cfg.gpu_cost.clone());
+                stream.set_tracer(cfg.tracer.clone(), rank as u32);
                 RankCtx {
                     rank,
                     size,
                     world_rank: rank,
                     world_size: size,
                     clock: SimClock::new(),
-                    gpu: gpu.clone(),
-                    stream: Stream::new(gpu, cfg.gpu_cost.clone()),
+                    gpu,
+                    stream,
                     vendor: cfg.vendor.clone(),
                     net: Arc::clone(&net),
                     faults,
                     integrity: cfg.integrity,
+                    tracer: cfg.tracer.clone(),
                     registry: Arc::clone(&registry),
                     inbox,
                     peers: txs.clone(),

@@ -256,6 +256,16 @@ impl HaloExchanger {
         ctx: &mut RankCtx,
         mpi: &mut InterposedMpi,
     ) -> MpiResult<ExchangeTiming> {
+        ctx.with_span("stencil", "halo.exchange", |ctx| {
+            self.exchange_body(ctx, mpi)
+        })
+    }
+
+    fn exchange_body(
+        &mut self,
+        ctx: &mut RankCtx,
+        mpi: &mut InterposedMpi,
+    ) -> MpiResult<ExchangeTiming> {
         let total_send = self.send_bytes();
         let total_recv: usize = self.recvcounts.iter().sum();
 
@@ -314,6 +324,16 @@ impl HaloExchanger {
     /// symbols, so this path also demonstrates interposer fall-through for
     /// the communication while pack/unpack stay accelerated.)
     pub fn exchange_nonblocking(
+        &mut self,
+        ctx: &mut RankCtx,
+        mpi: &mut InterposedMpi,
+    ) -> MpiResult<ExchangeTiming> {
+        ctx.with_span("stencil", "halo.exchange", |ctx| {
+            self.exchange_nonblocking_body(ctx, mpi)
+        })
+    }
+
+    fn exchange_nonblocking_body(
         &mut self,
         ctx: &mut RankCtx,
         mpi: &mut InterposedMpi,
@@ -411,6 +431,17 @@ impl HaloExchanger {
         mpi: &mut InterposedMpi,
         store: &mut CheckpointStore,
     ) -> MpiResult<u64> {
+        ctx.with_span("stencil", "checkpoint", |ctx| {
+            self.checkpoint_body(ctx, mpi, store)
+        })
+    }
+
+    fn checkpoint_body(
+        &mut self,
+        ctx: &mut RankCtx,
+        mpi: &mut InterposedMpi,
+        store: &mut CheckpointStore,
+    ) -> MpiResult<u64> {
         let generation = store.next_generation();
         let bytes = self.cfg.local[0] * self.cfg.local[1] * self.cfg.local[2] * 4;
         let stage = ctx.gpu.malloc(bytes)?;
@@ -473,6 +504,17 @@ impl HaloExchanger {
     /// its deterministic provider (owner, else buddy, else spill), verify
     /// its checksum, and unpack it with the interposed `MPI_Unpack`.
     pub fn restore_from_checkpoint(
+        &mut self,
+        ctx: &mut RankCtx,
+        mpi: &mut InterposedMpi,
+        store: &CheckpointStore,
+    ) -> MpiResult<u64> {
+        ctx.with_span("stencil", "restore", |ctx| {
+            self.restore_from_checkpoint_body(ctx, mpi, store)
+        })
+    }
+
+    fn restore_from_checkpoint_body(
         &mut self,
         ctx: &mut RankCtx,
         mpi: &mut InterposedMpi,
@@ -630,8 +672,23 @@ impl HaloExchanger {
             // the verdict, so its error is the one we surface.
             let _ = mpi.comm_revoke(ctx);
             let dead = mpi.comm_shrink(ctx)?;
-            excluded.extend(dead);
             shrinks += 1;
+            let epoch = ctx.epoch();
+            ctx.tracer.instant(
+                ctx.world_rank as u32,
+                tempi_trace::LANE_CPU,
+                "stencil",
+                "recovery.round",
+                ctx.clock.now().as_ps(),
+                || {
+                    vec![
+                        ("shrinks", shrinks.into()),
+                        ("dead", dead.len().into()),
+                        ("epoch", epoch.into()),
+                    ]
+                },
+            );
+            excluded.extend(dead);
             // Re-decompose over the survivors and restore from the last
             // globally-consistent checkpoint generation. The restored
             // state is the periodic extension of the original grid, so

@@ -1,0 +1,169 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the "JSON Array Format" wrapped in a `traceEvents` object, as
+//! consumed by `chrome://tracing` and Perfetto. Mapping:
+//!
+//! * `pid` = MPI world rank (one process row per rank),
+//! * `tid` = lane within the rank (0 = CPU/MPI timeline, 1 = GPU stream /
+//!   copy engine),
+//! * `ts`/`dur` = virtual time in **microseconds** (the format's unit),
+//!   converted from the recorder's picoseconds as floats so sub-µs kernel
+//!   costs survive.
+//!
+//! Metadata events name each process `rank N` and each thread lane, so the
+//! viewer shows meaningful labels without any manual mapping.
+
+use std::collections::BTreeSet;
+
+use serde_json::{json, Map, Value};
+
+use crate::{ArgValue, EventPhase, TraceEvent, LANE_CPU, LANE_GPU};
+
+const PS_PER_US: f64 = 1e6;
+
+fn args_object(args: &[(&'static str, ArgValue)]) -> Value {
+    let mut m = Map::new();
+    for (k, v) in args {
+        let jv = match v {
+            ArgValue::Str(s) => Value::from(s.clone()),
+            ArgValue::U64(n) => Value::from(*n),
+            ArgValue::F64(f) => Value::from(*f),
+            ArgValue::Bool(b) => Value::from(*b),
+        };
+        m.insert((*k).to_string(), jv);
+    }
+    Value::Object(m)
+}
+
+fn lane_name(tid: u32) -> String {
+    match tid {
+        LANE_CPU => "cpu".to_string(),
+        LANE_GPU => "gpu".to_string(),
+        other => format!("lane {other}"),
+    }
+}
+
+/// Render recorded events as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + 8);
+
+    // Metadata: name every (pid, tid) pair that appears.
+    let mut pids = BTreeSet::new();
+    let mut lanes = BTreeSet::new();
+    for e in events {
+        pids.insert(e.pid);
+        lanes.insert((e.pid, e.tid));
+    }
+    for pid in &pids {
+        out.push(json!({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": format!("rank {pid}")},
+        }));
+    }
+    for (pid, tid) in &lanes {
+        out.push(json!({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": lane_name(*tid)},
+        }));
+        // Keep the CPU lane above the GPU lane within each rank.
+        out.push(json!({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+            "args": {"sort_index": tid},
+        }));
+    }
+
+    for e in events {
+        let ts = e.ts_ps as f64 / PS_PER_US;
+        let mut obj = Map::new();
+        let ph = match e.ph {
+            EventPhase::Begin => "B",
+            EventPhase::End => "E",
+            EventPhase::Complete => "X",
+            EventPhase::Instant => "i",
+        };
+        obj.insert("ph".into(), ph.into());
+        obj.insert("pid".into(), e.pid.into());
+        obj.insert("tid".into(), e.tid.into());
+        obj.insert("ts".into(), ts.into());
+        if e.ph != EventPhase::End {
+            obj.insert("name".into(), e.name.clone().into());
+            if !e.cat.is_empty() {
+                obj.insert("cat".into(), e.cat.into());
+            }
+        }
+        if e.ph == EventPhase::Complete {
+            obj.insert("dur".into(), (e.dur_ps as f64 / PS_PER_US).into());
+        }
+        if e.ph == EventPhase::Instant {
+            // Thread-scoped instants render as small arrows on the lane.
+            obj.insert("s".into(), "t".into());
+        }
+        if !e.args.is_empty() {
+            obj.insert("args".into(), args_object(&e.args));
+        }
+        out.push(Value::Object(obj));
+    }
+
+    json!({
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+    })
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Args, TraceLevel, Tracer};
+
+    fn sample() -> Tracer {
+        let t = Tracer::new(TraceLevel::Full);
+        t.begin(0, LANE_CPU, "tempi", "MPI_Send", 1_000_000);
+        t.complete(0, LANE_GPU, "gpu", "pack_2d", 1_200_000, 500_000, || {
+            vec![("bytes", 4096u64.into())] as Args
+        });
+        t.end_args(0, LANE_CPU, 2_000_000, || vec![("method", "Device".into())]);
+        t.instant(1, LANE_CPU, "mpi", "comm.revoke", 1_500_000, || {
+            vec![("epoch", 1u64.into())]
+        });
+        t
+    }
+
+    #[test]
+    fn export_parses_and_has_required_fields() {
+        let doc: serde_json::Value = serde_json::from_str(&sample().chrome_trace()).unwrap();
+        let evs = doc["traceEvents"].as_array().unwrap();
+        // 2 ranks: 2 process_name + (2 lanes for rank 0, 1 for rank 1) * 2
+        // metadata each, plus 4 payload events.
+        assert_eq!(evs.len(), 2 + 3 * 2 + 4);
+        for e in evs {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+        }
+        let b = evs.iter().find(|e| e["ph"] == "B").unwrap();
+        assert_eq!(b["name"], "MPI_Send");
+        assert_eq!(b["ts"], 1.0); // 1_000_000 ps = 1 µs
+        let x = evs.iter().find(|e| e["ph"] == "X").unwrap();
+        assert_eq!(x["dur"], 0.5);
+        assert_eq!(x["tid"], 1);
+        assert_eq!(x["args"]["bytes"], 4096);
+        let e = evs.iter().find(|e| e["ph"] == "E").unwrap();
+        assert_eq!(e["args"]["method"], "Device");
+        let i = evs.iter().find(|e| e["ph"] == "i").unwrap();
+        assert_eq!(i["s"], "t");
+        assert_eq!(i["args"]["epoch"], 1);
+    }
+
+    #[test]
+    fn metadata_names_ranks_and_lanes() {
+        let doc: serde_json::Value = serde_json::from_str(&sample().chrome_trace()).unwrap();
+        let evs = doc["traceEvents"].as_array().unwrap();
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "process_name" && e["args"]["name"] == "rank 0"));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "thread_name" && e["args"]["name"] == "gpu" && e["tid"] == 1));
+    }
+}

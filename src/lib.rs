@@ -18,6 +18,9 @@
 //!   the Section-5 performance model, and the interposer architecture.
 //! * [`stencil`] ([`tempi_stencil`]) — the paper's 3-D 26-point stencil
 //!   halo-exchange case study.
+//! * [`trace`] ([`tempi_trace`]) — the observability layer: virtual-time
+//!   spans, a typed metrics registry, and the Chrome `trace_event`
+//!   exporter, zero-overhead when off (`TEMPI_TRACE=off`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the
 //! hardware-substitution rationale, and `EXPERIMENTS.md` for
@@ -50,6 +53,7 @@ pub use gpu_sim as gpu;
 pub use mpi_sim as mpi;
 pub use tempi_core as core;
 pub use tempi_stencil as stencil;
+pub use tempi_trace as trace;
 
 /// The most common imports, for examples and applications.
 pub mod prelude {
@@ -69,4 +73,5 @@ pub mod prelude {
         tempi::{PlanKind, Tempi},
     };
     pub use tempi_stencil::{HaloConfig, HaloExchanger};
+    pub use tempi_trace::{TraceLevel, Tracer};
 }
