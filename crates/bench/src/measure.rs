@@ -45,7 +45,7 @@ impl Platform {
 /// `(Q1 + 2·median + Q3) / 4`.
 pub fn trimean(samples: &mut [f64]) -> f64 {
     assert!(!samples.is_empty());
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    samples.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         let idx = p * (samples.len() - 1) as f64;
         let lo = idx.floor() as usize;

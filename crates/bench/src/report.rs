@@ -90,7 +90,7 @@ pub fn fmt_speedup(s: f64) -> String {
         let mut out = String::new();
         let digits = v.to_string();
         for (i, ch) in digits.chars().enumerate() {
-            if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            if i > 0 && (digits.len() - i) % 3 == 0 {
                 out.push(',');
             }
             out.push(ch);
@@ -105,9 +105,9 @@ pub fn fmt_speedup(s: f64) -> String {
 
 /// Format a byte count compactly ("4 KiB", "1 MiB").
 pub fn fmt_bytes(b: usize) -> String {
-    if b >= (1 << 20) && b.is_multiple_of(1 << 20) {
+    if b >= (1 << 20) && b % (1 << 20) == 0 {
         format!("{} MiB", b >> 20)
-    } else if b >= (1 << 10) && b.is_multiple_of(1 << 10) {
+    } else if b >= (1 << 10) && b % (1 << 10) == 0 {
         format!("{} KiB", b >> 10)
     } else {
         format!("{b} B")

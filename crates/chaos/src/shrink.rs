@@ -1,0 +1,171 @@
+//! Delta-debugging shrinker: minimize a failing scenario's event list.
+//!
+//! Classic ddmin (Zeller & Hildebrandt) over [`ChaosEvent`]s. Scoped
+//! events are the right minimization unit because removing one never
+//! perturbs the coins the surviving events flip — each event is keyed by
+//! an absolute call ordinal, not by its position in a random stream — so
+//! a subset of a failing plan replays the *same* schedule minus the
+//! removed faults, and the search is sound, not heuristic.
+
+use crate::engine::{run_scenario, Outcome};
+use crate::oracle::Violation;
+use crate::scenario::{ChaosEvent, Scenario};
+
+/// Minimize `events` to a 1-minimal sublist for which `still_fails`
+/// returns true. `still_fails(&events)` must hold on entry; the result is
+/// 1-minimal: removing any single remaining event makes the test pass.
+///
+/// Deterministic: subset order is fixed, so the same input minimizes to
+/// the same output, byte for byte.
+pub fn ddmin<F>(events: &[ChaosEvent], mut still_fails: F) -> Vec<ChaosEvent>
+where
+    F: FnMut(&[ChaosEvent]) -> bool,
+{
+    let mut current: Vec<ChaosEvent> = events.to_vec();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        // Try each complement (drop one chunk at a time).
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    // Final 1-minimality pass: ddmin's complement loop guarantees it for
+    // granularity == len, but an early exit can skip it; make it explicit.
+    let mut i = 0;
+    while current.len() > 1 && i < current.len() {
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        if still_fails(&candidate) {
+            current = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    current
+}
+
+/// The result of shrinking a failing scenario.
+pub struct Shrunk {
+    /// The minimized scenario (same configuration, 1-minimal events).
+    pub scenario: Scenario,
+    /// The violations the minimized scenario still produces.
+    pub violations: Vec<Violation>,
+    /// How many scenario runs the search spent.
+    pub runs: usize,
+}
+
+/// Shrink a failing scenario to a 1-minimal reproducer.
+///
+/// The failure *symptom* is pinned first — a candidate counts as failing
+/// only if it violates the same oracle as the original run — so the
+/// shrinker cannot wander from, say, a byte-exactness violation to an
+/// unrelated leak and "minimize" to the wrong bug. Returns `None` when
+/// the scenario does not fail at all.
+pub fn shrink(sc: &Scenario) -> Option<Shrunk> {
+    let full = run_scenario(sc);
+    if full.ok() {
+        return None;
+    }
+    let symptom = full.violations[0].oracle.clone();
+    let mut runs = 1usize;
+    let fails = |outcome: &Outcome| outcome.violations.iter().any(|v| v.oracle == symptom);
+    let minimized = ddmin(&sc.events, |events| {
+        runs += 1;
+        fails(&run_scenario(&sc.with_events(events.to_vec())))
+    });
+    let scenario = sc.with_events(minimized);
+    let replay = run_scenario(&scenario);
+    runs += 1;
+    Some(Shrunk {
+        scenario,
+        violations: replay.violations,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Workload;
+    use mpi_sim::{FaultSite, ScopedFault};
+
+    fn ev(rank: usize, site: FaultSite, at_call: u64) -> ChaosEvent {
+        ChaosEvent::Fault(ScopedFault {
+            rank,
+            site,
+            at_call,
+        })
+    }
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        // "Fails" iff the marker event (rank 9) is present.
+        let mut events: Vec<ChaosEvent> = (0..12)
+            .map(|i| ev(i % 4, FaultSite::Send, i as u64))
+            .collect();
+        events.insert(7, ev(9, FaultSite::Corrupt, 0));
+        let min = ddmin(&events, |es| {
+            es.iter()
+                .any(|e| matches!(e, ChaosEvent::Fault(f) if f.rank == 9))
+        });
+        assert_eq!(min, vec![ev(9, FaultSite::Corrupt, 0)]);
+    }
+
+    #[test]
+    fn ddmin_keeps_conjunctions_minimal() {
+        // Needs BOTH rank-7 events; everything else is noise.
+        let a = ev(7, FaultSite::Send, 0);
+        let b = ev(7, FaultSite::Recv, 3);
+        let mut events: Vec<ChaosEvent> = (0..10)
+            .map(|i| ev(i % 3, FaultSite::Kernel, i as u64))
+            .collect();
+        events.insert(2, a);
+        events.insert(8, b);
+        let min = ddmin(&events, |es| es.contains(&a) && es.contains(&b));
+        assert_eq!(min, vec![a, b]);
+    }
+
+    #[test]
+    fn ddmin_is_deterministic() {
+        let events: Vec<ChaosEvent> = (0..9)
+            .map(|i| ev(i % 4, FaultSite::Send, i as u64))
+            .collect();
+        let f = |es: &[ChaosEvent]| {
+            es.iter()
+                .any(|e| matches!(e, ChaosEvent::Fault(f) if f.at_call >= 7))
+        };
+        assert_eq!(ddmin(&events, f), ddmin(&events, f));
+    }
+
+    #[test]
+    fn shrink_returns_none_for_green_scenarios() {
+        let sc = Scenario {
+            seed: 5,
+            ranks: 4,
+            workload: Workload::SendStorm { messages: 1 },
+            events: Vec::new(),
+            integrity: true,
+            max_retries: 3,
+        };
+        assert!(shrink(&sc).is_none());
+    }
+}

@@ -28,6 +28,19 @@
 //!                                              dead subdomains from the
 //!                                              last committed checkpoint
 //!                                              generation
+//! tempi-cli chaos [--seed S] [--iters N] [--shrink] [--out DIR]
+//!                                              seeded chaos campaign:
+//!                                              random workload × fault
+//!                                              scenarios judged by the
+//!                                              invariant oracles; with
+//!                                              --shrink, failures are
+//!                                              delta-debugged to minimal
+//!                                              reproducers and dumped
+//!                                              (scenario + Chrome trace)
+//!                                              under --out
+//! tempi-cli chaos --replay DIR                 replay every corpus entry
+//!                                              under DIR and verify its
+//!                                              recorded expectation
 //! tempi-cli spec-help                          the spec mini-language
 //! ```
 //!
@@ -58,7 +71,7 @@ use tempi_stencil::{CheckpointStore, Decomp, HaloConfig, HaloExchanger};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--tuner off|model|online] [--rounds R] [--faults \"<plan>\"] [--trace out.json]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover] [--checkpoint-every N] [--trace out.json]\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,corrupt=0.1,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
+        "usage:\n  tempi-cli describe \"<spec>\"\n  tempi-cli pack \"<spec>\" [--incount N] [--platform mv|op|sp] [--unpack]\n  tempi-cli commit \"<spec>\" [--platform mv|op|sp]\n  tempi-cli model <bytes> <block> [--word W] [--chunk C]\n  tempi-cli send \"<spec>\" [--incount N] [--method device|oneshot|staged] [--tuner off|model|online] [--rounds R] [--faults \"<plan>\"] [--trace out.json]\n  tempi-cli stencil [--ranks P] [--n N] [--iters I] [--faults \"<plan>\"] [--recover] [--checkpoint-every N] [--trace out.json]\n  tempi-cli chaos [--seed S] [--iters N] [--shrink] [--out DIR] | --replay DIR\n  tempi-cli spec-help\n\nfault plan: comma-separated clauses, e.g.\n  \"seed=42,kernel=1.0,send=0.05,corrupt=0.1,delay=0.2:20us,exit=1@5ms,retries=4,backoff=10us\""
     );
     std::process::exit(2);
 }
@@ -86,6 +99,25 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse an integer-valued flag. User input must never panic the CLI:
+/// a malformed value exits with a message naming the flag and what it got.
+fn int_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} takes an integer, got `{v}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Terminal error path for library failures with no user-facing recovery:
+/// print what failed and exit instead of panicking.
+fn fail(what: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}: {e}");
+    std::process::exit(1);
 }
 
 /// Build the tracer a subcommand attaches to its virtual world.
@@ -152,6 +184,7 @@ fn main() {
         "model" => model(&args[1..]),
         "send" => send(&args[1..]),
         "stencil" => stencil(&args[1..]),
+        "chaos" => chaos(&args[1..]),
         "spec-help" => {
             println!("{}", SPEC_HELP);
         }
@@ -187,7 +220,9 @@ fn describe(args: &[String]) {
             std::process::exit(1);
         }
     };
-    let attrs = ctx.attrs(dt).expect("live");
+    let attrs = ctx
+        .attrs(dt)
+        .unwrap_or_else(|e| fail("datatype attributes", e));
     println!("construction : {}", ctx.describe(dt));
     println!(
         "size         : {} bytes   extent: {} bytes   true extent: {} bytes (lb {})",
@@ -199,7 +234,7 @@ fn describe(args: &[String]) {
     let registry = ctx.registry().clone();
     let translated = {
         let mut reg = registry.write();
-        translate(&mut *reg, dt).expect("translate")
+        translate(&mut *reg, dt).unwrap_or_else(|e| fail("IR translation", e))
     };
     match translated {
         Translated::Strided(tree) => {
@@ -236,7 +271,9 @@ fn describe(args: &[String]) {
     }
     // committed plan
     let mut tempi = Tempi::default();
-    let plan = tempi.type_commit(&mut ctx, dt).expect("commit");
+    let plan = tempi
+        .type_commit(&mut ctx, dt)
+        .unwrap_or_else(|e| fail("type commit", e));
     match &plan.kind {
         PlanKind::Strided(kp) => println!(
             "\nkernel plan  : {:?}, word W={}, block dims {}, grid(x1)={}",
@@ -260,9 +297,7 @@ fn pack(args: &[String]) {
     let Some(input) = args.first() else { usage() };
     let input = input.clone();
     let platform = platform_arg(args);
-    let incount: usize = flag_value(args, "--incount")
-        .map(|v| v.parse().expect("--incount takes an integer"))
-        .unwrap_or(1);
+    let incount: usize = int_flag(args, "--incount", 1);
     // span: build once to measure the type reach
     let mut probe = RankCtx::standalone(&platform.world(1));
     let dt = match spec::build_str(&input, &mut probe) {
@@ -272,7 +307,9 @@ fn pack(args: &[String]) {
             std::process::exit(1);
         }
     };
-    let a = probe.attrs(dt).expect("live");
+    let a = probe
+        .attrs(dt)
+        .unwrap_or_else(|e| fail("datatype attributes", e));
     let span =
         (a.true_ub.max(a.ub) + (incount as i64 - 1) * a.extent().max(0)).max(1) as usize + 64;
 
@@ -297,7 +334,7 @@ fn pack(args: &[String]) {
                 span,
             )
         }
-        .expect("measurement")
+        .unwrap_or_else(|e| fail("measurement", e))
     };
     let t = measure(Mode::Tempi);
     let s = measure(Mode::System);
@@ -315,7 +352,8 @@ fn commit(args: &[String]) {
     let Some(input) = args.first() else { usage() };
     let input = input.clone();
     let platform = platform_arg(args);
-    let b = commit_breakdown(platform, |ctx| spec::build_str(&input, ctx)).expect("breakdown");
+    let b = commit_breakdown(platform, |ctx| spec::build_str(&input, ctx))
+        .unwrap_or_else(|e| fail("commit breakdown", e));
     println!("platform       : {}", platform.label());
     println!("create         : {}", b.create);
     println!("commit (system): {}", b.commit_system);
@@ -331,11 +369,15 @@ fn model(args: &[String]) {
     let (Some(bytes), Some(block)) = (args.first(), args.get(1)) else {
         usage()
     };
-    let bytes: usize = bytes.parse().expect("bytes must be an integer");
-    let block: usize = block.parse().expect("block must be an integer");
-    let word: usize = flag_value(args, "--word")
-        .map(|v| v.parse().expect("--word takes an integer"))
-        .unwrap_or(4);
+    let parse_size = |name: &str, v: &str| -> usize {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    };
+    let bytes = parse_size("bytes", bytes);
+    let block = parse_size("block", block);
+    let word: usize = int_flag(args, "--word", 4);
     let m = SendModel::summit_internode();
     println!("object {bytes} B, contiguous blocks {block} B, word W={word}\n");
     for (name, b) in [
@@ -352,7 +394,10 @@ fn model(args: &[String]) {
         );
     }
     if let Some(chunk) = flag_value(args, "--chunk") {
-        let chunk: usize = chunk.parse().expect("--chunk takes an integer");
+        let chunk: usize = chunk.parse().unwrap_or_else(|_| {
+            eprintln!("error: --chunk takes an integer, got `{chunk}`");
+            std::process::exit(2);
+        });
         println!(
             "pipelined({} B chunks): {}",
             chunk,
@@ -379,9 +424,7 @@ fn fill(n: usize) -> Vec<u8> {
 fn send(args: &[String]) {
     let Some(input) = args.first() else { usage() };
     let input = input.clone();
-    let incount: usize = flag_value(args, "--incount")
-        .map(|v| v.parse().expect("--incount takes an integer"))
-        .unwrap_or(1);
+    let incount: usize = int_flag(args, "--incount", 1);
     let method = match flag_value(args, "--method").as_deref() {
         None => None,
         Some("device") => Some(Method::Device),
@@ -402,10 +445,7 @@ fn send(args: &[String]) {
             std::process::exit(2);
         }
     };
-    let rounds: usize = flag_value(args, "--rounds")
-        .map(|v| v.parse().expect("--rounds takes an integer"))
-        .unwrap_or(1)
-        .max(1);
+    let rounds: usize = int_flag(args, "--rounds", 1).max(1);
     let mut cfg = WorldConfig::summit(2);
     cfg.net.ranks_per_node = 1;
     if let Some(spec) = flag_value(args, "--faults") {
@@ -600,21 +640,18 @@ fn run_stencil_rank(
 }
 
 fn stencil(args: &[String]) {
-    let ranks: usize = flag_value(args, "--ranks")
-        .map(|v| v.parse().expect("--ranks takes an integer"))
-        .unwrap_or(8);
-    let n: usize = flag_value(args, "--n")
-        .map(|v| v.parse().expect("--n takes an integer"))
-        .unwrap_or(4);
-    let iters: usize = flag_value(args, "--iters")
-        .map(|v| v.parse().expect("--iters takes an integer"))
-        .unwrap_or(2);
+    let ranks: usize = int_flag(args, "--ranks", 8);
+    let n: usize = int_flag(args, "--n", 4);
+    let iters: usize = int_flag(args, "--iters", 2);
     let recover = args.iter().any(|a| a == "--recover");
-    let checkpoint_every: Option<usize> = flag_value(args, "--checkpoint-every").map(|v| {
-        let every = v.parse().expect("--checkpoint-every takes an integer");
-        assert!(every > 0, "--checkpoint-every must be positive");
-        every
-    });
+    let checkpoint_every: Option<usize> =
+        flag_value(args, "--checkpoint-every").map(|v| match v.parse() {
+            Ok(every) if every > 0 => every,
+            _ => {
+                eprintln!("error: --checkpoint-every takes a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        });
     let mut cfg = WorldConfig::summit(ranks);
     if let Some(spec) = flag_value(args, "--faults") {
         match parse_faults(&spec) {
@@ -700,6 +737,115 @@ fn stencil(args: &[String]) {
         }
     }
     trace_export(&tracer, trace_path.as_ref());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// `tempi-cli chaos`: run a seeded campaign of random fault scenarios (or
+/// replay a committed corpus) and judge every run with the invariant
+/// oracles. Exit status is the verdict: 0 when every expectation held,
+/// 1 otherwise — so CI can run this directly.
+fn chaos(args: &[String]) {
+    if let Some(dir) = flag_value(args, "--replay") {
+        chaos_replay(&dir);
+        return;
+    }
+    let seed: u64 = int_flag(args, "--seed", 0);
+    let iters: u64 = int_flag(args, "--iters", 20);
+    let do_shrink = args.iter().any(|a| a == "--shrink");
+    let out_dir = flag_value(args, "--out").unwrap_or_else(|| "chaos/out".to_string());
+    println!(
+        "campaign    : seed {seed}, {iters} scenario(s), shrink {}",
+        if do_shrink { "on" } else { "off" }
+    );
+    let mut failures = 0u64;
+    for index in 0..iters {
+        let sc = tempi_chaos::Scenario::generate(seed, index);
+        let outcome = tempi_chaos::run_scenario(&sc);
+        let label = format!(
+            "scenario {index:>3} (seed {}, {:?}, {} ranks, {} events)",
+            sc.seed,
+            sc.workload,
+            sc.ranks,
+            sc.events.len()
+        );
+        if outcome.ok() {
+            println!("{label}: ok");
+            continue;
+        }
+        failures += 1;
+        for v in &outcome.violations {
+            println!("{label}: VIOLATION {v}");
+        }
+        if !do_shrink {
+            continue;
+        }
+        let Some(shrunk) = tempi_chaos::shrink(&sc) else {
+            println!(
+                "{label}: violation did not reproduce under shrink — flaky scenario, please report"
+            );
+            continue;
+        };
+        println!(
+            "{label}: shrunk {} -> {} event(s) in {} run(s)",
+            sc.events.len(),
+            shrunk.scenario.events.len(),
+            shrunk.runs
+        );
+        let name = format!("seed{}-idx{index}", seed);
+        let re_run = tempi_chaos::run_scenario(&shrunk.scenario);
+        match tempi_chaos::dump_failure(
+            &shrunk.scenario,
+            &re_run,
+            std::path::Path::new(&out_dir),
+            &name,
+        ) {
+            Ok((sc_path, trace_path)) => println!(
+                "{label}: reproducer -> {} (trace {})",
+                sc_path.display(),
+                trace_path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: writing reproducer: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "verdict     : {}/{iters} scenario(s) held every invariant",
+        iters - failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Replay every corpus entry under `dir`, verifying each one's recorded
+/// expectation ("fixed" replays green, "open" still reproduces).
+fn chaos_replay(dir: &str) {
+    let entries = match tempi_chaos::corpus::load_dir(std::path::Path::new(dir)) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: loading corpus: {e}");
+            std::process::exit(2);
+        }
+    };
+    if entries.is_empty() {
+        println!("corpus      : no entries under {dir}");
+        return;
+    }
+    let mut failed = false;
+    for (path, entry) in &entries {
+        match tempi_chaos::corpus::replay(entry) {
+            Ok(()) => println!("{} ({}): ok", entry.name, entry.status),
+            Err(e) => {
+                println!("{} ({}): FAILED — {e}", entry.name, entry.status);
+                let _ = path;
+                failed = true;
+            }
+        }
+    }
     if failed {
         std::process::exit(1);
     }

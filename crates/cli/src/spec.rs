@@ -106,9 +106,9 @@ impl Parser<'_> {
         if start == self.pos {
             return Err(format!("expected an identifier at byte {start}"));
         }
-        Ok(std::str::from_utf8(&self.s[start..self.pos])
-            .expect("ascii")
-            .to_ascii_lowercase())
+        let text = std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|_| format!("spec is not valid UTF-8 at byte {start}"))?;
+        Ok(text.to_ascii_lowercase())
     }
 
     fn int(&mut self) -> Result<i64, String> {
@@ -120,7 +120,8 @@ impl Parser<'_> {
         while self.s.get(self.pos).is_some_and(u8::is_ascii_digit) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.s[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|_| format!("spec is not valid UTF-8 at byte {start}"))?;
         text.parse()
             .map_err(|_| format!("expected an integer at byte {start}"))
     }

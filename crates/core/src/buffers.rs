@@ -22,6 +22,10 @@ pub struct BufferPool {
     /// [`BufferPool::fresh_allocs`] this gives the reuse rate the
     /// steady-state ("zero allocation") assertion checks.
     pub hits: u64,
+    /// Buffers handed out and not yet returned (takes minus puts). Every
+    /// code path is expected to `put` what it `take`s — even on error —
+    /// so at teardown this must be zero; the chaos leak oracle checks it.
+    outstanding: u64,
 }
 
 impl BufferPool {
@@ -64,6 +68,7 @@ impl BufferPool {
         if let Some(i) = best {
             let hit = list.swap_remove(i);
             self.hits += 1;
+            self.outstanding += 1;
             Self::trace_take(ctx, space, len, true);
             return Ok(hit);
         }
@@ -80,6 +85,7 @@ impl BufferPool {
             }
         };
         Self::trace_take(ctx, space, len, false);
+        self.outstanding += 1;
         Ok((ptr, len))
     }
 
@@ -89,12 +95,20 @@ impl BufferPool {
     pub fn put(&mut self, ptr: GpuPtr, size: usize) {
         if let Some(list) = self.list(ptr.space) {
             list.push((ptr, size));
+            self.outstanding = self.outstanding.saturating_sub(1);
         }
     }
 
     /// Number of buffers currently pooled across all spaces.
     pub fn pooled(&self) -> usize {
         self.device.len() + self.mapped.len() + self.pinned.len()
+    }
+
+    /// Buffers currently handed out and not yet [`BufferPool::put`] back.
+    /// Non-zero at teardown means some send path leaked scratch space —
+    /// one of the chaos invariant oracles.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
     }
 
     /// One `pool.take` instant on the rank's CPU lane (recorded only at
@@ -161,6 +175,24 @@ mod tests {
         let (got, gsz) = pool.take(&mut ctx, MemSpace::Mapped, 2048).unwrap();
         assert_eq!((got, gsz), (b, 4096));
         assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn outstanding_counts_takes_minus_puts() {
+        let mut ctx = ctx();
+        let mut pool = BufferPool::new();
+        let (a, asz) = pool.take(&mut ctx, MemSpace::Device, 64).unwrap();
+        let (b, bsz) = pool.take(&mut ctx, MemSpace::Device, 64).unwrap();
+        assert_eq!(pool.outstanding(), 2);
+        pool.put(a, asz);
+        assert_eq!(pool.outstanding(), 1, "one buffer still out is a leak");
+        pool.put(b, bsz);
+        assert_eq!(pool.outstanding(), 0);
+        // reuse path counts too
+        let (c, csz) = pool.take(&mut ctx, MemSpace::Device, 64).unwrap();
+        assert_eq!((pool.hits, pool.outstanding()), (1, 1));
+        pool.put(c, csz);
+        assert_eq!(pool.outstanding(), 0);
     }
 
     #[test]

@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn negative_stride_stream_never_folds() {
         let t = Type::stream(0, -4, 4, Type::dense(0, 4));
-        let (got, changed) = dense_folding(t.clone());
+        let (got, changed) = dense_folding(t);
         assert!(!changed, "{got}");
     }
 }

@@ -141,7 +141,7 @@ impl KernelPlan {
 /// permit (pointers are only known at pack time).
 pub fn effective_word(plan_word: usize, a: GpuPtr, b: GpuPtr) -> usize {
     let mut w = plan_word;
-    while w > 1 && (!a.alignment().is_multiple_of(w) || !b.alignment().is_multiple_of(w)) {
+    while w > 1 && (a.alignment() % w != 0 || b.alignment() % w != 0) {
         w /= 2;
     }
     w
@@ -791,7 +791,7 @@ mod tests {
             counts: vec![4, 2],
             strides: vec![1, 8],
         };
-        let plan = select_kernel(sb.clone(), None);
+        let plan = select_kernel(sb, None);
         let src = ctx.malloc(16).unwrap();
         let mapped = ctx.mapped_alloc(8).unwrap();
         ctx.memory()

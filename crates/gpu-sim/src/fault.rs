@@ -35,12 +35,17 @@ fn unit_f64(h: u64) -> f64 {
 
 /// When one injection site fires: a per-call probability, an explicit list
 /// of scripted call ordinals, or both.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Serializable so higher layers (the chaos engine) can persist and replay
+/// minimized fault plans byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SiteSpec {
     /// Probability in `[0, 1]` that any given call at this site fails.
+    #[serde(default)]
     pub probability: f64,
     /// Call ordinals (0-based, counted per site) that always fail,
     /// independent of `probability`.
+    #[serde(default)]
     pub at_calls: Vec<u64>,
 }
 

@@ -111,7 +111,7 @@ impl GpuPtr {
     /// divides the address.
     pub fn alignment(self) -> usize {
         let mut a = 256usize;
-        while a > 1 && !self.offset.is_multiple_of(a) {
+        while a > 1 && self.offset % a != 0 {
             a /= 2;
         }
         a

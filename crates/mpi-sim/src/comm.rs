@@ -35,7 +35,7 @@
 //! observes candidate `k`'s death moves to candidate `k + 1` and re-ships
 //! its gather; a decision from *any* source ends its wait.
 //!
-//! Every completed agreement charges one fixed [`NetModel::agree_cost`]
+//! Every completed agreement charges one fixed [`agree_cost`](crate::net::NetModel::agree_cost)
 //! to the virtual clock — never a per-round cost — so virtual time stays
 //! independent of how many wall-clock-racy protocol steps were executed.
 //!
@@ -153,7 +153,19 @@ impl RankCtx {
             // `deliver_payload`
             checksum: None,
         };
-        let _ = self.peers[dest_world].send(msg);
+        match &self.watchdog {
+            // Charge the in-flight account before the send; roll back if
+            // the peer's inbox is already closed.
+            Some(wd) => {
+                wd.note_send(dest_world);
+                if self.peers[dest_world].send(msg).is_err() {
+                    wd.unnote_send(dest_world);
+                }
+            }
+            None => {
+                let _ = self.peers[dest_world].send(msg);
+            }
+        }
     }
 
     /// ULFM `MPI_Comm_revoke`: poison the current communicator epoch on
@@ -214,7 +226,7 @@ impl RankCtx {
             if self.known_dead.contains_key(&watch_world) {
                 return Ok(AgreeEvent::Dead);
             }
-            let msg = self.inbox.recv().map_err(|_| MpiError::PeerGone)?;
+            let msg = self.wd_blocking_recv(|| format!("agree(epoch={epoch})"))?;
             match self.sift(msg) {
                 Sifted::Keep(m) => self.pending.push_back(m),
                 // Deaths update `known_dead` inside sift; revocations of a
@@ -428,7 +440,8 @@ impl RankCtx {
                 self.faults.stats.peer_gone += 1;
                 return Err(MpiError::PeerGone);
             }
-            let msg = self.inbox.recv().map_err(|_| MpiError::PeerGone)?;
+            let msg =
+                self.wd_blocking_recv(|| format!("comm_barrier(from={from}, round={round})"))?;
             match self.sift(msg) {
                 Sifted::Keep(m) => self.pending.push_back(m),
                 Sifted::Revoke => return Err(MpiError::Revoked),

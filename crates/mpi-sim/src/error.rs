@@ -88,6 +88,20 @@ pub enum MpiError {
         /// Total delivery attempts made (1 initial + retransmits).
         attempts: u32,
     },
+    /// The world quiesced with operations still pending: every live rank is
+    /// blocked (in a receive, a wait or a barrier) and no message is in
+    /// flight toward any blocked rank, so no rank can ever make progress.
+    ///
+    /// Produced by the virtual-time watchdog (see [`crate::Watchdog`])
+    /// instead of letting the test binary hang. Named after the condition,
+    /// not a peer: a deadlock is a property of the whole world.
+    Deadlock {
+        /// World ranks that were blocked when quiescence was detected.
+        ranks: Vec<usize>,
+        /// Human-readable description of each stuck rank's pending
+        /// operation, parallel to `ranks`.
+        ops: Vec<String>,
+    },
     /// Internal invariant violation (a bug in the simulator, not the
     /// application).
     Internal(String),
@@ -192,6 +206,16 @@ impl fmt::Display for MpiError {
                     "payload from rank {peer} failed checksum verification on all {attempts} delivery attempts"
                 )
             }
+            MpiError::Deadlock { ranks, ops } => {
+                write!(f, "deadlock: world quiesced with operations pending [")?;
+                for (i, (r, op)) in ranks.iter().zip(ops.iter()).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "rank {r}: {op}")?;
+                }
+                write!(f, "]")
+            }
             MpiError::Internal(s) => write!(f, "internal simulator error: {s}"),
         }
     }
@@ -262,6 +286,22 @@ mod tests {
         assert!(!MpiError::CommTransient { peer: 2 }.is_comm_failure());
         assert!(!MpiError::NotCommitted.is_comm_failure());
         assert!(!MpiError::Internal("x".into()).is_comm_failure());
+    }
+
+    #[test]
+    fn deadlock_is_neither_transient_nor_repairable() {
+        // A quiesced world cannot be retried into progress and revoking
+        // the communicator cannot un-stick ranks that already blocked, so
+        // the watchdog verdict sits outside both recovery taxonomies.
+        let dl = MpiError::Deadlock {
+            ranks: vec![0, 2],
+            ops: vec!["recv(src=1, tag=5)".into(), "barrier".into()],
+        };
+        assert!(!dl.is_transient());
+        assert!(!dl.is_comm_failure());
+        let msg = format!("{dl}");
+        assert!(msg.contains("rank 0: recv(src=1, tag=5)"), "{msg}");
+        assert!(msg.contains("rank 2: barrier"), "{msg}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::error::{MpiError, MpiResult};
 
 /// Extra-latency injection: with `probability`, a receive pays `latency`
 /// on top of the modeled wire time.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DelaySpec {
     /// Probability in `[0, 1]` that a given receive is delayed.
     pub probability: f64,
@@ -44,7 +44,7 @@ impl DelaySpec {
 
 /// A scheduled rank death: from virtual instant `at` on, peers observing
 /// rank `rank` get [`MpiError::PeerGone`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RankExit {
     /// The rank that exits.
     pub rank: usize,
@@ -52,33 +52,97 @@ pub struct RankExit {
     pub at: SimTime,
 }
 
+/// The injection sites a [`ScopedFault`] can script.
+///
+/// Mirrors the global [`SiteSpec`] fields of a [`FaultPlan`] but names one
+/// site symbolically, so a single scripted event (rank × site × ordinal)
+/// can be serialized, shuffled and delta-debugged by the chaos engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FaultSite {
+    /// Device-allocation OOM.
+    Alloc,
+    /// Kernel-launch failure.
+    Kernel,
+    /// Async-copy failure.
+    Copy,
+    /// Transient p2p send failure.
+    Send,
+    /// Transient p2p receive failure.
+    Recv,
+    /// In-transit payload corruption.
+    Corrupt,
+    /// Checkpoint spill-file I/O corruption.
+    Spill,
+}
+
+/// One scripted fault event targeting a single rank: "on rank `rank`, call
+/// ordinal `at_call` of site `site` fails". The unit of minimization for
+/// the chaos shrinker — unlike the plan-wide probabilistic sites, scoped
+/// events can be removed one at a time without disturbing the coins the
+/// remaining events flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ScopedFault {
+    /// The world rank the event fires on.
+    pub rank: usize,
+    /// Which injection site fails.
+    pub site: FaultSite,
+    /// The 0-based per-site call ordinal that fails.
+    pub at_call: u64,
+}
+
 /// A complete, reproducible description of the faults in one run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable (missing fields deserialize to their defaults) so the
+/// chaos engine can persist failing plans, shrink them offline, and replay
+/// committed reproducers byte-for-byte.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FaultPlan {
     /// Seed mixed (with the rank) into every probabilistic decision.
+    #[serde(default)]
     pub seed: u64,
     /// Device-allocation OOM site (see [`gpu_sim::GpuFaultSite::AllocOom`]).
+    #[serde(default)]
     pub alloc_oom: SiteSpec,
     /// Kernel-launch failure site.
+    #[serde(default)]
     pub kernel_fault: SiteSpec,
     /// Async-copy failure site.
+    #[serde(default)]
     pub copy_fault: SiteSpec,
     /// Transient send failure site (per p2p send call).
+    #[serde(default)]
     pub send_fail: SiteSpec,
     /// Transient receive failure site (per p2p receive call).
+    #[serde(default)]
     pub recv_fail: SiteSpec,
     /// In-transit payload corruption site (per delivery attempt): when it
     /// fires, a deterministic byte of the arriving payload is flipped.
     /// With integrity enabled the receiver detects the flip and runs the
     /// NACK/retransmit handshake; without it the corruption is silent.
+    #[serde(default)]
     pub corrupt: SiteSpec,
+    /// Checkpoint spill-file I/O corruption site (per spill read/write):
+    /// when it fires, a deterministic byte of the frame flips on its way
+    /// to or from disk. The frame checksum catches it on decode, so a
+    /// corrupted spill surfaces as a typed error rather than bad data.
+    #[serde(default)]
+    pub spill_corrupt: SiteSpec,
     /// Extra-latency site (per p2p receive call).
+    #[serde(default)]
     pub delay: DelaySpec,
     /// Scheduled rank deaths.
+    #[serde(default)]
     pub rank_exits: Vec<RankExit>,
+    /// Scripted per-rank fault events, merged into that rank's site
+    /// ordinals when the plan is instantiated. The chaos shrinker's unit
+    /// of minimization.
+    #[serde(default)]
+    pub scoped: Vec<ScopedFault>,
     /// Bounded-retry budget for transient p2p faults.
+    #[serde(default)]
     pub max_retries: u32,
     /// First backoff; doubles per retry (charged to the virtual clock).
+    #[serde(default)]
     pub backoff_base: SimTime,
 }
 
@@ -92,8 +156,10 @@ impl Default for FaultPlan {
             send_fail: SiteSpec::never(),
             recv_fail: SiteSpec::never(),
             corrupt: SiteSpec::never(),
+            spill_corrupt: SiteSpec::never(),
             delay: DelaySpec::default(),
             rank_exits: Vec::new(),
+            scoped: Vec::new(),
             max_retries: 3,
             backoff_base: SimTime::from_us(10),
         }
@@ -110,8 +176,10 @@ impl FaultPlan {
             || self.send_fail.is_active()
             || self.recv_fail.is_active()
             || self.corrupt.is_active()
+            || self.spill_corrupt.is_active()
             || self.delay.is_active()
             || !self.rank_exits.is_empty()
+            || !self.scoped.is_empty()
     }
 
     /// Parse the `--faults` mini-language: comma-separated clauses, e.g.
@@ -119,10 +187,10 @@ impl FaultPlan {
     ///
     /// Clauses:
     /// * `seed=N` — decision seed (default 0)
-    /// * `alloc|kernel|copy|send|recv|corrupt=P` — per-call failure
+    /// * `alloc|kernel|copy|send|recv|corrupt|spill=P` — per-call failure
     ///   probability in `[0, 1]`
-    /// * `alloc|kernel|copy|send|recv|corrupt@N` — scripted 0-based call
-    ///   ordinal (repeatable)
+    /// * `alloc|kernel|copy|send|recv|corrupt|spill@N` — scripted 0-based
+    ///   call ordinal (repeatable)
     /// * `delay=P:DUR` — receive-side extra latency `DUR` with probability
     ///   `P`
     /// * `exit=R@DUR` — rank `R` exits at virtual time `DUR` (repeatable)
@@ -193,6 +261,7 @@ impl FaultPlan {
                             "send" => &mut plan.send_fail,
                             "recv" => &mut plan.recv_fail,
                             "corrupt" => &mut plan.corrupt,
+                            "spill" => &mut plan.spill_corrupt,
                             _ => return Err(bad(clause, "unknown key")),
                         };
                         let p: f64 = val
@@ -215,6 +284,7 @@ impl FaultPlan {
                     "send" => &mut plan.send_fail,
                     "recv" => &mut plan.recv_fail,
                     "corrupt" => &mut plan.corrupt,
+                    "spill" => &mut plan.spill_corrupt,
                     _ => return Err(bad(clause, "unknown site")),
                 };
                 spec.at_calls.push(n);
@@ -313,6 +383,7 @@ pub struct FaultInjector {
     recv_calls: u64,
     delay_calls: u64,
     corrupt_calls: u64,
+    spill_calls: u64,
 }
 
 /// Site salts for the network-level coins (distinct from the GPU salts in
@@ -321,6 +392,7 @@ const SALT_SEND: u64 = 0x7365_6e64_5f66_6c74; // "send_flt"
 const SALT_RECV: u64 = 0x7265_6376_5f66_6c74; // "recv_flt"
 const SALT_DELAY: u64 = 0x6465_6c61_795f_6e74; // "delay_nt"
 const SALT_CORRUPT: u64 = 0x636f_7272_5f66_6c74; // "corr_flt"
+const SALT_SPILL: u64 = 0x7370_696c_5f66_6c74; // "spil_flt"
 
 impl FaultInjector {
     /// Instantiate a plan for one rank. The returned GPU injector (if the
@@ -330,6 +402,27 @@ impl FaultInjector {
         plan: FaultPlan,
         rank: usize,
     ) -> (FaultInjector, Option<std::sync::Arc<GpuFaultInjector>>) {
+        let mut plan = plan;
+        // Merge scripted per-rank events into this rank's site ordinals.
+        // The plan is cloned per rank, so mutating the clone is safe and
+        // other ranks never see events scoped to this one.
+        for ev in std::mem::take(&mut plan.scoped) {
+            if ev.rank != rank {
+                continue;
+            }
+            let site = match ev.site {
+                FaultSite::Alloc => &mut plan.alloc_oom,
+                FaultSite::Kernel => &mut plan.kernel_fault,
+                FaultSite::Copy => &mut plan.copy_fault,
+                FaultSite::Send => &mut plan.send_fail,
+                FaultSite::Recv => &mut plan.recv_fail,
+                FaultSite::Corrupt => &mut plan.corrupt,
+                FaultSite::Spill => &mut plan.spill_corrupt,
+            };
+            if !site.at_calls.contains(&ev.at_call) {
+                site.at_calls.push(ev.at_call);
+            }
+        }
         let rank_seed = splitmix64(plan.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let gpu_spec = GpuFaultSpec {
             seed: rank_seed,
@@ -350,6 +443,7 @@ impl FaultInjector {
                 recv_calls: 0,
                 delay_calls: 0,
                 corrupt_calls: 0,
+                spill_calls: 0,
             },
             gpu,
         )
@@ -403,6 +497,26 @@ impl FaultInjector {
             return None;
         }
         let h = splitmix64(self.rank_seed ^ SALT_CORRUPT ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Some((h as usize % len, 1u8 << ((h >> 40) & 7)))
+    }
+
+    /// Record one checkpoint spill read/write and decide whether the frame
+    /// is corrupted on its way to or from disk. Returns the (byte index,
+    /// flip mask) to apply to the encoded frame, derived deterministically
+    /// from the seeded draw — the disk-side analogue of
+    /// [`FaultInjector::corrupt_delivery`].
+    pub fn spill_corrupt_io(&mut self, len: usize) -> Option<(usize, u8)> {
+        let n = self.spill_calls;
+        self.spill_calls += 1;
+        if len == 0
+            || !self
+                .plan
+                .spill_corrupt
+                .decide(self.rank_seed, SALT_SPILL, n)
+        {
+            return None;
+        }
+        let h = splitmix64(self.rank_seed ^ SALT_SPILL ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         Some((h as usize % len, 1u8 << ((h >> 40) & 7)))
     }
 
@@ -605,6 +719,90 @@ mod tests {
         assert!(gpu.is_some());
         let (_, gpu) = FaultInjector::new(FaultPlan::parse("send=1.0").unwrap(), 0);
         assert!(gpu.is_none());
+    }
+
+    #[test]
+    fn parse_spill_site() {
+        let p = FaultPlan::parse("spill=0.5").unwrap();
+        assert!((p.spill_corrupt.probability - 0.5).abs() < 1e-12);
+        assert!(p.is_active());
+        let p = FaultPlan::parse("spill@1").unwrap();
+        assert_eq!(p.spill_corrupt.at_calls, vec![1]);
+    }
+
+    #[test]
+    fn spill_corrupt_io_is_scripted_and_deterministic() {
+        let plan = FaultPlan::parse("spill@1").unwrap();
+        let (mut a, _) = FaultInjector::new(plan.clone(), 0);
+        let (mut b, _) = FaultInjector::new(plan, 0);
+        let da: Vec<_> = (0..3).map(|_| a.spill_corrupt_io(96)).collect();
+        let db: Vec<_> = (0..3).map(|_| b.spill_corrupt_io(96)).collect();
+        assert_eq!(da, db);
+        assert!(da[0].is_none() && da[2].is_none());
+        let (idx, mask) = da[1].unwrap();
+        assert!(idx < 96);
+        assert_eq!(mask.count_ones(), 1);
+    }
+
+    #[test]
+    fn scoped_events_merge_only_into_their_rank() {
+        let mut plan = FaultPlan::default();
+        plan.scoped.push(ScopedFault {
+            rank: 1,
+            site: FaultSite::Send,
+            at_call: 2,
+        });
+        plan.scoped.push(ScopedFault {
+            rank: 0,
+            site: FaultSite::Recv,
+            at_call: 0,
+        });
+        assert!(plan.is_active());
+        let (mut r0, _) = FaultInjector::new(plan.clone(), 0);
+        let (mut r1, _) = FaultInjector::new(plan, 1);
+        let s0: Vec<bool> = (0..4).map(|_| r0.send_should_fail()).collect();
+        let s1: Vec<bool> = (0..4).map(|_| r1.send_should_fail()).collect();
+        assert_eq!(s0, vec![false; 4], "send event is scoped to rank 1");
+        assert_eq!(s1, vec![false, false, true, false]);
+        assert!(r0.recv_should_fail(), "recv event is scoped to rank 0");
+        assert!(!r1.recv_should_fail());
+    }
+
+    #[test]
+    fn scoped_gpu_events_reach_the_gpu_injector() {
+        let mut plan = FaultPlan::default();
+        plan.scoped.push(ScopedFault {
+            rank: 0,
+            site: FaultSite::Alloc,
+            at_call: 0,
+        });
+        let (_, gpu) = FaultInjector::new(plan.clone(), 0);
+        assert!(gpu.is_some(), "scoped alloc event activates the GPU side");
+        let (_, gpu) = FaultInjector::new(plan, 1);
+        assert!(gpu.is_none(), "other ranks stay clean");
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan::parse(
+            "seed=9,alloc=0.1,send@3,corrupt=0.2,spill@0,delay=0.5:30us,exit=2@1ms,retries=5,backoff=2us",
+        )
+        .unwrap();
+        let mut plan = plan;
+        plan.scoped.push(ScopedFault {
+            rank: 1,
+            site: FaultSite::Corrupt,
+            at_call: 4,
+        });
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        // Missing fields deserialize to type defaults; the engine always
+        // serializes complete plans, so sparse JSON only occurs when a
+        // reproducer is hand-edited -- and a sparse plan injects nothing.
+        let sparse: FaultPlan = serde_json::from_str(r#"{"seed": 3}"#).unwrap();
+        assert_eq!(sparse.seed, 3);
+        assert!(!sparse.is_active());
     }
 
     #[test]

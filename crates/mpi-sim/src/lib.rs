@@ -45,11 +45,13 @@ pub mod nonblocking;
 pub mod p2p;
 pub mod runtime;
 pub mod vendor;
+pub mod watchdog;
 
 pub use datatype::{consts, Combiner, Contents, Datatype, Envelope, Named, Order, TypeRegistry};
 pub use error::{MpiError, MpiResult};
 pub use fault::{
-    DegradeEvent, DelaySpec, FaultInjector, FaultPlan, FaultState, FaultStats, RankExit,
+    DegradeEvent, DelaySpec, FaultInjector, FaultPlan, FaultSite, FaultState, FaultStats, RankExit,
+    ScopedFault,
 };
 pub use net::{NetModel, Transport};
 pub use nonblocking::Request;
@@ -57,3 +59,4 @@ pub use p2p::{payload_checksum, Message, PartInfo, ProbeInfo, Status};
 pub use runtime::{RankCtx, World, WorldConfig};
 pub use tempi_trace::{TraceLevel, Tracer};
 pub use vendor::{BaselineMethod, VendorId, VendorProfile};
+pub use watchdog::{DeadlockInfo, Watchdog, WatchdogConfig};

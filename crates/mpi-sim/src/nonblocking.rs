@@ -173,7 +173,7 @@ impl RankCtx {
     /// stale-epoch drops) updates rank state instead of polluting the
     /// matchable queue.
     fn absorb_arrivals(&mut self) {
-        while let Ok(m) = self.inbox.try_recv() {
+        while let Some(m) = self.wd_try_recv() {
             if let Sifted::Keep(m) = self.sift(m) {
                 self.pending.push_back(m);
             }
@@ -290,10 +290,7 @@ impl RankCtx {
                 }
             }
             // block for one more arrival, then re-scan
-            let m = self
-                .inbox
-                .recv()
-                .map_err(|_| MpiError::Internal("rank inbox closed".to_string()))?;
+            let m = self.wd_blocking_recv(|| format!("waitany({} requests)", reqs.len()))?;
             match self.sift(m) {
                 Sifted::Keep(m) => self.pending.push_back(m),
                 Sifted::Revoke => return Err(MpiError::Revoked),

@@ -255,8 +255,21 @@ impl RankCtx {
             checksum: None,
         };
         for (w, tx) in self.peers.iter().enumerate() {
-            if w != self.world_rank {
-                let _ = tx.send(notice.clone());
+            if w == self.world_rank {
+                continue;
+            }
+            match &self.watchdog {
+                // Charge the in-flight account before the send; roll back
+                // if the peer's inbox is already closed.
+                Some(wd) => {
+                    wd.note_send(w);
+                    if tx.send(notice.clone()).is_err() {
+                        wd.unnote_send(w);
+                    }
+                }
+                None => {
+                    let _ = tx.send(notice.clone());
+                }
             }
         }
     }
@@ -515,7 +528,18 @@ impl RankCtx {
         // inbox means the peer rank already exited (it returned early or a
         // scheduled rank-exit fault fired there): surface that as the same
         // condition the fault injector models rather than panicking.
+        //
+        // The in-flight account is charged *before* the channel send so
+        // the watchdog can never observe the message as neither in flight
+        // nor delivered (a false quiescence), and rolled back if the send
+        // fails (the message never existed).
+        if let Some(wd) = &self.watchdog {
+            wd.note_send(dest_world);
+        }
         if self.peers[dest_world].send(msg).is_err() {
+            if let Some(wd) = &self.watchdog {
+                wd.unnote_send(dest_world);
+            }
             self.faults.stats.peer_gone += 1;
             return Err(MpiError::PeerGone);
         }
@@ -548,8 +572,10 @@ impl RankCtx {
         match m.tag {
             TAG_DEATH => {
                 let at = m.depart;
-                if !self.known_dead.contains_key(&m.src_world) {
-                    self.known_dead.insert(m.src_world, at);
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    self.known_dead.entry(m.src_world)
+                {
+                    e.insert(at);
                     self.faults.stats.death_notices += 1;
                 }
                 Sifted::Death(m.src_world, at)
@@ -589,6 +615,66 @@ impl RankCtx {
                 .iter()
                 .filter_map(|w| self.known_dead.get(w).copied())
                 .min(),
+        }
+    }
+
+    // ---- watchdog-aware inbox access ------------------------------------
+
+    /// Pull the next message from this rank's inbox, blocking until one
+    /// arrives. Without a watchdog this is a plain channel receive; with
+    /// one, the rank registers as blocked (described by `desc`, rendered
+    /// lazily) and re-evaluates the quiescence predicate on the poll
+    /// interval while parked, so a deadlocked world surfaces as a
+    /// structured [`MpiError::Deadlock`] instead of a hang.
+    pub(crate) fn wd_blocking_recv(&mut self, desc: impl FnOnce() -> String) -> MpiResult<Message> {
+        let Some(wd) = self.watchdog.clone() else {
+            return self.inbox.recv().map_err(|_| MpiError::PeerGone);
+        };
+        if let Some(v) = wd.verdict() {
+            // The world was already declared dead; never park again.
+            self.clock.advance_to(v.at);
+            return Err(MpiError::Deadlock {
+                ranks: v.ranks,
+                ops: v.ops,
+            });
+        }
+        wd.block(self.world_rank, desc(), self.clock.now());
+        loop {
+            match self.inbox.recv_timeout(wd.poll_interval()) {
+                Ok(msg) => {
+                    // Slot clear + in-flight decrement happen under one
+                    // lock so the checker can't see a false quiescence.
+                    wd.unblock_after_recv(self.world_rank);
+                    return Ok(msg);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if let Some(v) = wd.poll_detect() {
+                        self.clock.advance_to(v.at);
+                        return Err(MpiError::Deadlock {
+                            ranks: v.ranks,
+                            ops: v.ops,
+                        });
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    wd.unblock(self.world_rank);
+                    return Err(MpiError::PeerGone);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking inbox pull with watchdog accounting (the `try_recv`
+    /// analogue of [`RankCtx::wd_blocking_recv`]).
+    pub(crate) fn wd_try_recv(&mut self) -> Option<Message> {
+        match self.inbox.try_recv() {
+            Ok(m) => {
+                if let Some(wd) = &self.watchdog {
+                    wd.note_recv(self.world_rank);
+                }
+                Some(m)
+            }
+            Err(_) => None,
         }
     }
 
@@ -633,7 +719,12 @@ impl RankCtx {
             return Err(MpiError::PeerGone);
         }
         loop {
-            let msg = self.inbox.recv().map_err(|_| MpiError::PeerGone)?;
+            let msg = self.wd_blocking_recv(|| match (src, tag) {
+                (Some(s), Some(t)) => format!("recv(src={s}, tag={t})"),
+                (Some(s), None) => format!("recv(src={s}, tag=*)"),
+                (None, Some(t)) => format!("recv(src=*, tag={t})"),
+                (None, None) => "recv(src=*, tag=*)".to_string(),
+            })?;
             match self.sift(msg) {
                 Sifted::Keep(m) => {
                     if matches(&m) {
@@ -694,7 +785,7 @@ impl RankCtx {
                 self.faults.stats.peer_gone += 1;
                 return Err(MpiError::PeerGone);
             }
-            let msg = self.inbox.recv().map_err(|_| MpiError::PeerGone)?;
+            let msg = self.wd_blocking_recv(|| format!("probe(src={src:?}, tag={tag:?})"))?;
             match self.sift(msg) {
                 Sifted::Keep(m) => self.pending.push_back(m),
                 Sifted::Revoke => return Err(MpiError::Revoked),

@@ -24,6 +24,7 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::net::NetModel;
 use crate::p2p::Message;
 use crate::vendor::VendorProfile;
+use crate::watchdog::{Watchdog, WatchdogConfig};
 
 /// Everything that parameterizes a simulated platform.
 #[derive(Debug, Clone)]
@@ -50,6 +51,9 @@ pub struct WorldConfig {
     /// Observability sink shared by every rank of this world (the default,
     /// [`Tracer::off`], records nothing and costs one branch per hook).
     pub tracer: Tracer,
+    /// Deadlock watchdog; `None` (the default) keeps every blocking point
+    /// a plain blocking channel/condvar wait with zero added cost.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl WorldConfig {
@@ -64,6 +68,7 @@ impl WorldConfig {
             faults: None,
             integrity: false,
             tracer: Tracer::off(),
+            watchdog: None,
         }
     }
 
@@ -79,6 +84,7 @@ impl WorldConfig {
             faults: None,
             integrity: false,
             tracer: Tracer::off(),
+            watchdog: None,
         }
     }
 
@@ -105,6 +111,15 @@ impl WorldConfig {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Builder-style: run this world under a deadlock watchdog, so a
+    /// quiesced world with operations pending surfaces as
+    /// [`MpiError::Deadlock`] instead of hanging the process.
+    #[must_use]
+    pub fn with_watchdog(mut self, wd: WatchdogConfig) -> Self {
+        self.watchdog = Some(wd);
         self
     }
 }
@@ -138,6 +153,13 @@ struct BarrierState {
     max_time: SimTime,
     release: SimTime,
     generation: u64,
+    /// Watchdog-tracked ranks currently parked in this barrier. The
+    /// releaser clears their `Blocked` slots *under the barrier lock*
+    /// before notifying: a released-but-still-parked waiter must not look
+    /// blocked to the watchdog, or a fast rank re-entering the next
+    /// barrier would observe a quiescent (all-blocked) world and report a
+    /// false deadlock.
+    waiters: Vec<usize>,
 }
 
 impl ClockBarrier {
@@ -150,14 +172,23 @@ impl ClockBarrier {
                 max_time: SimTime::ZERO,
                 release: SimTime::ZERO,
                 generation: 0,
+                waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
     }
 
     /// Enter with the caller's current virtual instant; returns the common
-    /// release instant.
-    fn wait(&self, now: SimTime) -> SimTime {
+    /// release instant, or `None` if the watchdog declared the world
+    /// deadlocked while this caller was parked (the caller withdraws its
+    /// arrival so the barrier accounting stays coherent).
+    ///
+    /// With a watchdog, waiters park on a timed condvar and re-evaluate
+    /// the quiescence predicate each interval — this is what detects a
+    /// world where the last live ranks are all stuck in a barrier a dead
+    /// rank will never reach. Lock ordering is safe: watchdog methods
+    /// never take the barrier mutex.
+    fn wait(&self, now: SimTime, wd: Option<(&Watchdog, usize)>) -> Option<SimTime> {
         let mut s = self.state.lock();
         let gen = s.generation;
         s.max_time = s.max_time.max(now);
@@ -167,13 +198,39 @@ impl ClockBarrier {
             s.release = s.max_time + self.cost;
             s.max_time = SimTime::ZERO;
             s.generation += 1;
-            self.cv.notify_all();
-            s.release
-        } else {
-            while s.generation == gen {
-                self.cv.wait(&mut s);
+            if let Some((wd, _)) = wd {
+                for w in s.waiters.drain(..) {
+                    wd.unblock(w);
+                }
             }
-            s.release
+            self.cv.notify_all();
+            return Some(s.release);
+        }
+        match wd {
+            None => {
+                while s.generation == gen {
+                    self.cv.wait(&mut s);
+                }
+                Some(s.release)
+            }
+            Some((wd, rank)) => {
+                wd.block(rank, "barrier".to_string(), now);
+                s.waiters.push(rank);
+                loop {
+                    if s.generation != gen {
+                        // The releaser already cleared this rank's
+                        // watchdog slot (and drained `waiters`).
+                        return Some(s.release);
+                    }
+                    if wd.poll_detect().is_some() {
+                        s.arrived -= 1;
+                        s.waiters.retain(|&w| w != rank);
+                        wd.unblock(rank);
+                        return None;
+                    }
+                    self.cv.wait_for(&mut s, wd.poll_interval());
+                }
+            }
         }
     }
 }
@@ -239,6 +296,8 @@ pub struct RankCtx {
     pub(crate) known_dead: BTreeMap<usize, SimTime>,
     /// Has this rank already broadcast its own death notice?
     pub(crate) death_sent: bool,
+    /// Shared deadlock detector, when the world runs one.
+    pub(crate) watchdog: Option<Arc<Watchdog>>,
 }
 
 impl RankCtx {
@@ -277,6 +336,7 @@ impl RankCtx {
             revoked: false,
             known_dead: BTreeMap::new(),
             death_sent: false,
+            watchdog: None,
         }
     }
 
@@ -322,9 +382,36 @@ impl RankCtx {
     }
 
     /// `MPI_Barrier`: synchronize all ranks (and their virtual clocks).
+    ///
+    /// Deliberately infallible even under a watchdog: if the world is
+    /// declared deadlocked while this rank is parked here, the barrier
+    /// simply returns without advancing the clock — the structured
+    /// [`MpiError::Deadlock`] surfaces from the ranks blocked in receives
+    /// (and any later receive this rank attempts), which is where the
+    /// diagnostic context lives.
     pub fn barrier(&mut self) {
-        let release = self.barrier.wait(self.clock.now());
-        self.clock.advance_to(release);
+        let wd = self.watchdog.clone();
+        if let Some(release) = self.barrier.wait(
+            self.clock.now(),
+            wd.as_deref().map(|w| (w, self.world_rank)),
+        ) {
+            self.clock.advance_to(release);
+        }
+    }
+
+    /// Number of nonblocking requests posted and never completed by a
+    /// wait/test (a teardown invariant: a clean run drains every request).
+    #[must_use]
+    pub fn undrained_requests(&self) -> usize {
+        self.requests.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Depth of the unexpected-message queue: messages pulled from the
+    /// inbox that no receive ever matched (a teardown invariant for
+    /// quiescent protocols).
+    #[must_use]
+    pub fn pending_messages(&self) -> usize {
+        self.pending.len()
     }
 
     /// All-gather one `u64` per rank (harness utility for collecting
@@ -538,6 +625,10 @@ impl World {
         let board = Arc::new(Board {
             slots: Mutex::new(vec![0; size]),
         });
+        let watchdog = cfg
+            .watchdog
+            .as_ref()
+            .map(|wd| Arc::new(Watchdog::new(wd, size)));
         let mut txs = Vec::with_capacity(size);
         let mut rxs = Vec::with_capacity(size);
         for _ in 0..size {
@@ -578,6 +669,7 @@ impl World {
                     revoked: false,
                     known_dead: BTreeMap::new(),
                     death_sent: false,
+                    watchdog: watchdog.clone(),
                 }
             })
             .collect();
@@ -601,6 +693,12 @@ impl World {
                         {
                             ctx.announce_death(at);
                         }
+                        // Done only after the death notice above: the
+                        // notice counts as in-flight traffic and must not
+                        // race a quiescence check against a `Done` mark.
+                        if let Some(wd) = &ctx.watchdog {
+                            wd.mark_done(ctx.world_rank);
+                        }
                         r
                     })
                 })
@@ -609,7 +707,17 @@ impl World {
         })
         .expect("a rank thread panicked");
 
-        results.into_iter().collect()
+        let out: MpiResult<Vec<T>> = results.into_iter().collect();
+        // A deadlock whose blocked ranks were all parked in barriers
+        // produces no per-rank error (the barrier withdraws silently);
+        // surface the verdict as the run's result so it is never lost.
+        match (out, watchdog.as_ref().and_then(|w| w.verdict())) {
+            (Ok(_), Some(v)) => Err(MpiError::Deadlock {
+                ranks: v.ranks,
+                ops: v.ops,
+            }),
+            (out, _) => out,
+        }
     }
 }
 
@@ -687,6 +795,75 @@ mod tests {
         })
         .unwrap();
         assert!(results.iter().all(|&s| s == 16));
+    }
+
+    fn test_watchdog() -> WatchdogConfig {
+        WatchdogConfig {
+            budget: SimTime::from_ms(1),
+            poll: std::time::Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_synthetic_deadlock_into_structured_error() {
+        // Rank 1 returns without ever sending; rank 0 blocks on a receive
+        // that can never match. Without the watchdog this hangs forever.
+        let cfg = WorldConfig::summit(2).with_watchdog(test_watchdog());
+        let err = World::run(&cfg, |ctx| {
+            if ctx.rank == 0 {
+                let buf = ctx.gpu.host_alloc(64)?;
+                ctx.recv_bytes(buf, 64, Some(1), Some(7))?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            MpiError::Deadlock { ranks, ops } => {
+                assert_eq!(ranks, vec![0]);
+                assert_eq!(ops, vec!["recv(src=1, tag=7)".to_string()]);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_detects_barrier_deadlock() {
+        // Rank 1 never reaches the barrier; rank 0 parks there forever.
+        // The verdict surfaces as the run's result because the barrier
+        // itself withdraws silently.
+        let cfg = WorldConfig::summit(2).with_watchdog(test_watchdog());
+        let err = World::run(&cfg, |ctx| {
+            if ctx.rank == 0 {
+                ctx.barrier();
+            }
+            Ok(())
+        })
+        .unwrap_err();
+        match err {
+            MpiError::Deadlock { ranks, ops } => {
+                assert_eq!(ranks, vec![0]);
+                assert_eq!(ops, vec!["barrier".to_string()]);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_leaves_healthy_runs_and_their_timing_untouched() {
+        let body = |ctx: &mut RankCtx| {
+            ctx.clock.advance(SimTime::from_us(ctx.rank as u64 * 3));
+            ctx.barrier();
+            let all = ctx.allgather_u64(ctx.rank as u64 + 1);
+            ctx.barrier();
+            Ok((ctx.clock.now(), all))
+        };
+        let plain = World::run(&WorldConfig::summit(3), body).unwrap();
+        let watched =
+            World::run(&WorldConfig::summit(3).with_watchdog(test_watchdog()), body).unwrap();
+        assert_eq!(
+            plain, watched,
+            "virtual time must not depend on the watchdog"
+        );
     }
 
     #[test]

@@ -371,10 +371,7 @@ fn move_segments(
 fn kernel_word(segs: &[Segment], a: GpuPtr, b: GpuPtr) -> usize {
     let block = max_block(segs) as usize;
     for w in [16usize, 8, 4, 2] {
-        if block.is_multiple_of(w)
-            && a.alignment().is_multiple_of(w)
-            && b.alignment().is_multiple_of(w)
-        {
+        if block % w == 0 && a.alignment() % w == 0 && b.alignment() % w == 0 {
             return w;
         }
     }

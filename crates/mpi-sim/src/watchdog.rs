@@ -1,0 +1,303 @@
+//! Virtual-time deadlock watchdog.
+//!
+//! A wedged MPI program is the worst possible test outcome: the binary
+//! hangs until an external timeout kills it and all diagnostic context is
+//! lost. The watchdog converts that outcome into a structured
+//! [`MpiError::Deadlock`](crate::MpiError::Deadlock) naming the stuck
+//! ranks and their pending operations.
+//!
+//! ## How detection works
+//!
+//! Every blocking point in the runtime (message receive, request wait,
+//! clock barrier) registers itself as *blocked* with a description of what
+//! it waits for, and every channel send/receive updates a per-destination
+//! in-flight message count. The watchdog declares **quiescence** when:
+//!
+//! * every rank is either blocked or done (its body returned), and
+//! * at least one rank is blocked, and
+//! * no message is in flight toward any *blocked* rank.
+//!
+//! Under those conditions no rank can ever make progress: nothing will
+//! arrive to wake a blocked receiver, and nobody is running to produce
+//! new messages. Messages queued toward a rank that already returned are
+//! ignored — they will never be received and must not mask a real
+//! deadlock (the classic case: a survivor blocks on a rank that exited).
+//!
+//! The predicate is *stable*: once true it stays true, so it does not
+//! matter at which wall-clock instant a poller evaluates it — every
+//! schedule reaches the same verdict, keeping the simulation
+//! deterministic even though detection runs on OS threads. It is also
+//! conservative in one direction only: a reported deadlock is always
+//! real, while a blocked rank with undeliverable traffic still queued to
+//! it is (harmlessly) not reported until that traffic is drained.
+//!
+//! Blocking points poll the watchdog on a short wall-clock interval
+//! ([`WatchdogConfig::poll`]); the verdict itself is stamped in *virtual*
+//! time — the latest blocked rank's clock plus the configured budget —
+//! so traces show the hang where it happened on the modeled timeline.
+
+use std::time::Duration;
+
+use gpu_sim::SimTime;
+use parking_lot::Mutex;
+
+/// Configuration for the deadlock watchdog, installed via
+/// [`WorldConfig::with_watchdog`](crate::WorldConfig::with_watchdog).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogConfig {
+    /// Virtual-time budget added to the last blocked rank's clock when
+    /// stamping the verdict: "the world made no progress for this long".
+    pub budget: SimTime,
+    /// Wall-clock interval at which blocked ranks re-evaluate the
+    /// quiescence predicate. Purely an engineering knob — it bounds
+    /// detection latency, never the verdict.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            budget: SimTime::from_ms(100),
+            poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The watchdog's verdict: which ranks were stuck, on what, and when (in
+/// virtual time) the world was declared deadlocked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlockInfo {
+    /// World ranks blocked at quiescence, in rank order.
+    pub ranks: Vec<usize>,
+    /// Description of each stuck rank's pending operation, parallel to
+    /// [`DeadlockInfo::ranks`].
+    pub ops: Vec<String>,
+    /// Virtual instant of the verdict: the latest blocked clock plus the
+    /// configured budget.
+    pub at: SimTime,
+}
+
+/// What one rank is doing, from the watchdog's point of view.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Executing its body (or between blocking points).
+    Running,
+    /// Parked at a blocking point.
+    Blocked {
+        /// Human-readable description of the pending operation.
+        desc: String,
+        /// The rank's virtual clock when it blocked.
+        clock: SimTime,
+    },
+    /// Its body returned; it will never send or receive again.
+    Done,
+}
+
+#[derive(Debug)]
+struct WdState {
+    slots: Vec<Slot>,
+    /// Messages sent toward each world rank's inbox and not yet pulled
+    /// out by it. Per-destination so traffic queued to a `Done` rank
+    /// (which will never drain it) cannot mask a deadlock.
+    in_flight: Vec<u64>,
+    /// Set once, on the first poll that observes quiescence; sticky.
+    verdict: Option<DeadlockInfo>,
+}
+
+/// Shared deadlock detector for one [`World`](crate::World) run. One
+/// instance is shared by every rank; all methods are thread-safe.
+#[derive(Debug)]
+pub struct Watchdog {
+    budget: SimTime,
+    poll: Duration,
+    state: Mutex<WdState>,
+}
+
+impl Watchdog {
+    /// A watchdog for `size` ranks under `cfg`.
+    #[must_use]
+    pub fn new(cfg: &WatchdogConfig, size: usize) -> Watchdog {
+        Watchdog {
+            budget: cfg.budget,
+            poll: cfg.poll,
+            state: Mutex::new(WdState {
+                slots: vec![Slot::Running; size],
+                in_flight: vec![0; size],
+                verdict: None,
+            }),
+        }
+    }
+
+    /// The wall-clock interval blocking points should poll at.
+    #[must_use]
+    pub fn poll_interval(&self) -> Duration {
+        self.poll
+    }
+
+    /// Account one message departing toward `dest`'s inbox. Must be
+    /// called *before* the channel send so the checker can never observe
+    /// the message as neither in flight nor delivered.
+    pub(crate) fn note_send(&self, dest: usize) {
+        self.state.lock().in_flight[dest] += 1;
+    }
+
+    /// Roll back [`Watchdog::note_send`] after a failed channel send (the
+    /// destination's receiver was dropped; the message never existed).
+    pub(crate) fn unnote_send(&self, dest: usize) {
+        self.state.lock().in_flight[dest] -= 1;
+    }
+
+    /// Account `rank` pulling one message out of its own inbox (the
+    /// non-blocking `try_recv` path).
+    pub(crate) fn note_recv(&self, rank: usize) {
+        self.state.lock().in_flight[rank] -= 1;
+    }
+
+    /// `rank` is parked at a blocking point described by `desc`, with its
+    /// virtual clock at `clock`.
+    pub(crate) fn block(&self, rank: usize, desc: String, clock: SimTime) {
+        self.state.lock().slots[rank] = Slot::Blocked { desc, clock };
+    }
+
+    /// `rank` left its blocking point without consuming a message (e.g. a
+    /// barrier released it).
+    pub(crate) fn unblock(&self, rank: usize) {
+        self.state.lock().slots[rank] = Slot::Running;
+    }
+
+    /// `rank` left its blocking point because a message arrived: clear
+    /// the slot *and* decrement its in-flight count under one lock, so
+    /// the checker can never see the rank still blocked with the message
+    /// already missing from the in-flight account (a false quiescence).
+    pub(crate) fn unblock_after_recv(&self, rank: usize) {
+        let mut s = self.state.lock();
+        s.in_flight[rank] -= 1;
+        s.slots[rank] = Slot::Running;
+    }
+
+    /// `rank`'s body returned; it will never block or send again.
+    pub(crate) fn mark_done(&self, rank: usize) {
+        self.state.lock().slots[rank] = Slot::Done;
+    }
+
+    /// The sticky verdict, if quiescence was already declared.
+    #[must_use]
+    pub fn verdict(&self) -> Option<DeadlockInfo> {
+        self.state.lock().verdict.clone()
+    }
+
+    /// Evaluate the quiescence predicate; on the first true evaluation,
+    /// record (and thereafter always return) the verdict. Called by every
+    /// blocking point on its poll interval.
+    pub fn poll_detect(&self) -> Option<DeadlockInfo> {
+        let mut s = self.state.lock();
+        if let Some(v) = &s.verdict {
+            return Some(v.clone());
+        }
+        let mut ranks = Vec::new();
+        let mut ops = Vec::new();
+        let mut latest = SimTime::ZERO;
+        for (rank, slot) in s.slots.iter().enumerate() {
+            match slot {
+                Slot::Running => return None,
+                Slot::Done => {}
+                Slot::Blocked { desc, clock } => {
+                    if s.in_flight[rank] > 0 {
+                        // Something is on its way to wake this rank.
+                        return None;
+                    }
+                    ranks.push(rank);
+                    ops.push(desc.clone());
+                    latest = latest.max(*clock);
+                }
+            }
+        }
+        if ranks.is_empty() {
+            return None; // everyone finished; nothing is stuck
+        }
+        let verdict = DeadlockInfo {
+            ranks,
+            ops,
+            at: latest + self.budget,
+        };
+        s.verdict = Some(verdict.clone());
+        Some(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wd(size: usize) -> Watchdog {
+        Watchdog::new(&WatchdogConfig::default(), size)
+    }
+
+    #[test]
+    fn no_verdict_while_anyone_runs() {
+        let w = wd(2);
+        w.block(0, "recv".into(), SimTime::from_us(3));
+        assert_eq!(w.poll_detect(), None, "rank 1 still running");
+    }
+
+    #[test]
+    fn all_blocked_and_quiet_is_a_deadlock() {
+        let w = wd(2);
+        w.block(0, "recv(src=1, tag=7)".into(), SimTime::from_us(3));
+        w.block(1, "barrier".into(), SimTime::from_us(5));
+        let v = w.poll_detect().expect("quiescent world");
+        assert_eq!(v.ranks, vec![0, 1]);
+        assert_eq!(v.ops[1], "barrier");
+        assert_eq!(v.at, SimTime::from_us(5) + WatchdogConfig::default().budget);
+    }
+
+    #[test]
+    fn in_flight_message_toward_a_blocked_rank_suppresses_the_verdict() {
+        let w = wd(2);
+        w.note_send(0);
+        w.block(0, "recv".into(), SimTime::ZERO);
+        w.mark_done(1);
+        assert_eq!(w.poll_detect(), None, "a wake-up is on its way");
+        w.unblock_after_recv(0);
+        w.block(0, "recv".into(), SimTime::from_us(1));
+        assert!(w.poll_detect().is_some(), "inbox drained, peer done");
+    }
+
+    #[test]
+    fn traffic_queued_to_a_done_rank_does_not_mask_the_deadlock() {
+        let w = wd(2);
+        w.note_send(1); // message toward rank 1, which then returns
+        w.mark_done(1);
+        w.block(0, "recv(src=1)".into(), SimTime::from_us(2));
+        let v = w.poll_detect().expect("rank 1 will never drain its inbox");
+        assert_eq!(v.ranks, vec![0]);
+    }
+
+    #[test]
+    fn everyone_done_is_not_a_deadlock() {
+        let w = wd(2);
+        w.mark_done(0);
+        w.mark_done(1);
+        assert_eq!(w.poll_detect(), None);
+    }
+
+    #[test]
+    fn verdict_is_sticky() {
+        let w = wd(1);
+        w.block(0, "recv".into(), SimTime::ZERO);
+        let first = w.poll_detect().unwrap();
+        w.unblock(0); // too late: the world was already declared dead
+        assert_eq!(w.poll_detect(), Some(first.clone()));
+        assert_eq!(w.verdict(), Some(first));
+    }
+
+    #[test]
+    fn failed_channel_send_rolls_back_accounting() {
+        let w = wd(2);
+        w.note_send(0);
+        w.unnote_send(0);
+        w.mark_done(1);
+        w.block(0, "recv".into(), SimTime::ZERO);
+        assert!(w.poll_detect().is_some(), "rolled-back send leaves quiet");
+    }
+}

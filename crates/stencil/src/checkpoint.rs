@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use mpi_sim::{MpiError, MpiResult};
+use mpi_sim::{FaultInjector, MpiError, MpiResult};
 
 /// Frame magic: `b"TPCKPT1\0"` as a little-endian u64.
 pub const FRAME_MAGIC: u64 = u64::from_le_bytes(*b"TPCKPT1\0");
@@ -94,31 +94,34 @@ impl Frame {
         if bytes.len() < HEADER_LEN + 8 {
             return Err(bad("too short"));
         }
-        let word =
-            |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
-        if word(0) != FRAME_MAGIC {
+        let word = |i: usize| -> MpiResult<u64> {
+            let w: [u8; 8] = bytes
+                .get(i * 8..(i + 1) * 8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| bad("header is truncated"))?;
+            Ok(u64::from_le_bytes(w))
+        };
+        if word(0)? != FRAME_MAGIC {
             return Err(bad("has bad magic"));
         }
-        let payload_len = word(11) as usize;
+        let payload_len = word(11)? as usize;
         if bytes.len() != HEADER_LEN + payload_len + 8 {
             return Err(bad("length does not match its header"));
         }
         let body = &bytes[..HEADER_LEN + payload_len];
-        let stored = u64::from_le_bytes(
-            bytes[HEADER_LEN + payload_len..]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        if fnv1a(body) != stored {
+        let stored: [u8; 8] = bytes[HEADER_LEN + payload_len..]
+            .try_into()
+            .map_err(|_| bad("trailer is malformed"))?;
+        if fnv1a(body) != u64::from_le_bytes(stored) {
             return Err(bad("failed checksum verification"));
         }
         Ok(Frame {
-            generation: word(1),
-            epoch: word(2),
-            comm_rank: word(3) as usize,
-            world_rank: word(4) as usize,
-            dims: [word(5) as usize, word(6) as usize, word(7) as usize],
-            local: [word(8) as usize, word(9) as usize, word(10) as usize],
+            generation: word(1)?,
+            epoch: word(2)?,
+            comm_rank: word(3)? as usize,
+            world_rank: word(4)? as usize,
+            dims: [word(5)? as usize, word(6)? as usize, word(7)? as usize],
+            local: [word(8)? as usize, word(9)? as usize, word(10)? as usize],
             payload: bytes[HEADER_LEN..HEADER_LEN + payload_len].to_vec(),
         })
     }
@@ -209,6 +212,19 @@ impl CheckpointStore {
     /// Phase two: promote the pending `generation` to committed and spill
     /// it if configured. Errors if no matching generation is pending.
     pub fn commit(&mut self, generation: u64) -> MpiResult<()> {
+        self.commit_faulted(generation, None)
+    }
+
+    /// [`CheckpointStore::commit`] under fault injection: when the plan's
+    /// `spill` site fires for a write, one deterministic byte of the frame
+    /// flips on its way to disk. The in-memory copy stays intact — only a
+    /// later [`CheckpointStore::load_spilled`] of that file notices, via
+    /// the frame checksum, exactly like real silent disk corruption.
+    pub fn commit_faulted(
+        &mut self,
+        generation: u64,
+        mut faults: Option<&mut FaultInjector>,
+    ) -> MpiResult<()> {
         match self.pending.take() {
             Some((g, entry)) if g == generation => {
                 if let Some(dir) = &self.spill_dir {
@@ -216,7 +232,13 @@ impl CheckpointStore {
                         .map_err(|e| MpiError::Internal(format!("checkpoint spill dir: {e}")))?;
                     for frame in entry.frames.values() {
                         let path = Self::spill_path(dir, g, frame.world_rank);
-                        std::fs::write(&path, frame.encode()).map_err(|e| {
+                        let mut bytes = frame.encode();
+                        if let Some(inj) = faults.as_deref_mut() {
+                            if let Some((idx, mask)) = inj.spill_corrupt_io(bytes.len()) {
+                                bytes[idx] ^= mask;
+                            }
+                        }
+                        std::fs::write(&path, bytes).map_err(|e| {
                             MpiError::Internal(format!("checkpoint spill {}: {e}", path.display()))
                         })?;
                     }
@@ -253,12 +275,30 @@ impl CheckpointStore {
 
     /// Read a spilled frame back from disk, re-verifying its checksum.
     pub fn load_spilled(&self, generation: u64, world_rank: usize) -> MpiResult<Frame> {
+        self.load_spilled_faulted(generation, world_rank, None)
+    }
+
+    /// [`CheckpointStore::load_spilled`] under fault injection: when the
+    /// plan's `spill` site fires for a read, one deterministic byte flips
+    /// between `fs::read` and decode, and the checksum turns it into a
+    /// typed error instead of silently restoring bad data.
+    pub fn load_spilled_faulted(
+        &self,
+        generation: u64,
+        world_rank: usize,
+        faults: Option<&mut FaultInjector>,
+    ) -> MpiResult<Frame> {
         let dir = self.spill_dir.as_ref().ok_or_else(|| {
             MpiError::Internal("no spill directory configured for checkpoint restore".into())
         })?;
         let path = Self::spill_path(dir, generation, world_rank);
-        let bytes = std::fs::read(&path)
+        let mut bytes = std::fs::read(&path)
             .map_err(|e| MpiError::Internal(format!("checkpoint read {}: {e}", path.display())))?;
+        if let Some(inj) = faults {
+            if let Some((idx, mask)) = inj.spill_corrupt_io(bytes.len()) {
+                bytes[idx] ^= mask;
+            }
+        }
         Frame::decode(&bytes)
     }
 
@@ -371,6 +411,51 @@ mod tests {
         bytes[HEADER_LEN + 3] ^= 1;
         std::fs::write(&path, bytes).unwrap();
         assert!(store.load_spilled(2, 4).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scripted_write_corruption_is_caught_at_reload() {
+        use mpi_sim::{FaultInjector, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("tempi-ckpt-wfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two frames spill in world-rank order (BTreeMap), so spill call
+        // 0 writes rank 1's frame and call 1 writes rank 2's; the plan
+        // corrupts only call 1.
+        let (mut inj, _) = FaultInjector::new(FaultPlan::parse("spill@1").unwrap(), 0);
+        let mut store = CheckpointStore::with_spill(&dir);
+        store.stage(0, record(), vec![frame(0, 1, 1), frame(0, 2, 2)]);
+        store.commit_faulted(0, Some(&mut inj)).unwrap();
+
+        assert_eq!(store.load_spilled(0, 1).unwrap(), frame(0, 1, 1));
+        let err = store.load_spilled(0, 2).unwrap_err();
+        assert!(
+            err.to_string().contains("checkpoint frame"),
+            "corrupted spill must fail frame verification, got: {err}"
+        );
+        // the in-memory copy is untouched: only the disk byte flipped
+        assert_eq!(store.frame(0, 2).unwrap(), &frame(0, 2, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scripted_read_corruption_is_caught_by_the_checksum() {
+        use mpi_sim::{FaultInjector, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("tempi-ckpt-rfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = CheckpointStore::with_spill(&dir);
+        store.stage(0, record(), vec![frame(0, 3, 7)]);
+        store.commit(0).unwrap(); // clean write: spill call 0 is the read
+        let (mut inj, _) = FaultInjector::new(FaultPlan::parse("spill@0").unwrap(), 0);
+        let err = store
+            .load_spilled_faulted(0, 3, Some(&mut inj))
+            .unwrap_err();
+        assert!(err.to_string().contains("checkpoint frame"), "got: {err}");
+        // the next read (spill call 1) is clean and verifies again
+        assert_eq!(
+            store.load_spilled_faulted(0, 3, Some(&mut inj)).unwrap(),
+            frame(0, 3, 7)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -43,10 +43,11 @@ pub fn apply_stencil(ex: &HaloExchanger, ctx: &mut RankCtx) -> MpiResult<SimTime
     ctx.stream
         .launch(&mut ctx.clock, "stencil_26pt", cfg_launch, cost, |mem| {
             let data = mem.peek(grid, bytes)?;
-            let at = |x: usize, y: usize, z: usize| -> f32 {
-                let i = (x + a[0] * (y + a[1] * z)) * 4;
-                f32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"))
-            };
+            let field: Vec<f32> = data
+                .chunks_exact(4)
+                .map(|w| f32::from_le_bytes([w[0], w[1], w[2], w[3]]))
+                .collect();
+            let at = |x: usize, y: usize, z: usize| -> f32 { field[x + a[0] * (y + a[1] * z)] };
             let mut out = data.clone();
             for z in r..r + l[2] {
                 for y in r..r + l[1] {

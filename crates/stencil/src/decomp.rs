@@ -31,11 +31,10 @@ pub const DIRS: [[i32; 3]; 26] = {
     dirs
 };
 
-/// Index of a direction in [`DIRS`].
-pub fn dir_index(d: [i32; 3]) -> usize {
-    DIRS.iter()
-        .position(|&x| x == d)
-        .expect("direction must be one of the 26 nonzero offsets")
+/// Index of a direction in [`DIRS`], or `None` if `d` is not one of the
+/// 26 nonzero offsets.
+pub fn dir_index(d: [i32; 3]) -> Option<usize> {
+    DIRS.iter().position(|&x| x == d)
 }
 
 /// The opposite direction.
@@ -61,11 +60,11 @@ impl Decomp {
         let mut best_score = usize::MAX;
         let mut a = 1;
         while a * a * a <= size {
-            if size.is_multiple_of(a) {
+            if size % a == 0 {
                 let rest = size / a;
                 let mut b = a;
                 while b * b <= rest {
-                    if rest.is_multiple_of(b) {
+                    if rest % b == 0 {
                         let c = rest / b;
                         // minimize surface ~ spread of factors
                         let score = c - a;
@@ -145,11 +144,11 @@ mod tests {
     fn opposite_roundtrips() {
         for &d in &DIRS {
             assert_eq!(opposite(opposite(d)), d);
-            assert!(dir_index(opposite(d)) < 26);
+            assert!(dir_index(opposite(d)).unwrap() < 26);
         }
         // DIRS is symmetric: index i and 25-i are opposites
         for (i, &d) in DIRS.iter().enumerate() {
-            assert_eq!(dir_index(opposite(d)), 25 - i);
+            assert_eq!(dir_index(opposite(d)), Some(25 - i));
         }
     }
 

@@ -176,7 +176,9 @@ impl HaloExchanger {
                     *count += types.bytes[k];
                     // src's region for direction d fills my ghost shell on
                     // my `opposite(d)` side
-                    unpack_schedule.push(dir_index(opposite(d)));
+                    unpack_schedule.push(dir_index(opposite(d)).ok_or_else(|| {
+                        MpiError::Internal(format!("{d:?} is not a halo direction"))
+                    })?);
                 }
             }
         }
@@ -487,7 +489,7 @@ impl HaloExchanger {
             store.abort();
             return Err(e);
         }
-        store.commit(generation)?;
+        store.commit_faulted(generation, ctx.faults.injector.as_mut())?;
         mpi.tempi.stats.checkpoints += 1;
         Ok(generation)
     }
@@ -601,7 +603,7 @@ impl HaloExchanger {
                 Frame::decode(&enc)?
             }
             // owner and buddy both died: the disk copy is the last resort
-            None => store.load_spilled(agreed, owner)?,
+            None => store.load_spilled_faulted(agreed, owner, ctx.faults.injector.as_mut())?,
         };
         if frame.generation != agreed || frame.world_rank != owner || frame.payload.len() != bytes {
             return Err(MpiError::Internal(
@@ -648,7 +650,9 @@ impl HaloExchanger {
         let mut shrinks = 0u64;
         let mut excluded = Vec::new();
         let mut restored = None;
-        for _ in 0..max_rounds {
+        let mut rounds = 0;
+        while rounds < max_rounds {
+            rounds += 1;
             let failed = match self.exchange(ctx, mpi) {
                 Ok(timing) => match ctx.comm_barrier() {
                     Ok(()) => {
@@ -777,7 +781,15 @@ impl HaloExchanger {
                         gz % self.origin[2],
                     );
                     let i = self.cfg.cell_index(x, y, z) * 4;
-                    let got = f32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"));
+                    let got = data
+                        .get(i..i + 4)
+                        .and_then(|w| w.try_into().ok())
+                        .map(f32::from_le_bytes)
+                        .ok_or_else(|| {
+                            MpiError::Internal(format!(
+                                "ghost verification read past the grid at byte {i}"
+                            ))
+                        })?;
                     if got != want {
                         bad += 1;
                     }

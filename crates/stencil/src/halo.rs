@@ -253,11 +253,14 @@ mod tests {
         for (i, &d) in DIRS.iter().enumerate() {
             let sz = ctx.attrs(types.send[i]).unwrap().size as usize;
             assert_eq!(sz, types.bytes[i], "direction {d:?}");
-            let rz = ctx.attrs(types.recv[dir_index(opposite(d))]).unwrap().size as usize;
+            let rz = ctx
+                .attrs(types.recv[dir_index(opposite(d)).unwrap()])
+                .unwrap()
+                .size as usize;
             assert_eq!(rz, sz);
         }
         // +x face with l=4, r=2: 2×4×4 = 32 cells = 128 bytes
-        assert_eq!(types.bytes[dir_index([1, 0, 0])], 32 * 4);
+        assert_eq!(types.bytes[dir_index([1, 0, 0]).unwrap()], 32 * 4);
     }
 
     #[test]

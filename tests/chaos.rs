@@ -1,0 +1,205 @@
+//! Chaos-engine integration tests: the committed reproducer corpus must
+//! keep telling the truth, the shrinker must minimize deterministically,
+//! and a slice of the random campaign must hold every invariant oracle.
+
+use std::path::{Path, PathBuf};
+
+use mpi_sim::{FaultSite, ScopedFault};
+use tempi_chaos::corpus::{self, CorpusEntry};
+use tempi_chaos::oracle::oracle;
+use tempi_chaos::{run_scenario, shrink, ChaosEvent, Scenario, Workload};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("chaos/corpus")
+}
+
+/// The shrinker-demo scenario: one silent-corruption event buried under a
+/// dozen innocuous faults the stack absorbs (kernel kills degrade to the
+/// CPU path, transient send/recv failures are retried). Only the
+/// corruption violates an oracle, and only because the integrity envelope
+/// is off — so the minimal reproducer is exactly that one event.
+fn buried_corruption() -> Scenario {
+    let mut events = Vec::new();
+    for rank in 0..4 {
+        events.push(ChaosEvent::Fault(ScopedFault {
+            rank,
+            site: FaultSite::Kernel,
+            at_call: rank as u64 % 3,
+        }));
+        events.push(ChaosEvent::Fault(ScopedFault {
+            rank,
+            site: FaultSite::Send,
+            at_call: 0,
+        }));
+        events.push(ChaosEvent::Fault(ScopedFault {
+            rank,
+            site: FaultSite::Recv,
+            at_call: 1,
+        }));
+    }
+    events.insert(
+        7,
+        ChaosEvent::Fault(ScopedFault {
+            rank: 2,
+            site: FaultSite::Corrupt,
+            at_call: 1,
+        }),
+    );
+    Scenario {
+        seed: 12,
+        ranks: 4,
+        workload: Workload::SendStorm { messages: 2 },
+        events,
+        integrity: false,
+        max_retries: 3,
+    }
+}
+
+#[test]
+fn every_corpus_entry_replays_true() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus must load");
+    assert!(!entries.is_empty(), "the corpus must not be empty");
+    for (path, entry) in entries {
+        corpus::replay(&entry).unwrap_or_else(|e| panic!("{} failed replay: {e}", path.display()));
+    }
+}
+
+#[test]
+fn shrinker_minimizes_buried_corruption_to_one_event() {
+    let sc = buried_corruption();
+    assert!(sc.events.len() >= 12, "the demo needs a big haystack");
+    let shrunk = shrink(&sc).expect("the scenario must fail");
+    assert!(
+        shrunk.scenario.events.len() <= 3,
+        "expected a <=3-event reproducer, got {:?}",
+        shrunk.scenario.events
+    );
+    assert_eq!(
+        shrunk.scenario.events,
+        vec![ChaosEvent::Fault(ScopedFault {
+            rank: 2,
+            site: FaultSite::Corrupt,
+            at_call: 1,
+        })],
+        "the needle is the only event that matters"
+    );
+    assert!(
+        shrunk
+            .violations
+            .iter()
+            .any(|v| v.oracle == oracle::BYTE_EXACT),
+        "the minimized scenario must still show the original symptom, got {:?}",
+        shrunk.violations
+    );
+}
+
+#[test]
+fn shrinking_is_deterministic_to_the_byte() {
+    let sc = buried_corruption();
+    let a = shrink(&sc).expect("must fail");
+    let b = shrink(&sc).expect("must fail");
+    assert_eq!(
+        serde_json::to_string(&a.scenario).unwrap(),
+        serde_json::to_string(&b.scenario).unwrap(),
+        "same seed must shrink to byte-identical JSON"
+    );
+}
+
+#[test]
+fn a_campaign_slice_holds_every_invariant() {
+    for index in 0..6 {
+        let sc = Scenario::generate(0xC4A05, index);
+        let outcome = run_scenario(&sc);
+        assert!(
+            outcome.ok(),
+            "generated scenario {index} ({:?}) violated: {:?}",
+            sc.workload,
+            outcome.violations
+        );
+    }
+}
+
+/// Regenerate the committed corpus from first principles. Run manually
+/// after an intentional scenario/format change:
+///
+/// ```text
+/// cargo test --test chaos regenerate_corpus -- --ignored
+/// ```
+#[test]
+#[ignore = "writes chaos/corpus/ — run explicitly after intentional changes"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 1. Open gap: silent corruption when the integrity envelope is off.
+    //    The committed scenario is the *shrunk* reproducer, so the file
+    //    also documents what the shrinker produces.
+    let shrunk = shrink(&buried_corruption()).expect("must fail");
+    let violation = shrunk
+        .violations
+        .iter()
+        .find(|v| v.oracle == oracle::BYTE_EXACT)
+        .cloned();
+    corpus::save(
+        &dir.join("corrupt-no-integrity.json"),
+        &CorpusEntry {
+            name: "corrupt-no-integrity".into(),
+            status: "open".into(),
+            scenario: shrunk.scenario.clone(),
+            violation,
+        },
+    )
+    .unwrap();
+
+    // 2. The fix for (1): the same corruption with integrity on is
+    //    absorbed by the NACK/retransmit handshake.
+    let fixed = Scenario {
+        integrity: true,
+        ..shrunk.scenario
+    };
+    assert!(run_scenario(&fixed).ok());
+    corpus::save(
+        &dir.join("corrupt-integrity-absorbed.json"),
+        &CorpusEntry {
+            name: "corrupt-integrity-absorbed".into(),
+            status: "fixed".into(),
+            scenario: fixed,
+            violation: None,
+        },
+    )
+    .unwrap();
+
+    // 3. The revoke-vs-checkpoint schedule: killing a checkpoint block's
+    //    owner *and* buddy forces the spill fallback, and early death
+    //    detection once raced the checkpoint's commit barrier into a
+    //    recovery deadlock. Green since the workload pinned a
+    //    shared-memory barrier between the two phases.
+    let recovery = Scenario {
+        seed: 31,
+        ranks: 8,
+        workload: Workload::StencilRecovery { n: 6 },
+        events: vec![
+            ChaosEvent::Exit {
+                rank: 4,
+                at_us: 10_000,
+            },
+            ChaosEvent::Exit {
+                rank: 5,
+                at_us: 10_000,
+            },
+        ],
+        integrity: true,
+        max_retries: 3,
+    };
+    assert!(run_scenario(&recovery).ok());
+    corpus::save(
+        &dir.join("recovery-kill-owner-and-buddy.json"),
+        &CorpusEntry {
+            name: "recovery-kill-owner-and-buddy".into(),
+            status: "fixed".into(),
+            scenario: recovery,
+            violation: None,
+        },
+    )
+    .unwrap();
+}

@@ -124,7 +124,9 @@ fn stats_attribute_work_to_the_right_layer() {
 // The robustness contract: an application linked with TEMPI sees the same
 // MPI error classes it would see from the system MPI alone.
 
-fn providers() -> [(&'static str, fn() -> InterposedMpi); 2] {
+type ProviderCase = (&'static str, fn() -> InterposedMpi);
+
+fn providers() -> [ProviderCase; 2] {
     [
         (
             "tempi",

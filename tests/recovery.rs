@@ -12,7 +12,9 @@
 //! exactly under the same seed.
 
 use gpu_sim::SimTime;
-use mpi_sim::{FaultPlan, MpiError, MpiResult, RankCtx, World, WorldConfig};
+use mpi_sim::{
+    FaultPlan, FaultSite, MpiError, MpiResult, RankCtx, ScopedFault, World, WorldConfig,
+};
 use tempi_core::config::TempiConfig;
 use tempi_core::interpose::InterposedMpi;
 use tempi_stencil::{CheckpointStore, HaloConfig, HaloExchanger, RecoveryOutcome};
@@ -34,8 +36,16 @@ fn recovering_rank(
     let mut store = CheckpointStore::new();
     ex.checkpoint(ctx, &mut mpi, &mut store)?;
     // Scheduled exits are late (10ms) so the snapshot above commits on
-    // every rank first; the advance then carries each rank past its exit
-    // instant and the death is observed *inside* the recovered exchange.
+    // every rank first; the clock barrier makes that "first" hold in real
+    // thread order too, not just on the virtual timeline. Without it a
+    // fast survivor that already observed the death could revoke while a
+    // slow rank is still inside the checkpoint's message barrier, making
+    // that rank abort its commit — leaving no commonly-committed
+    // generation and deadlocking the later agreement (a rare but real
+    // schedule this suite used to hang on). The advance then carries each
+    // rank past its exit instant so the death is observed *inside* the
+    // recovered exchange.
+    ctx.barrier();
     ctx.clock.advance(SimTime::from_ms(20));
     let out = ex.exchange_with_recovery(ctx, &mut mpi, &store, 4)?;
     let got = { ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())? };
@@ -240,12 +250,19 @@ fn kill_plus_corruption_restores_from_checkpoints_and_replays() {
     // log, restored state, virtual clocks — replays identically under the
     // same seed.
     let run = |seed: u64| {
-        let cfg = WorldConfig::summit(8).with_faults(
-            FaultPlan::parse(&format!(
-                "seed={seed},corrupt=0.2,retries=8,backoff=10us,exit=2@10ms"
-            ))
-            .unwrap(),
-        );
+        // The watchdog turns any residual hang in this schedule into a
+        // structured Deadlock error naming the stuck ranks — this test
+        // used to wedge rarely (see the barrier note in
+        // `recovering_rank`), and a silent hang is the one outcome a CI
+        // run can't diagnose.
+        let cfg = WorldConfig::summit(8)
+            .with_faults(
+                FaultPlan::parse(&format!(
+                    "seed={seed},corrupt=0.2,retries=8,backoff=10us,exit=2@10ms"
+                ))
+                .unwrap(),
+            )
+            .with_watchdog(mpi_sim::WatchdogConfig::default());
         assert!(cfg.integrity, "an active corrupt site enables integrity");
         World::run(&cfg, |ctx| match recovering_rank(ctx, 4) {
             Ok((out, got, want, size)) => {
@@ -288,6 +305,151 @@ fn kill_plus_corruption_restores_from_checkpoints_and_replays() {
     let retransmits: u64 = survivors.iter().map(|s| s.4.retransmits).sum();
     assert!(corruptions >= 1, "the corrupt site never fired");
     assert!(nacks >= 1 && retransmits >= 1, "corruption must be NACKed");
+}
+
+/// Block until `peer`'s death notice (or this rank's own scheduled exit)
+/// has been sifted locally: receive on a tag nobody ever sends, which can
+/// only end in an error once the death is known. Pinning failure
+/// knowledge down *before* agreement runs makes a multi-death schedule
+/// shrink in a single deterministic round on every thread interleaving.
+fn await_death_notice(ctx: &mut RankCtx, peer: usize) {
+    if let Ok(buf) = ctx.gpu.host_alloc(1) {
+        let _ = ctx.recv_bytes(buf, 1, Some(peer), Some(913));
+        let _ = ctx.gpu.free(buf);
+    }
+}
+
+#[test]
+fn restore_falls_back_to_spill_when_owner_and_buddy_both_die() {
+    // 8 ranks decompose as [2,2,2]; the 6 survivors re-decompose as
+    // [1,2,3], whose wrapped coordinates need old blocks {0, 2, 4, 6}.
+    // Killing ranks 4 AND 5 removes both the owner and the buddy mirror
+    // of block 4, so the survivor that rebuilds it (world rank 2) can only
+    // get the bytes from the spill directory — the provider chain's last
+    // resort. A byte-exact final grid therefore proves the disk path.
+    let dir = std::env::temp_dir().join(format!("tempi-spill-fb-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::parse("exit=4@10ms,exit=5@10ms").unwrap();
+    let cfg = WorldConfig::summit(8)
+        .with_faults(plan)
+        .with_watchdog(mpi_sim::WatchdogConfig::default());
+    let spill = dir.clone();
+    let results = World::run(&cfg, move |ctx| {
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(4))?;
+        ex.fill(ctx)?;
+        let mut store = CheckpointStore::with_spill(spill.clone());
+        ex.checkpoint(ctx, &mut mpi, &mut store)?;
+        // Clock barrier: no rank may announce its death (at its first
+        // post-exit operation below) before EVERY rank has committed the
+        // snapshot — otherwise a fast survivor's revoke can reach a slow
+        // rank still inside the checkpoint's message barrier, abort its
+        // commit, and leave the world without a common generation.
+        ctx.barrier();
+        ctx.clock.advance(SimTime::from_ms(20));
+        await_death_notice(ctx, 4);
+        await_death_notice(ctx, 5);
+        match ex.exchange_with_recovery(ctx, &mut mpi, &store, 4) {
+            Ok(out) => {
+                let got = ctx.gpu.memory().peek(ex.grid, ex.cfg.alloc_bytes())?;
+                let want = ex.expected_grid(ctx);
+                Ok(Some((out, got, want, ctx.size)))
+            }
+            Err(e) if e.is_comm_failure() => Ok(None),
+            Err(e) => Err(e),
+        }
+    })
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(results[4].is_none() && results[5].is_none());
+    for (rank, r) in results.iter().enumerate() {
+        if rank == 4 || rank == 5 {
+            continue;
+        }
+        let (out, got, want, size) = r.as_ref().expect("survivors must recover");
+        assert_eq!(out.shrinks, 1, "rank {rank}: both deaths in one round");
+        let mut excluded = out.excluded.clone();
+        excluded.sort_unstable();
+        assert_eq!(excluded, vec![4, 5], "rank {rank}");
+        assert_eq!(out.restored, Some(0), "rank {rank}");
+        assert_eq!(*size, 6, "rank {rank}");
+        assert_eq!(
+            got, want,
+            "rank {rank} grid diverged from the serial oracle"
+        );
+    }
+}
+
+#[test]
+fn corrupted_spill_surfaces_a_typed_error_instead_of_bad_data() {
+    // Same double death as above, but the spill file of block 4 is
+    // corrupted on its way to disk by BOTH of its writers (world 4 spills
+    // it as its second write, world 5 mirrors it as its first), so the
+    // last-resort read must fail frame verification with a typed error —
+    // silently restoring flipped bytes would be far worse than failing.
+    // Every other survivor restores its block from a live provider and
+    // never touches the bad file.
+    let dir = std::env::temp_dir().join(format!("tempi-spill-bad-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut plan = FaultPlan::parse("exit=4@10ms,exit=5@10ms").unwrap();
+    plan.scoped.push(ScopedFault {
+        rank: 4,
+        site: FaultSite::Spill,
+        at_call: 1,
+    });
+    plan.scoped.push(ScopedFault {
+        rank: 5,
+        site: FaultSite::Spill,
+        at_call: 0,
+    });
+    let cfg = WorldConfig::summit(8)
+        .with_faults(plan)
+        .with_watchdog(mpi_sim::WatchdogConfig::default());
+    let spill = dir.clone();
+    let results = World::run(&cfg, move |ctx| {
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(4))?;
+        ex.fill(ctx)?;
+        let mut store = CheckpointStore::with_spill(spill.clone());
+        ex.checkpoint(ctx, &mut mpi, &mut store)?;
+        ctx.barrier(); // commits must all land before any death announces
+        ctx.clock.advance(SimTime::from_ms(20));
+        await_death_notice(ctx, 4);
+        await_death_notice(ctx, 5);
+        let _ = mpi.comm_revoke(ctx);
+        let mut dead = match mpi.comm_shrink(ctx) {
+            Ok(d) => d,
+            Err(e) if e.is_comm_failure() => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        dead.sort_unstable();
+        assert_eq!(dead, vec![4, 5], "rank {}", ctx.rank);
+        // Re-decompose over the survivors; the restore is the step under
+        // test. (The first exchanger's buffers are intentionally left
+        // allocated — this world tears down right after the restore.)
+        let origin = ex.origin;
+        let mut ex2 = HaloExchanger::new(ctx, &mut mpi, ex.cfg)?;
+        ex2.origin = origin;
+        Ok(Some(
+            match ex2.restore_from_checkpoint(ctx, &mut mpi, &store) {
+                Ok(generation) => Ok(generation),
+                Err(e) => Err(e.to_string()),
+            },
+        ))
+    })
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    for (rank, r) in results.iter().enumerate() {
+        match (rank, r) {
+            (4 | 5, None) => {}
+            (2, Some(Err(msg))) => assert!(
+                msg.contains("checkpoint frame"),
+                "rank 2 must surface the frame verification failure, got: {msg}"
+            ),
+            (_, Some(Ok(generation))) => assert_eq!(*generation, 0, "rank {rank}"),
+            other => panic!("unexpected outcome for rank {rank}: {other:?}"),
+        }
+    }
 }
 
 #[test]

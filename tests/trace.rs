@@ -213,7 +213,8 @@ fn per_lane_sequences_replay_exactly_for_a_seed() {
     // each lane's own sequence is virtual-time deterministic: same seed,
     // same spans, same timestamps.
     let lanes = |tracer: &Tracer| {
-        let mut m: BTreeMap<(u64, u64), Vec<(String, String, String)>> = BTreeMap::new();
+        type LaneSeq = Vec<(String, String, String)>;
+        let mut m: BTreeMap<(u64, u64), LaneSeq> = BTreeMap::new();
         for e in parse_events(tracer) {
             let ph = e["ph"].as_str().unwrap().to_string();
             if ph == "M" {
