@@ -142,6 +142,104 @@ pub fn compare(baseline: &[BenchRow], current: &[BenchRow]) -> Result<Vec<Regres
     Ok(regressions)
 }
 
+/// One `bench_scale` sweep row, matching what `bench_scale` serializes.
+///
+/// `exchange_ns` is virtual time from the simulator clock (the slowest
+/// rank's measured exchange), so the gate is exactly reproducible.
+/// `wall_ms` is host wall-clock — reported for the scaling headline,
+/// never gated (it is the one noisy column).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleRow {
+    /// Which sweep the row belongs to: `"stencil"` or `"alltoallv"`.
+    pub workload: String,
+    /// World size of the run — half of the row key with `workload`.
+    pub ranks: usize,
+    /// Slowest rank's virtual-time cost of one steady-state exchange, ns.
+    pub exchange_ns: f64,
+    /// Host wall-clock of the whole world run, milliseconds (reported,
+    /// not gated).
+    #[serde(default)]
+    pub wall_ms: f64,
+}
+
+impl ScaleRow {
+    /// The identity of a scale row across runs.
+    pub fn key(&self) -> (&str, usize) {
+        (&self.workload, self.ranks)
+    }
+}
+
+/// One scale-sweep regression: a `(workload, ranks)` row whose virtual
+/// exchange time got slower than the baseline allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleRegression {
+    /// Which sweep regressed.
+    pub workload: String,
+    /// World size of the offending row.
+    pub ranks: usize,
+    /// The committed baseline time, virtual ns.
+    pub baseline_ns: f64,
+    /// The freshly measured time, virtual ns.
+    pub current_ns: f64,
+}
+
+impl ScaleRegression {
+    /// Slowdown factor, `current / baseline`.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+impl std::fmt::Display for ScaleRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ {} ranks: exchange_ns {:.0} ns -> {:.0} ns ({:.2}x, limit {:.2}x)",
+            self.workload,
+            self.ranks,
+            self.baseline_ns,
+            self.current_ns,
+            self.ratio(),
+            TOLERANCE
+        )
+    }
+}
+
+/// Compare a fresh scale sweep against the committed baseline, with the
+/// same contract as [`compare`]: every baseline row must still exist,
+/// extra current rows are fine, regressions come back worst first.
+pub fn compare_scale(
+    baseline: &[ScaleRow],
+    current: &[ScaleRow],
+) -> Result<Vec<ScaleRegression>, String> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key() == b.key()) else {
+            return Err(format!(
+                "baseline row {} @ {} ranks is missing from the current run \
+                 (sweep shrank? re-record results/BENCH_scale.baseline.json)",
+                b.workload, b.ranks
+            ));
+        };
+        if b.exchange_ns.is_nan() || b.exchange_ns <= 0.0 {
+            return Err(format!(
+                "baseline row {} @ {} ranks has non-positive exchange_ns ({})",
+                b.workload, b.ranks, b.exchange_ns
+            ));
+        }
+        if c.exchange_ns > b.exchange_ns * TOLERANCE {
+            regressions.push(ScaleRegression {
+                workload: b.workload.clone(),
+                ranks: b.ranks,
+                baseline_ns: b.exchange_ns,
+                current_ns: c.exchange_ns,
+            });
+        }
+    }
+    regressions.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    Ok(regressions)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +316,44 @@ mod tests {
         let s = serde_json::to_string(&base).unwrap();
         let back: Vec<BenchRow> = serde_json::from_str(&s).unwrap();
         assert_eq!(back[0].key(), (1 << 20, 64));
+    }
+
+    fn srow(workload: &str, ranks: usize, ns: f64) -> ScaleRow {
+        ScaleRow {
+            workload: workload.to_string(),
+            ranks,
+            exchange_ns: ns,
+            wall_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn scale_identical_runs_pass_and_wall_clock_is_not_gated() {
+        let base = vec![srow("stencil", 8, 10_000.0), srow("alltoallv", 64, 5_000.0)];
+        let mut cur = base.clone();
+        cur[0].wall_ms = 1_000.0; // 1000x wall slowdown: noise, never gated
+        assert_eq!(compare_scale(&base, &cur).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn scale_regression_fails_and_names_the_row() {
+        let base = vec![srow("stencil", 4096, 80_000.0)];
+        let mut cur = base.clone();
+        cur[0].exchange_ns = 80_000.0 * 1.25;
+        let regs = compare_scale(&base, &cur).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].ratio() - 1.25).abs() < 1e-9);
+        let msg = regs[0].to_string();
+        assert!(msg.contains("stencil @ 4096 ranks"), "{msg}");
+    }
+
+    #[test]
+    fn scale_missing_row_is_an_error_and_speedups_pass() {
+        let base = vec![srow("stencil", 8, 10_000.0)];
+        let err = compare_scale(&base, &[]).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let mut cur = base.clone();
+        cur[0].exchange_ns = 5_000.0; // got faster: never a failure
+        assert_eq!(compare_scale(&base, &cur).unwrap(), vec![]);
     }
 }

@@ -1,96 +1,119 @@
-//! `check_bench`: the CI perf gate over the `bench_send` datatype zoo.
+//! `check_bench`: the CI perf gates over the `bench_send` datatype zoo
+//! and the `bench_scale` scaling sweep.
 //!
-//! Reads the fresh `BENCH_send.json` at the repository root (written by a
-//! preceding `bench_send` run) and the committed
-//! `results/BENCH_send.baseline.json`, and exits non-zero when any zoo
-//! row got more than 10% slower on any timing column (see
-//! [`tempi_bench::baseline`]). All times are virtual nanoseconds, so the
-//! gate is deterministic — no flake budget needed.
+//! Reads the fresh `BENCH_send.json` / `BENCH_scale.json` at the
+//! repository root (written by preceding `bench_send` / `bench_scale`
+//! runs) and the committed `results/BENCH_*.baseline.json` copies, and
+//! exits non-zero when any zoo row got more than 10% slower on any gated
+//! timing column (see [`tempi_bench::baseline`]). All gated times are
+//! virtual nanoseconds, so both gates are deterministic — no flake budget
+//! needed. (`bench_scale`'s wall-clock column is reported but never
+//! gated.)
 //!
 //! Bootstrap: an empty (`[]`) or absent baseline records the current rows
-//! as the new baseline and passes. That is how the baseline is
+//! as the new baseline and passes. That is how a baseline is
 //! (re-)captured after an intentional perf change: delete the file's
-//! contents down to `[]`, re-run `bench_send` then `check_bench`, and
+//! contents down to `[]`, re-run the bench bin then `check_bench`, and
 //! commit the rewritten baseline.
 //!
 //! Run: `cargo run --release -p tempi-bench --bin check_bench`
 
-use tempi_bench::baseline::{compare, BenchRow, TOLERANCE};
+use serde::{Deserialize, Serialize};
+use tempi_bench::baseline::{compare, compare_scale, BenchRow, ScaleRow, TOLERANCE};
 
-fn read_rows(path: &str) -> Result<Vec<BenchRow>, String> {
+fn read_rows<T: Deserialize>(path: &str) -> Result<Vec<T>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn main() {
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let current_path = format!("{root}/BENCH_send.json");
-    let baseline_path = format!("{root}/results/BENCH_send.baseline.json");
-
-    let current = match read_rows(&current_path) {
+/// Run one gate: load current + baseline rows, bootstrap an absent or
+/// empty baseline, otherwise compare. Returns `Err(exit message)` on any
+/// failure, `Ok(report line)` on pass.
+fn gate<T, R>(
+    label: &str,
+    current_path: &str,
+    baseline_path: &str,
+    bench_bin: &str,
+    check: impl Fn(&[T], &[T]) -> Result<Vec<R>, String>,
+) -> Result<String, String>
+where
+    T: Deserialize + Serialize,
+    R: std::fmt::Display,
+{
+    let current: Vec<T> = match read_rows(current_path) {
         Ok(rows) if !rows.is_empty() => rows,
-        Ok(_) => {
-            eprintln!("check_bench: {current_path} is empty — run `bench_send` first");
-            std::process::exit(1);
-        }
-        Err(e) => {
-            eprintln!("check_bench: {e} — run `bench_send` first");
-            std::process::exit(1);
-        }
+        Ok(_) => return Err(format!("{current_path} is empty — run `{bench_bin}` first")),
+        Err(e) => return Err(format!("{e} — run `{bench_bin}` first")),
     };
-    let baseline = match std::fs::metadata(&baseline_path) {
-        Ok(_) => match read_rows(&baseline_path) {
-            Ok(rows) => rows,
-            Err(e) => {
-                eprintln!("check_bench: {e}");
-                std::process::exit(1);
-            }
-        },
+    let baseline: Vec<T> = match std::fs::metadata(baseline_path) {
+        Ok(_) => read_rows(baseline_path)?,
         Err(_) => Vec::new(),
     };
 
     if baseline.is_empty() {
         let s = serde_json::to_string_pretty(&current).expect("serializable rows");
-        match std::fs::write(&baseline_path, s + "\n") {
-            Ok(()) => println!(
-                "check_bench: baseline was empty — recorded {} zoo rows to {baseline_path}; \
+        return match std::fs::write(baseline_path, s + "\n") {
+            Ok(()) => Ok(format!(
+                "{label}: baseline was empty — recorded {} rows to {baseline_path}; \
                  review and commit it",
                 current.len()
-            ),
-            Err(e) => {
-                eprintln!("check_bench: cannot bootstrap {baseline_path}: {e}");
-                std::process::exit(1);
-            }
-        }
-        return;
+            )),
+            Err(e) => Err(format!("cannot bootstrap {baseline_path}: {e}")),
+        };
     }
 
-    match compare(&baseline, &current) {
-        Ok(regressions) if regressions.is_empty() => {
-            println!(
-                "check_bench: {} zoo rows within the {:.0}% budget of {baseline_path}",
-                baseline.len(),
-                (TOLERANCE - 1.0) * 100.0
-            );
-        }
-        Ok(regressions) => {
-            eprintln!(
-                "check_bench: {} regression(s) beyond the {:.0}% budget:",
+    match check(&baseline, &current)? {
+        regressions if regressions.is_empty() => Ok(format!(
+            "{label}: {} rows within the {:.0}% budget of {baseline_path}",
+            baseline.len(),
+            (TOLERANCE - 1.0) * 100.0
+        )),
+        regressions => {
+            let mut msg = format!(
+                "{label}: {} regression(s) beyond the {:.0}% budget:\n",
                 regressions.len(),
                 (TOLERANCE - 1.0) * 100.0
             );
             for r in &regressions {
-                eprintln!("  {r}");
+                msg.push_str(&format!("  {r}\n"));
             }
-            eprintln!(
+            msg.push_str(&format!(
                 "if intentional, re-record the baseline (empty {baseline_path} to `[]`, \
-                 re-run bench_send + check_bench, commit)"
-            );
-            std::process::exit(1);
+                 re-run {bench_bin} + check_bench, commit)"
+            ));
+            Err(msg)
         }
-        Err(e) => {
-            eprintln!("check_bench: {e}");
-            std::process::exit(1);
+    }
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut failed = false;
+    for result in [
+        gate::<BenchRow, _>(
+            "check_bench[send]",
+            &format!("{root}/BENCH_send.json"),
+            &format!("{root}/results/BENCH_send.baseline.json"),
+            "bench_send",
+            compare,
+        ),
+        gate::<ScaleRow, _>(
+            "check_bench[scale]",
+            &format!("{root}/BENCH_scale.json"),
+            &format!("{root}/results/BENCH_scale.baseline.json"),
+            "bench_scale",
+            compare_scale,
+        ),
+    ] {
+        match result {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("check_bench: {e}");
+                failed = true;
+            }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -13,7 +13,7 @@ pub mod measure;
 pub mod report;
 pub mod workloads;
 
-pub use baseline::{compare, BenchRow, Regression};
+pub use baseline::{compare, compare_scale, BenchRow, Regression, ScaleRegression, ScaleRow};
 pub use measure::{
     commit_breakdown, pack_time, send_one_way_times, send_pair_time, trimean, Mode, Platform,
 };

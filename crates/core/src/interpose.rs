@@ -16,7 +16,7 @@
 use std::collections::HashSet;
 
 use gpu_sim::GpuPtr;
-use mpi_sim::{Datatype, MpiResult, RankCtx, Status};
+use mpi_sim::{AlltoallvBlock, Datatype, MpiResult, RankCtx, Status};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{Method, TempiConfig};
@@ -285,6 +285,22 @@ impl InterposedMpi {
         // not in the override set → always the system implementation
         let _ = self.resolve(MpiSymbol::Alltoallv);
         ctx.alltoallv_bytes(sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls)
+    }
+
+    /// Sparse-neighborhood `MPI_Alltoallv` (same fall-through as
+    /// [`InterposedMpi::alltoallv_bytes`], O(degree) argument lists): the
+    /// shape the stencil uses at scale, where walking a world-sized count
+    /// array per rank would dominate a 10,000-rank exchange.
+    pub fn alltoallv_sparse_bytes(
+        &mut self,
+        ctx: &mut RankCtx,
+        sendbuf: GpuPtr,
+        sends: &[AlltoallvBlock],
+        recvbuf: GpuPtr,
+        recvs: &[AlltoallvBlock],
+    ) -> MpiResult<()> {
+        let _ = self.resolve(MpiSymbol::Alltoallv);
+        ctx.alltoallv_sparse_bytes(sendbuf, sends, recvbuf, recvs)
     }
 
     /// `MPI_Barrier` over the *current* communicator members. TEMPI does

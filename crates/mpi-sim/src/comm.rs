@@ -115,9 +115,12 @@ impl RankCtx {
 
     /// Current membership: `comm_members()[comm_rank]` is the world rank at
     /// that position. The identity map until the first shrink.
+    /// Materialized per call — the runtime stores the pre-shrink identity
+    /// map symbolically so a 10,000-rank world doesn't carry an N-entry
+    /// table per rank.
     #[must_use]
-    pub fn comm_members(&self) -> &[usize] {
-        &self.comm_members
+    pub fn comm_members(&self) -> Vec<usize> {
+        self.comm_members.to_vec()
     }
 
     /// World ranks this rank currently knows to be dead (sorted).
@@ -130,7 +133,6 @@ impl RankCtx {
     fn other_members(&self) -> Vec<usize> {
         self.comm_members
             .iter()
-            .copied()
             .filter(|&w| w != self.world_rank)
             .collect()
     }
@@ -153,19 +155,13 @@ impl RankCtx {
             // `deliver_payload`
             checksum: None,
         };
-        match &self.watchdog {
-            // Charge the in-flight account before the send; roll back if
-            // the peer's inbox is already closed.
-            Some(wd) => {
-                wd.note_send(dest_world);
-                if self.peers[dest_world].send(msg).is_err() {
-                    wd.unnote_send(dest_world);
-                }
-            }
-            None => {
-                let _ = self.peers[dest_world].send(msg);
-            }
+        // Charge the in-flight account before the delivery (router pushes
+        // never fail). Control traffic is exempt from backpressure: the
+        // recovery protocol's progress guarantees are built on it.
+        if let Some(wd) = &self.watchdog {
+            wd.note_send(dest_world);
         }
+        self.router.push(dest_world, msg, self.sched.as_deref());
     }
 
     /// ULFM `MPI_Comm_revoke`: poison the current communicator epoch on
@@ -286,7 +282,7 @@ impl RankCtx {
         for k in 0..n {
             if k == me {
                 // Coordinator: union every participant's set with my own.
-                let members: BTreeSet<usize> = self.comm_members.iter().copied().collect();
+                let members: BTreeSet<usize> = self.comm_members.iter().collect();
                 let mut union: BTreeSet<usize> = self
                     .known_dead
                     .keys()
@@ -297,7 +293,7 @@ impl RankCtx {
                     if j == me {
                         continue;
                     }
-                    let jw = self.comm_members[j];
+                    let jw = self.comm_members.world(j);
                     if union.contains(&jw) {
                         continue;
                     }
@@ -317,7 +313,7 @@ impl RankCtx {
             // Participant: ship my set to candidate k even when I believe
             // it dead — a candidate whose clock lags its scheduled exit
             // still acts alive and must not wait on me forever.
-            let cand_world = self.comm_members[k];
+            let cand_world = self.comm_members.world(k);
             let payload = encode_ranks(self.known_dead.keys());
             self.control_send(cand_world, TAG_AGREE_GATHER, payload);
             if self.known_dead.contains_key(&cand_world) {
@@ -354,14 +350,13 @@ impl RankCtx {
         let survivors: Vec<usize> = self
             .comm_members
             .iter()
-            .copied()
             .filter(|w| !dead.contains(w))
             .collect();
         let me = survivors
             .iter()
             .position(|&w| w == self.world_rank)
             .ok_or_else(|| MpiError::Internal("survivor missing from shrunk group".into()))?;
-        self.comm_members = survivors;
+        self.comm_members = crate::runtime::Members::Explicit(survivors);
         self.rank = me;
         self.size = self.comm_members.len();
         self.epoch += 1;
@@ -410,7 +405,7 @@ impl RankCtx {
             let mut round: u32 = 0;
             let mut dist = 1usize;
             while dist < n {
-                let to = self.comm_members[(me + dist) % n];
+                let to = self.comm_members.world((me + dist) % n);
                 let from = (me + n - dist) % n;
                 self.control_send(to, TAG_BARRIER, round.to_le_bytes().to_vec());
                 let depart = self.barrier_recv(epoch, from, round)?;
@@ -434,7 +429,7 @@ impl RankCtx {
                 let m = self.pending.remove(i).expect("index valid");
                 return Ok(m.depart);
             }
-            let from_world = self.comm_members[from];
+            let from_world = self.comm_members.world(from);
             if let Some(&at) = self.known_dead.get(&from_world) {
                 self.clock.advance_to(at);
                 self.faults.stats.peer_gone += 1;

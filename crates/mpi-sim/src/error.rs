@@ -102,6 +102,18 @@ pub enum MpiError {
         /// operation, parallel to `ranks`.
         ops: Vec<String>,
     },
+    /// A rank's body panicked. The runtime catches the unwind at the rank
+    /// boundary so one crashing rank cannot discard every other rank's
+    /// result (or tear down the whole world scope) — the panic surfaces
+    /// as this typed error carrying the panicking rank's id and message,
+    /// and the run's other results stay observable.
+    RankPanicked {
+        /// World rank whose body panicked.
+        rank: usize,
+        /// The panic payload, when it was a string (the common case);
+        /// `"<non-string panic payload>"` otherwise.
+        message: String,
+    },
     /// Internal invariant violation (a bug in the simulator, not the
     /// application).
     Internal(String),
@@ -216,6 +228,9 @@ impl fmt::Display for MpiError {
                 }
                 write!(f, "]")
             }
+            MpiError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
             MpiError::Internal(s) => write!(f, "internal simulator error: {s}"),
         }
     }
@@ -302,6 +317,21 @@ mod tests {
         let msg = format!("{dl}");
         assert!(msg.contains("rank 0: recv(src=1, tag=5)"), "{msg}");
         assert!(msg.contains("rank 2: barrier"), "{msg}");
+    }
+
+    #[test]
+    fn rank_panic_is_fatal_and_names_the_rank() {
+        // A panic is a program error: not retryable, and not something
+        // revoke/shrink can repair (the rank's state is gone).
+        let e = MpiError::RankPanicked {
+            rank: 3,
+            message: "index out of bounds".into(),
+        };
+        assert!(!e.is_transient());
+        assert!(!e.is_comm_failure());
+        let msg = format!("{e}");
+        assert!(msg.contains("rank 3"), "{msg}");
+        assert!(msg.contains("index out of bounds"), "{msg}");
     }
 
     #[test]

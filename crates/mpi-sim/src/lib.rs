@@ -15,11 +15,13 @@
 //!   its contiguous-pack synchronization bug, Spectrum's chunked transfers;
 //! * a **network model** ([`net`]) encoding the paper's Fig. 8a
 //!   measurements (2.2 µs CPU floor, 11 µs CUDA-aware floor); and
-//! * a **multi-rank runtime** ([`runtime`], [`p2p`], [`collective`]) — one
-//!   thread + one simulated GPU per rank, Lamport-style virtual clocks,
-//!   blocking send/recv with MPI matching rules, `Alltoallv`, barriers,
-//!   and ULFM-style communicator recovery ([`comm`]: revoke / agree /
-//!   shrink with epoch-stamped envelopes); and
+//! * a **multi-rank runtime** ([`runtime`], [`p2p`], [`collective`]) — an
+//!   event-driven virtual-time scheduler ([`sched`]) running each rank as
+//!   a fiber with one simulated GPU (10,000+ ranks on a laptop; a legacy
+//!   thread-per-rank backend remains selectable), Lamport-style virtual
+//!   clocks, blocking send/recv with MPI matching rules, `Alltoallv`,
+//!   barriers, and ULFM-style communicator recovery ([`comm`]: revoke /
+//!   agree / shrink with epoch-stamped envelopes); and
 //! * a **deterministic fault-injection subsystem** ([`fault`]) — seeded,
 //!   replayable GPU/network fault schedules with bounded retry + backoff
 //!   in virtual time, and the degradation-event log the TEMPI layer
@@ -44,9 +46,11 @@ pub mod net;
 pub mod nonblocking;
 pub mod p2p;
 pub mod runtime;
+pub mod sched;
 pub mod vendor;
 pub mod watchdog;
 
+pub use collective::AlltoallvBlock;
 pub use datatype::{consts, Combiner, Contents, Datatype, Envelope, Named, Order, TypeRegistry};
 pub use error::{MpiError, MpiResult};
 pub use fault::{
@@ -57,6 +61,7 @@ pub use net::{NetModel, Transport};
 pub use nonblocking::Request;
 pub use p2p::{payload_checksum, Message, PartInfo, ProbeInfo, Status};
 pub use runtime::{RankCtx, World, WorldConfig};
+pub use sched::SchedMode;
 pub use tempi_trace::{TraceLevel, Tracer};
 pub use vendor::{BaselineMethod, VendorId, VendorProfile};
 pub use watchdog::{DeadlockInfo, Watchdog, WatchdogConfig};

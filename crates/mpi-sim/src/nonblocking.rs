@@ -360,11 +360,11 @@ impl RankCtx {
             Some(s) => self
                 .comm_members
                 .get(s)
-                .is_some_and(|w| self.known_dead.contains_key(w)),
+                .is_some_and(|w| self.known_dead.contains_key(&w)),
             None => self
                 .comm_members
                 .iter()
-                .any(|w| self.known_dead.contains_key(w)),
+                .any(|w| self.known_dead.contains_key(&w)),
         }
     }
 }

@@ -235,9 +235,9 @@ impl RankCtx {
         Ok(())
     }
 
-    /// Broadcast this rank's death notice once (idempotent). Raw channel
-    /// sends: no clock advance, no fault gating — a dying rank always
-    /// manages to tell the world when.
+    /// Broadcast this rank's death notice once (idempotent). Raw router
+    /// pushes: no clock advance, no fault gating, no backpressure — a
+    /// dying rank always manages to tell the world when.
     pub(crate) fn announce_death(&mut self, at: SimTime) {
         if self.death_sent {
             return;
@@ -254,23 +254,18 @@ impl RankCtx {
             part: None,
             checksum: None,
         };
-        for (w, tx) in self.peers.iter().enumerate() {
+        let sched = self.sched.as_deref();
+        for w in 0..self.world_size {
             if w == self.world_rank {
                 continue;
             }
-            match &self.watchdog {
-                // Charge the in-flight account before the send; roll back
-                // if the peer's inbox is already closed.
-                Some(wd) => {
-                    wd.note_send(w);
-                    if tx.send(notice.clone()).is_err() {
-                        wd.unnote_send(w);
-                    }
-                }
-                None => {
-                    let _ = tx.send(notice.clone());
-                }
+            // Charge the in-flight account before the delivery so the
+            // watchdog can never observe the notice as neither in flight
+            // nor queued.
+            if let Some(wd) = &self.watchdog {
+                wd.note_send(w);
             }
+            self.router.push(w, notice.clone(), sched);
         }
     }
 
@@ -279,7 +274,7 @@ impl RankCtx {
     /// virtual instant. Purely clock-based, so the decision replays
     /// identically in virtual time.
     fn fault_check_peer(&mut self, peer: usize) -> MpiResult<()> {
-        let peer_world = self.comm_members.get(peer).copied().unwrap_or(peer);
+        let peer_world = self.comm_members.get(peer).unwrap_or(peer);
         let dead_at = match &self.faults.injector {
             Some(inj) if inj.peer_dead(peer_world, self.clock.now()) => inj.exit_time(peer_world),
             _ => None,
@@ -487,9 +482,9 @@ impl RankCtx {
         part: Option<PartInfo>,
     ) -> MpiResult<()> {
         self.clock.advance(self.net.send_overhead);
-        // `dest` is a rank in the *current* communicator; the channel table
-        // is indexed by world rank.
-        let dest_world = self.comm_members.get(dest).copied().unwrap_or(dest);
+        // `dest` is a rank in the *current* communicator; the router is
+        // indexed by world rank.
+        let dest_world = self.comm_members.get(dest).unwrap_or(dest);
         let checksum = if self.integrity {
             Some(payload_checksum(&payload))
         } else {
@@ -524,24 +519,33 @@ impl RankCtx {
                 ]
             },
         );
-        // Unbounded channel: sends are eager and never deadlock. A closed
-        // inbox means the peer rank already exited (it returned early or a
-        // scheduled rank-exit fault fired there): surface that as the same
-        // condition the fault injector models rather than panicking.
+        // The in-flight account is charged *before* the delivery so the
+        // watchdog can never observe the message as neither in flight nor
+        // queued (a false quiescence). Router pushes never fail — an inbox
+        // has no "disconnected" state; traffic to an exited rank just sits
+        // in its queue.
         //
-        // The in-flight account is charged *before* the channel send so
-        // the watchdog can never observe the message as neither in flight
-        // nor delivered (a false quiescence), and rolled back if the send
-        // fails (the message never existed).
+        // User payloads to a remote rank go through the bounded path: a
+        // full destination inbox parks *this sender* until the receiver
+        // drains (backpressure — what keeps a 4,096-rank send storm at
+        // O(ranks · HWM) memory). Control traffic (negative tags) and
+        // self-sends are exempt: recovery progress is built on them, and a
+        // rank's send to itself can never be drained while it is parked.
         if let Some(wd) = &self.watchdog {
             wd.note_send(dest_world);
         }
-        if self.peers[dest_world].send(msg).is_err() {
-            if let Some(wd) = &self.watchdog {
-                wd.unnote_send(dest_world);
-            }
-            self.faults.stats.peer_gone += 1;
-            return Err(MpiError::PeerGone);
+        if tag >= MIN_USER_TAG && dest_world != self.world_rank {
+            let now = self.clock.now();
+            self.router.push_bounded(
+                self.world_rank,
+                dest_world,
+                msg,
+                now,
+                self.sched.as_deref(),
+                self.watchdog.as_deref(),
+            );
+        } else {
+            self.router.push(dest_world, msg, self.sched.as_deref());
         }
         Ok(())
     }
@@ -609,11 +613,11 @@ impl RankCtx {
             Some(s) => self
                 .comm_members
                 .get(s)
-                .and_then(|w| self.known_dead.get(w).copied()),
+                .and_then(|w| self.known_dead.get(&w).copied()),
             None => self
                 .comm_members
                 .iter()
-                .filter_map(|w| self.known_dead.get(w).copied())
+                .filter_map(|w| self.known_dead.get(&w).copied())
                 .min(),
         }
     }
@@ -621,14 +625,40 @@ impl RankCtx {
     // ---- watchdog-aware inbox access ------------------------------------
 
     /// Pull the next message from this rank's inbox, blocking until one
-    /// arrives. Without a watchdog this is a plain channel receive; with
-    /// one, the rank registers as blocked (described by `desc`, rendered
-    /// lazily) and re-evaluates the quiescence predicate on the poll
-    /// interval while parked, so a deadlocked world surfaces as a
-    /// structured [`MpiError::Deadlock`] instead of a hang.
+    /// arrives. Under the event scheduler the fiber parks (described by
+    /// `desc`, rendered lazily) and a structural deadlock verdict unwinds
+    /// it as [`MpiError::Deadlock`]. Under the thread backend without a
+    /// watchdog this is a plain condvar wait; with one, the rank registers
+    /// as blocked and re-evaluates the quiescence predicate on the poll
+    /// interval while parked.
     pub(crate) fn wd_blocking_recv(&mut self, desc: impl FnOnce() -> String) -> MpiResult<Message> {
+        if let Some(sched) = self.sched.clone() {
+            // Cache the rendering so a spurious-wake re-park doesn't
+            // re-format.
+            let mut rendered: Option<String> = None;
+            let mut desc = Some(desc);
+            let mut render = || {
+                rendered
+                    .get_or_insert_with(|| (desc.take().expect("rendered once"))())
+                    .clone()
+            };
+            let msg =
+                self.router
+                    .recv_sched(self.world_rank, &sched, self.clock.now(), &mut render);
+            return match msg {
+                Some(m) => Ok(m),
+                None => {
+                    let v = sched.verdict().expect("recv_sched only fails condemned");
+                    self.clock.advance_to(v.at);
+                    Err(MpiError::Deadlock {
+                        ranks: v.ranks,
+                        ops: v.ops,
+                    })
+                }
+            };
+        }
         let Some(wd) = self.watchdog.clone() else {
-            return self.inbox.recv().map_err(|_| MpiError::PeerGone);
+            return Ok(self.router.recv_thread(self.world_rank));
         };
         if let Some(v) = wd.verdict() {
             // The world was already declared dead; never park again.
@@ -640,14 +670,17 @@ impl RankCtx {
         }
         wd.block(self.world_rank, desc(), self.clock.now());
         loop {
-            match self.inbox.recv_timeout(wd.poll_interval()) {
-                Ok(msg) => {
+            match self
+                .router
+                .recv_thread_timeout(self.world_rank, wd.poll_interval())
+            {
+                Some(msg) => {
                     // Slot clear + in-flight decrement happen under one
                     // lock so the checker can't see a false quiescence.
                     wd.unblock_after_recv(self.world_rank);
                     return Ok(msg);
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                None => {
                     if let Some(v) = wd.poll_detect() {
                         self.clock.advance_to(v.at);
                         return Err(MpiError::Deadlock {
@@ -656,25 +689,29 @@ impl RankCtx {
                         });
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    wd.unblock(self.world_rank);
-                    return Err(MpiError::PeerGone);
-                }
             }
         }
     }
 
     /// Non-blocking inbox pull with watchdog accounting (the `try_recv`
-    /// analogue of [`RankCtx::wd_blocking_recv`]).
+    /// analogue of [`RankCtx::wd_blocking_recv`]). Under the event
+    /// scheduler an empty inbox also yields the fiber: poll loops
+    /// (`test()` spinning) must let peers run on a single worker, or the
+    /// world would livelock.
     pub(crate) fn wd_try_recv(&mut self) -> Option<Message> {
-        match self.inbox.try_recv() {
-            Ok(m) => {
+        match self.router.try_recv(self.world_rank, self.sched.as_deref()) {
+            Some(m) => {
                 if let Some(wd) = &self.watchdog {
                     wd.note_recv(self.world_rank);
                 }
                 Some(m)
             }
-            Err(_) => None,
+            None => {
+                if let Some(sched) = self.sched.clone() {
+                    sched.yield_now(self.world_rank, self.clock.now());
+                }
+                None
+            }
         }
     }
 
@@ -734,8 +771,8 @@ impl RankCtx {
                 }
                 Sifted::Death(w, at) => {
                     let hit = match src {
-                        Some(s) => self.comm_members.get(s) == Some(&w),
-                        None => self.comm_members.contains(&w),
+                        Some(s) => self.comm_members.get(s) == Some(w),
+                        None => self.comm_members.contains(w),
                     };
                     if hit {
                         self.clock.advance_to(at);

@@ -1,20 +1,24 @@
 //! The simulated multi-rank world.
 //!
-//! [`World::run`] spawns one OS thread per MPI rank; each thread receives a
+//! [`World::run`] executes `body` on every MPI rank; each rank receives a
 //! [`RankCtx`] — its window onto the simulation: a private virtual clock, a
 //! private simulated GPU (one GPU per rank, as on Summit), a shared
-//! datatype registry, and channels to every peer. Virtual time composes
-//! across ranks Lamport-style: messages carry their departure instant, and
-//! a receive completes at `max(local now, departure + wire time)`.
+//! datatype registry, and a shared delivery `Router`. Virtual time
+//! composes across ranks Lamport-style: messages carry their departure
+//! instant, and a receive completes at `max(local now, departure + wire
+//! time)`.
 //!
-//! Wall-clock thread scheduling never affects results: all reported times
-//! are virtual, and matching is deterministic for the directed
-//! (source-specified) receives used throughout the experiments.
+//! Two scheduling backends exist (see [`SchedMode`]): the default
+//! event-driven scheduler runs ranks as cooperatively-yielding fibers on an
+//! M-worker pool (M ≈ cores) and scales past 10,000 ranks; the legacy
+//! thread backend spawns one OS thread per rank. Wall-clock scheduling
+//! never affects results under either: all reported times are virtual, and
+//! matching is deterministic for the directed (source-specified) receives
+//! used throughout the experiments.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use gpu_sim::{DeviceProps, GpuContext, GpuCostModel, SimClock, SimTime, Stream, Tracer};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -23,8 +27,9 @@ use crate::error::{MpiError, MpiResult};
 use crate::fault::{FaultPlan, FaultState};
 use crate::net::NetModel;
 use crate::p2p::Message;
+use crate::sched::{Router, SchedCore, SchedMode, DEFAULT_INBOX_HWM};
 use crate::vendor::VendorProfile;
-use crate::watchdog::{Watchdog, WatchdogConfig};
+use crate::watchdog::{DeadlockInfo, Watchdog, WatchdogConfig};
 
 /// Everything that parameterizes a simulated platform.
 #[derive(Debug, Clone)]
@@ -51,9 +56,23 @@ pub struct WorldConfig {
     /// Observability sink shared by every rank of this world (the default,
     /// [`Tracer::off`], records nothing and costs one branch per hook).
     pub tracer: Tracer,
-    /// Deadlock watchdog; `None` (the default) keeps every blocking point
-    /// a plain blocking channel/condvar wait with zero added cost.
+    /// Deadlock watchdog. Under the event scheduler deadlocks are detected
+    /// structurally and this only contributes the virtual-time budget
+    /// folded into the verdict's timestamp; under the thread backend,
+    /// `None` (the default) keeps every blocking point a plain blocking
+    /// condvar wait with zero added cost.
     pub watchdog: Option<WatchdogConfig>,
+    /// Scheduling backend (default [`SchedMode::Auto`]: the event
+    /// scheduler where fibers are supported, honoring `TEMPI_SCHED`).
+    pub sched: SchedMode,
+    /// Worker threads for the event scheduler; `None` (the default) uses
+    /// `TEMPI_SCHED_WORKERS` or the machine's available parallelism.
+    /// Results are byte-identical regardless of this value.
+    pub sched_workers: Option<usize>,
+    /// Per-rank inbox high-water mark in messages; `None` uses
+    /// `TEMPI_INBOX_HWM` or the default (8192). `Some(0)` disables
+    /// backpressure entirely (unbounded inboxes, the old behavior).
+    pub inbox_hwm: Option<usize>,
 }
 
 impl WorldConfig {
@@ -69,6 +88,9 @@ impl WorldConfig {
             integrity: false,
             tracer: Tracer::off(),
             watchdog: None,
+            sched: SchedMode::Auto,
+            sched_workers: None,
+            inbox_hwm: None,
         }
     }
 
@@ -85,6 +107,9 @@ impl WorldConfig {
             integrity: false,
             tracer: Tracer::off(),
             watchdog: None,
+            sched: SchedMode::Auto,
+            sched_workers: None,
+            inbox_hwm: None,
         }
     }
 
@@ -121,6 +146,54 @@ impl WorldConfig {
     pub fn with_watchdog(mut self, wd: WatchdogConfig) -> Self {
         self.watchdog = Some(wd);
         self
+    }
+
+    /// Builder-style: force a specific scheduling backend (the default,
+    /// [`SchedMode::Auto`], picks per platform).
+    #[must_use]
+    pub fn with_sched_mode(mut self, mode: SchedMode) -> Self {
+        self.sched = mode;
+        self
+    }
+
+    /// Builder-style: pin the event scheduler's worker-pool size (the
+    /// determinism tests run the same world at `M=1` and `M=8`).
+    #[must_use]
+    pub fn with_sched_workers(mut self, workers: usize) -> Self {
+        self.sched_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Builder-style: set the per-rank inbox high-water mark (0 =
+    /// unbounded).
+    #[must_use]
+    pub fn with_inbox_hwm(mut self, hwm: usize) -> Self {
+        self.inbox_hwm = Some(hwm);
+        self
+    }
+
+    /// The inbox high-water mark after environment fallback.
+    fn resolve_hwm(&self) -> usize {
+        self.inbox_hwm
+            .or_else(|| {
+                std::env::var("TEMPI_INBOX_HWM")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(DEFAULT_INBOX_HWM)
+    }
+
+    /// The event scheduler's worker count after environment fallback,
+    /// clamped to `[1, size]` (more workers than ranks is pure waste).
+    fn resolve_workers(&self) -> usize {
+        self.sched_workers
+            .or_else(|| {
+                std::env::var("TEMPI_SCHED_WORKERS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .clamp(1, self.size.max(1))
     }
 }
 
@@ -233,11 +306,125 @@ impl ClockBarrier {
             }
         }
     }
+
+    /// Event-mode entry: same clock-merging contract as
+    /// [`ClockBarrier::wait`], but waiters park their fiber instead of an
+    /// OS thread. The releaser drains `waiters` under the barrier lock and
+    /// wakes each parked fiber; a waiter woken by a deadlock verdict
+    /// withdraws its arrival (decrementing `arrived` and delisting itself)
+    /// and returns `None`, exactly like the watchdog path.
+    fn wait_sched(&self, now: SimTime, sched: &SchedCore, rank: usize) -> Option<SimTime> {
+        let mut s = self.state.lock();
+        let gen = s.generation;
+        s.max_time = s.max_time.max(now);
+        s.arrived += 1;
+        if s.arrived == self.size {
+            s.arrived = 0;
+            s.release = s.max_time + self.cost;
+            s.max_time = SimTime::ZERO;
+            s.generation += 1;
+            let waiters = std::mem::take(&mut s.waiters);
+            let release = s.release;
+            drop(s);
+            for w in waiters {
+                sched.wake(w);
+            }
+            return Some(release);
+        }
+        if sched.verdict().is_some() {
+            // Arrived into an already-condemned world: withdraw
+            // immediately rather than parking forever.
+            s.arrived -= 1;
+            return None;
+        }
+        s.waiters.push(rank);
+        loop {
+            // Park protocol: announce Parking before dropping the barrier
+            // lock, so the releaser (which drains `waiters` under that
+            // lock) always finds this task in Parking/Parked and its wake
+            // is latched rather than lost.
+            sched.begin_park(rank, now, "barrier".to_string());
+            drop(s);
+            sched.park_switch(rank);
+            s = self.state.lock();
+            if s.generation != gen {
+                return Some(s.release);
+            }
+            if sched.verdict().is_some() {
+                s.arrived -= 1;
+                s.waiters.retain(|&w| w != rank);
+                return None;
+            }
+            // Spurious wake (e.g. a verdict raced with a release that
+            // then happened anyway): loop and re-park.
+        }
+    }
 }
 
 /// Shared all-gather board (see [`RankCtx::allgather_u64`]).
 pub(crate) struct Board {
     slots: Mutex<Vec<u64>>,
+}
+
+/// Communicator membership map: position `i` holds the world rank sitting
+/// at comm rank `i`.
+///
+/// Pre-shrink worlds use the identity map — represented symbolically
+/// because materializing it would put an N-entry table in every rank,
+/// O(N²) memory across the world (with 10,000 ranks, the second scaling
+/// blocker after thread-per-rank). Only a [`RankCtx::shrink`] allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Members {
+    /// The identity map over `0..n` (no shrink has happened).
+    Identity(usize),
+    /// Explicit survivor list after one or more shrinks.
+    Explicit(Vec<usize>),
+}
+
+impl Members {
+    /// Communicator size.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Members::Identity(n) => *n,
+            Members::Explicit(v) => v.len(),
+        }
+    }
+
+    /// World rank at comm rank `i`, if in range.
+    pub(crate) fn get(&self, i: usize) -> Option<usize> {
+        match self {
+            Members::Identity(n) => (i < *n).then_some(i),
+            Members::Explicit(v) => v.get(i).copied(),
+        }
+    }
+
+    /// World rank at comm rank `i`; panics when out of range.
+    pub(crate) fn world(&self, i: usize) -> usize {
+        self.get(i).expect("comm rank within communicator")
+    }
+
+    /// Comm rank of world rank `w`, if a member.
+    pub(crate) fn position(&self, w: usize) -> Option<usize> {
+        match self {
+            Members::Identity(n) => (w < *n).then_some(w),
+            Members::Explicit(v) => v.iter().position(|&x| x == w),
+        }
+    }
+
+    /// Is world rank `w` a member?
+    pub(crate) fn contains(&self, w: usize) -> bool {
+        self.position(w).is_some()
+    }
+
+    /// Iterate the members' world ranks in comm-rank order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).map(move |i| self.world(i))
+    }
+
+    /// Materialize the membership (API boundary / shrink bookkeeping).
+    pub(crate) fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
 }
 
 /// One rank's handle on the simulated world. All MPI-facing operations in
@@ -277,15 +464,18 @@ pub struct RankCtx {
     /// default). Layers above record spans against `world_rank`.
     pub tracer: Tracer,
     pub(crate) registry: Arc<RwLock<TypeRegistry>>,
-    pub(crate) inbox: Receiver<Message>,
-    pub(crate) peers: Vec<Sender<Message>>,
+    /// Shared delivery fabric: one bounded FIFO inbox per rank.
+    pub(crate) router: Arc<Router>,
+    /// Event-mode scheduler core; `None` under the thread backend (and in
+    /// standalone contexts), where blocking points use condvars instead.
+    pub(crate) sched: Option<Arc<SchedCore>>,
     pub(crate) pending: VecDeque<Message>,
     pub(crate) requests: Vec<Option<crate::nonblocking::PendingOp>>,
     pub(crate) barrier: Arc<ClockBarrier>,
     pub(crate) board: Arc<Board>,
-    /// Current communicator membership: `comm_members[comm_rank]` is the
-    /// world rank sitting at that position. Starts as the identity map.
-    pub(crate) comm_members: Vec<usize>,
+    /// Current communicator membership (world rank per comm rank). Starts
+    /// as the (symbolic) identity map.
+    pub(crate) comm_members: Members,
     /// Communicator generation; bumped by every shrink and stamped into
     /// message envelopes so late traffic from a prior epoch is rejected.
     pub(crate) epoch: u64,
@@ -304,7 +494,6 @@ impl RankCtx {
     /// A standalone single-rank context — used by the non-communication
     /// experiments (type commit, `MPI_Pack`) and by unit tests.
     pub fn standalone(cfg: &WorldConfig) -> RankCtx {
-        let (tx, rx) = unbounded();
         let gpu = GpuContext::new(cfg.device.clone());
         let faults = init_faults(cfg, 0, &gpu);
         let mut stream = Stream::new(gpu.clone(), cfg.gpu_cost.clone());
@@ -323,15 +512,15 @@ impl RankCtx {
             integrity: cfg.integrity,
             tracer: cfg.tracer.clone(),
             registry: Arc::new(RwLock::new(TypeRegistry::new())),
-            inbox: rx,
-            peers: vec![tx],
+            router: Arc::new(Router::new(1, cfg.resolve_hwm())),
+            sched: None,
             pending: VecDeque::new(),
             requests: Vec::new(),
             barrier: Arc::new(ClockBarrier::new(1, cfg.net.barrier_cost)),
             board: Arc::new(Board {
                 slots: Mutex::new(vec![0]),
             }),
-            comm_members: vec![0],
+            comm_members: Members::Identity(1),
             epoch: 0,
             revoked: false,
             known_dead: BTreeMap::new(),
@@ -390,11 +579,17 @@ impl RankCtx {
     /// (and any later receive this rank attempts), which is where the
     /// diagnostic context lives.
     pub fn barrier(&mut self) {
-        let wd = self.watchdog.clone();
-        if let Some(release) = self.barrier.wait(
-            self.clock.now(),
-            wd.as_deref().map(|w| (w, self.world_rank)),
-        ) {
+        let release = if let Some(sched) = self.sched.clone() {
+            self.barrier
+                .wait_sched(self.clock.now(), &sched, self.world_rank)
+        } else {
+            let wd = self.watchdog.clone();
+            self.barrier.wait(
+                self.clock.now(),
+                wd.as_deref().map(|w| (w, self.world_rank)),
+            )
+        };
+        if let Some(release) = release {
             self.clock.advance_to(release);
         }
     }
@@ -412,6 +607,21 @@ impl RankCtx {
     #[must_use]
     pub fn pending_messages(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Messages sitting in this rank's router inbox, delivered but never
+    /// pulled (the companion teardown invariant to
+    /// [`RankCtx::pending_messages`]).
+    #[must_use]
+    pub fn inbox_backlog(&self) -> usize {
+        self.router.inbox_depth(self.world_rank)
+    }
+
+    /// The world's per-rank inbox high-water mark in messages (0 =
+    /// unbounded; see [`WorldConfig::with_inbox_hwm`]).
+    #[must_use]
+    pub fn inbox_hwm(&self) -> usize {
+        self.router.hwm()
     }
 
     /// All-gather one `u64` per rank (harness utility for collecting
@@ -609,115 +819,232 @@ impl RankCtx {
 /// The simulated MPI world.
 pub struct World;
 
+/// Build the per-rank contexts for one world run. `sched` is set in event
+/// mode, `watchdog` in thread mode — never both: event mode detects
+/// deadlocks structurally, so its blocking points must not also feed the
+/// polling watchdog's accounting.
+fn build_ctxs(
+    cfg: &WorldConfig,
+    router: &Arc<Router>,
+    sched: Option<&Arc<SchedCore>>,
+    watchdog: Option<&Arc<Watchdog>>,
+) -> Vec<RankCtx> {
+    let size = cfg.size;
+    let registry = Arc::new(RwLock::new(TypeRegistry::new()));
+    let net = Arc::new(cfg.net.clone());
+    let barrier = Arc::new(ClockBarrier::new(size, cfg.net.barrier_cost));
+    let board = Arc::new(Board {
+        slots: Mutex::new(vec![0; size]),
+    });
+    (0..size)
+        .map(|rank| {
+            let gpu = GpuContext::new(cfg.device.clone());
+            let faults = init_faults(cfg, rank, &gpu);
+            let mut stream = Stream::new(gpu.clone(), cfg.gpu_cost.clone());
+            stream.set_tracer(cfg.tracer.clone(), rank as u32);
+            RankCtx {
+                rank,
+                size,
+                world_rank: rank,
+                world_size: size,
+                clock: SimClock::new(),
+                gpu,
+                stream,
+                vendor: cfg.vendor.clone(),
+                net: Arc::clone(&net),
+                faults,
+                integrity: cfg.integrity,
+                tracer: cfg.tracer.clone(),
+                registry: Arc::clone(&registry),
+                router: Arc::clone(router),
+                sched: sched.map(Arc::clone),
+                pending: VecDeque::new(),
+                requests: Vec::new(),
+                barrier: Arc::clone(&barrier),
+                board: Arc::clone(&board),
+                comm_members: Members::Identity(size),
+                epoch: 0,
+                revoked: false,
+                known_dead: BTreeMap::new(),
+                death_sent: false,
+                watchdog: watchdog.map(Arc::clone),
+            }
+        })
+        .collect()
+}
+
+/// Run one rank's body with panic isolation and the standard epilogue.
+fn run_rank<F, T>(body: &F, ctx: &mut RankCtx) -> MpiResult<T>
+where
+    F: Fn(&mut RankCtx) -> MpiResult<T> + Sync,
+{
+    let rank = ctx.world_rank;
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx)));
+    let r = match r {
+        Ok(r) => r,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            // To its peers a panicked rank is simply dead: broadcast a
+            // death notice at its last virtual instant so blocked
+            // receivers unwind through the recovery path instead of
+            // hanging.
+            ctx.announce_death(ctx.clock.now());
+            Err(MpiError::RankPanicked { rank, message })
+        }
+    };
+    // A rank with a scheduled exit might return without ever tripping
+    // over its own death (its clock never reached the instant).
+    // Broadcast the notice now so peers blocked on it are woken instead
+    // of hanging.
+    if let Some(at) = ctx
+        .faults
+        .injector
+        .as_ref()
+        .and_then(|i| i.exit_time(ctx.world_rank))
+    {
+        ctx.announce_death(at);
+    }
+    // Done only after the death notices above: a notice counts as
+    // in-flight traffic and must not race a quiescence check against a
+    // `Done` mark.
+    if let Some(wd) = &ctx.watchdog {
+        wd.mark_done(ctx.world_rank);
+    }
+    r
+}
+
+/// Collapse per-rank results and a scheduler/watchdog verdict into the
+/// run's result. A panic is the primary failure (any `Deadlock`/`PeerGone`
+/// on other ranks is fallout); otherwise the first rank error wins; a
+/// verdict only surfaces when every rank returned `Ok` (a deadlock whose
+/// blocked ranks were all parked in barriers produces no per-rank error —
+/// the barrier withdraws silently — and must not be lost).
+fn merge_results<T>(
+    results: Vec<MpiResult<T>>,
+    verdict: Option<DeadlockInfo>,
+) -> MpiResult<Vec<T>> {
+    let mut results = results;
+    if let Some(i) = results
+        .iter()
+        .position(|r| matches!(r, Err(MpiError::RankPanicked { .. })))
+    {
+        results.swap_remove(i)?;
+        unreachable!("position() matched an Err");
+    }
+    let out: MpiResult<Vec<T>> = results.into_iter().collect();
+    match (out, verdict) {
+        (Ok(_), Some(v)) => Err(MpiError::Deadlock {
+            ranks: v.ranks,
+            ops: v.ops,
+        }),
+        (out, _) => out,
+    }
+}
+
 impl World {
     /// Run `body` on every rank of a world configured by `cfg`; returns the
-    /// per-rank results in rank order. Panics in any rank propagate.
+    /// per-rank results in rank order. A panicking rank surfaces as
+    /// [`MpiError::RankPanicked`] naming it (peers see it die like a
+    /// fault-injected exit).
     pub fn run<F, T>(cfg: &WorldConfig, body: F) -> MpiResult<Vec<T>>
     where
         F: Fn(&mut RankCtx) -> MpiResult<T> + Sync,
         T: Send,
     {
+        assert!(cfg.size > 0, "world size must be positive");
+        if cfg.sched.use_events() {
+            Self::run_events(cfg, &body)
+        } else {
+            Self::run_threads(cfg, &body)
+        }
+    }
+
+    /// Legacy backend: one OS thread per rank, condvar blocking, optional
+    /// wall-clock polling watchdog. Caps at a few hundred ranks but
+    /// exercises real preemption.
+    fn run_threads<F, T>(cfg: &WorldConfig, body: &F) -> MpiResult<Vec<T>>
+    where
+        F: Fn(&mut RankCtx) -> MpiResult<T> + Sync,
+        T: Send,
+    {
         let size = cfg.size;
-        assert!(size > 0, "world size must be positive");
-        let registry = Arc::new(RwLock::new(TypeRegistry::new()));
-        let net = Arc::new(cfg.net.clone());
-        let barrier = Arc::new(ClockBarrier::new(size, cfg.net.barrier_cost));
-        let board = Arc::new(Board {
-            slots: Mutex::new(vec![0; size]),
-        });
         let watchdog = cfg
             .watchdog
             .as_ref()
             .map(|wd| Arc::new(Watchdog::new(wd, size)));
-        let mut txs = Vec::with_capacity(size);
-        let mut rxs = Vec::with_capacity(size);
-        for _ in 0..size {
-            let (tx, rx) = unbounded();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        let mut ctxs: Vec<RankCtx> = rxs
-            .into_iter()
-            .enumerate()
-            .map(|(rank, inbox)| {
-                let gpu = GpuContext::new(cfg.device.clone());
-                let faults = init_faults(cfg, rank, &gpu);
-                let mut stream = Stream::new(gpu.clone(), cfg.gpu_cost.clone());
-                stream.set_tracer(cfg.tracer.clone(), rank as u32);
-                RankCtx {
-                    rank,
-                    size,
-                    world_rank: rank,
-                    world_size: size,
-                    clock: SimClock::new(),
-                    gpu,
-                    stream,
-                    vendor: cfg.vendor.clone(),
-                    net: Arc::clone(&net),
-                    faults,
-                    integrity: cfg.integrity,
-                    tracer: cfg.tracer.clone(),
-                    registry: Arc::clone(&registry),
-                    inbox,
-                    peers: txs.clone(),
-                    pending: VecDeque::new(),
-                    requests: Vec::new(),
-                    barrier: Arc::clone(&barrier),
-                    board: Arc::clone(&board),
-                    comm_members: (0..size).collect(),
-                    epoch: 0,
-                    revoked: false,
-                    known_dead: BTreeMap::new(),
-                    death_sent: false,
-                    watchdog: watchdog.clone(),
-                }
-            })
-            .collect();
-
-        let body = &body;
-        let results: Vec<MpiResult<T>> = crossbeam::thread::scope(|scope| {
+        let router = Arc::new(Router::new(size, cfg.resolve_hwm()));
+        let mut ctxs = build_ctxs(cfg, &router, None, watchdog.as_ref());
+        let results: Vec<MpiResult<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = ctxs
                 .iter_mut()
-                .map(|ctx| {
-                    scope.spawn(move |_| {
-                        let r = body(ctx);
-                        // A rank with a scheduled exit might return without
-                        // ever tripping over its own death (its clock never
-                        // reached the instant). Broadcast the notice now so
-                        // peers blocked on it are woken instead of hanging.
-                        if let Some(at) = ctx
-                            .faults
-                            .injector
-                            .as_ref()
-                            .and_then(|i| i.exit_time(ctx.world_rank))
-                        {
-                            ctx.announce_death(at);
-                        }
-                        // Done only after the death notice above: the
-                        // notice counts as in-flight traffic and must not
-                        // race a quiescence check against a `Done` mark.
-                        if let Some(wd) = &ctx.watchdog {
-                            wd.mark_done(ctx.world_rank);
-                        }
-                        r
-                    })
-                })
+                .map(|ctx| scope.spawn(move || run_rank(body, ctx)))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("a rank thread panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panics are caught in run_rank"))
+                .collect()
+        });
+        merge_results(results, watchdog.as_ref().and_then(|w| w.verdict()))
+    }
 
-        let out: MpiResult<Vec<T>> = results.into_iter().collect();
-        // A deadlock whose blocked ranks were all parked in barriers
-        // produces no per-rank error (the barrier withdraws silently);
-        // surface the verdict as the run's result so it is never lost.
-        match (out, watchdog.as_ref().and_then(|w| w.verdict())) {
-            (Ok(_), Some(v)) => Err(MpiError::Deadlock {
-                ranks: v.ranks,
-                ops: v.ops,
-            }),
-            (out, _) => out,
+    /// Event backend: every rank is a fiber on an M-worker pool; blocking
+    /// points park the fiber and deadlocks are detected structurally (see
+    /// [`crate::sched`]).
+    fn run_events<F, T>(cfg: &WorldConfig, body: &F) -> MpiResult<Vec<T>>
+    where
+        F: Fn(&mut RankCtx) -> MpiResult<T> + Sync,
+        T: Send,
+    {
+        let size = cfg.size;
+        // The watchdog config contributes only its virtual-time budget
+        // (stamped into verdicts for parity with thread mode); no watchdog
+        // runs, so ctxs carry `watchdog: None` and every blocking point
+        // takes its sched path.
+        let budget = cfg.watchdog.as_ref().map_or(SimTime::ZERO, |w| w.budget);
+        let core = Arc::new(SchedCore::new(size, budget));
+        let router = Arc::new(Router::new(size, cfg.resolve_hwm()));
+        let ctxs = build_ctxs(cfg, &router, Some(&core), None);
+        let slots: Vec<Mutex<Option<MpiResult<T>>>> = (0..size).map(|_| Mutex::new(None)).collect();
+        {
+            let slots = &slots;
+            for (rank, mut ctx) in ctxs.into_iter().enumerate() {
+                let entry: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let r = run_rank(body, &mut ctx);
+                    *slots[rank].lock() = Some(r);
+                });
+                // SAFETY: the scheduler stores entries as 'static, but
+                // every fiber is driven to completion before this block
+                // ends — the worker scope below only joins once all tasks
+                // are Finished, and a deadlock verdict wakes every parked
+                // fiber so blocking points unwind and bodies return. The
+                // borrows of `body` and `slots` therefore never outlive
+                // this frame.
+                let entry: Box<dyn FnOnce() + Send + 'static> =
+                    unsafe { std::mem::transmute(entry) };
+                core.spawn(rank, entry);
+            }
+            let workers = cfg.resolve_workers();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let core = &core;
+                    scope.spawn(move || core.worker_loop());
+                }
+            });
         }
+        let results: Vec<MpiResult<T>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every rank fiber runs to completion")
+            })
+            .collect();
+        merge_results(results, core.verdict())
     }
 }
 

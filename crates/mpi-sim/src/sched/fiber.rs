@@ -1,0 +1,335 @@
+//! Minimal stackful fibers for the event-driven scheduler.
+//!
+//! A fiber is a heap-allocated stack plus a saved stack pointer. Switching
+//! fibers is a handful of instructions: push the callee-saved registers,
+//! store the old stack pointer, load the new one, pop, return. Everything
+//! else — who runs when, parking, waking — lives in [`super`]; this module
+//! only knows how to cut a thread of control loose from the OS stack.
+//!
+//! Safety model:
+//!
+//! * A fiber is only ever *running* on one OS thread at a time; the
+//!   scheduler's task state machine guarantees exclusive access.
+//! * Unwinding never crosses a switch: the scheduler wraps every fiber
+//!   body in `catch_unwind` *inside* the fiber, so a panic is converted to
+//!   a value before control returns to the worker.
+//! * Stacks are allocated uninitialized (so a 1 MiB stack costs only the
+//!   pages actually touched, letting 10,000 fibers coexist) and carry a
+//!   canary word pattern at their low end that the scheduler checks when
+//!   the fiber finishes. There is no guard page — an overflow corrupts
+//!   heap memory — so the default stack size is deliberately generous and
+//!   tunable via `TEMPI_SCHED_STACK_KIB`.
+//!
+//! Supported targets: x86_64 (SysV ABI — Linux, macOS, BSDs) and aarch64
+//! (AAPCS64). Windows is unsupported (its ABI pins stack bounds in the
+//! TEB); the runtime falls back to thread-per-rank there.
+
+use std::alloc::{alloc, dealloc, Layout};
+use std::ptr::NonNull;
+
+/// Is the fiber backend implemented for this target?
+pub const fn supported() -> bool {
+    cfg!(all(
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(target_os = "windows")
+    ))
+}
+
+/// Pattern stamped into the lowest words of every stack; checked when the
+/// fiber finishes to detect (after the fact) that the stack overflowed.
+const CANARY: u64 = 0x5AFE_57AC_F1BE_F00D;
+const CANARY_WORDS: usize = 8;
+
+/// A heap-allocated fiber stack.
+///
+/// The allocation is uninitialized on purpose: for megabyte-class sizes
+/// the allocator serves it from fresh `mmap`ed pages, so physical memory
+/// is committed lazily as the fiber actually recurses into it.
+pub struct FiberStack {
+    ptr: NonNull<u8>,
+    size: usize,
+}
+
+// The stack is owned by exactly one task and only touched by whichever
+// worker thread currently runs (or finishes) that task.
+unsafe impl Send for FiberStack {}
+
+impl FiberStack {
+    /// Allocate a stack of (at least) `size` bytes, 16-aligned, with the
+    /// canary pattern written at its low end.
+    pub fn new(size: usize) -> FiberStack {
+        let size = size.max(16 * 1024) & !15;
+        let layout = Layout::from_size_align(size, 16).expect("fiber stack layout");
+        let raw = unsafe { alloc(layout) };
+        let ptr = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        unsafe {
+            let words = ptr.as_ptr() as *mut u64;
+            for i in 0..CANARY_WORDS {
+                words.add(i).write(CANARY);
+            }
+        }
+        FiberStack { ptr, size }
+    }
+
+    /// Highest address of the stack, rounded down to 16 bytes (stacks grow
+    /// downward from here).
+    fn top(&self) -> usize {
+        (self.ptr.as_ptr() as usize + self.size) & !15
+    }
+
+    /// Is the low-end canary pattern still intact?
+    pub fn canary_intact(&self) -> bool {
+        unsafe {
+            let words = self.ptr.as_ptr() as *const u64;
+            (0..CANARY_WORDS).all(|i| words.add(i).read() == CANARY)
+        }
+    }
+}
+
+impl Drop for FiberStack {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.size, 16).expect("fiber stack layout");
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+/// The C entry signature every fiber starts in. Must never return — it
+/// hands control back by switching to the worker's saved context.
+pub type Entry = unsafe extern "C" fn(*mut u8) -> !;
+
+// macOS prefixes C symbols with an underscore.
+#[cfg(target_vendor = "apple")]
+macro_rules! csym {
+    ($name:literal) => {
+        concat!("_", $name)
+    };
+}
+#[cfg(not(target_vendor = "apple"))]
+macro_rules! csym {
+    ($name:literal) => {
+        $name
+    };
+}
+
+// ---------------------------------------------------------------- x86_64
+//
+// SysV: rbx, rbp, r12-r15 are callee-saved (plus rsp). `tempi_fiber_switch`
+// pushes them, parks rsp in *save_sp, adopts target_sp, pops, and `ret`s
+// into whatever return address the target stack holds. A brand-new fiber's
+// stack is forged so that `ret` lands in `tempi_fiber_start`, which moves
+// the payload pointer (parked in the fake r12 slot) into rdi and calls the
+// Rust entry (parked in the fake rbx slot). The fake frame leaves rsp
+// 16-aligned at `tempi_fiber_start`, so the `call` gives the Rust entry a
+// conformant (rsp % 16 == 8) frame.
+#[cfg(all(target_arch = "x86_64", not(target_os = "windows")))]
+core::arch::global_asm!(
+    ".balign 16",
+    concat!(".globl ", csym!("tempi_fiber_switch")),
+    concat!(csym!("tempi_fiber_switch"), ":"),
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "ret",
+    ".balign 16",
+    concat!(".globl ", csym!("tempi_fiber_start")),
+    concat!(csym!("tempi_fiber_start"), ":"),
+    "mov rdi, r12",
+    "call rbx",
+    "ud2",
+);
+
+// ---------------------------------------------------------------- aarch64
+//
+// AAPCS64: x19-x28, fp (x29), lr (x30) and d8-d15 are callee-saved. The
+// forged first frame parks the payload in x19, the Rust entry in x20 and
+// `tempi_fiber_start` in the lr slot, so the switch's `ret` lands in the
+// trampoline with sp 16-aligned (every offset below is a multiple of 16).
+#[cfg(all(target_arch = "aarch64", not(target_os = "windows")))]
+core::arch::global_asm!(
+    ".balign 16",
+    concat!(".globl ", csym!("tempi_fiber_switch")),
+    concat!(csym!("tempi_fiber_switch"), ":"),
+    "sub sp, sp, #160",
+    "stp x19, x20, [sp, #0]",
+    "stp x21, x22, [sp, #16]",
+    "stp x23, x24, [sp, #32]",
+    "stp x25, x26, [sp, #48]",
+    "stp x27, x28, [sp, #64]",
+    "stp x29, x30, [sp, #80]",
+    "stp d8,  d9,  [sp, #96]",
+    "stp d10, d11, [sp, #112]",
+    "stp d12, d13, [sp, #128]",
+    "stp d14, d15, [sp, #144]",
+    "mov x9, sp",
+    "str x9, [x0]",
+    "mov sp, x1",
+    "ldp x19, x20, [sp, #0]",
+    "ldp x21, x22, [sp, #16]",
+    "ldp x23, x24, [sp, #32]",
+    "ldp x25, x26, [sp, #48]",
+    "ldp x27, x28, [sp, #64]",
+    "ldp x29, x30, [sp, #80]",
+    "ldp d8,  d9,  [sp, #96]",
+    "ldp d10, d11, [sp, #112]",
+    "ldp d12, d13, [sp, #128]",
+    "ldp d14, d15, [sp, #144]",
+    "add sp, sp, #160",
+    "ret",
+    ".balign 16",
+    concat!(".globl ", csym!("tempi_fiber_start")),
+    concat!(csym!("tempi_fiber_start"), ":"),
+    "mov x0, x19",
+    "blr x20",
+    "brk #1",
+);
+
+#[cfg(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(target_os = "windows")
+))]
+extern "C" {
+    fn tempi_fiber_switch(save_sp: *mut usize, target_sp: usize);
+    fn tempi_fiber_start();
+}
+
+/// Switch contexts: save the current stack pointer (and callee-saved
+/// registers) into `*save_sp`, resume execution at the context whose stack
+/// pointer is `target_sp`. Returns when something later switches back.
+///
+/// # Safety
+///
+/// `target_sp` must be a stack pointer previously produced by this module
+/// (either saved by a switch or forged by [`init_frame`]), and the stack
+/// it points into must be live and not currently executing anywhere.
+#[cfg(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(target_os = "windows")
+))]
+#[inline]
+pub unsafe fn switch(save_sp: *mut usize, target_sp: usize) {
+    tempi_fiber_switch(save_sp, target_sp);
+}
+
+#[cfg(not(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(target_os = "windows")
+)))]
+pub unsafe fn switch(_save_sp: *mut usize, _target_sp: usize) {
+    unreachable!("fiber backend not supported on this target");
+}
+
+/// Forge the initial frame for a new fiber on `stack` so that the first
+/// [`switch`] into the returned stack pointer calls `entry(payload)`.
+///
+/// # Safety
+///
+/// The stack must outlive every switch into the frame, and `payload` must
+/// be valid for the entry's whole run.
+#[cfg(all(target_arch = "x86_64", not(target_os = "windows")))]
+pub unsafe fn init_frame(stack: &FiberStack, entry: Entry, payload: *mut u8) -> usize {
+    let top = stack.top();
+    let slot = |off: usize| (top - off) as *mut u64;
+    // Return address: `ret` pops it leaving rsp == top (16-aligned) at
+    // `tempi_fiber_start`, whose `call` then produces a conformant frame.
+    slot(8).write(tempi_fiber_start as *const () as usize as u64);
+    slot(16).write(0); // rbp
+    slot(24).write(entry as usize as u64); // rbx -> Rust entry
+    slot(32).write(payload as usize as u64); // r12 -> payload
+    slot(40).write(0); // r13
+    slot(48).write(0); // r14
+    slot(56).write(0); // r15
+    top - 56
+}
+
+#[cfg(all(target_arch = "aarch64", not(target_os = "windows")))]
+pub unsafe fn init_frame(stack: &FiberStack, entry: Entry, payload: *mut u8) -> usize {
+    let top = stack.top();
+    let sp = top - 160;
+    let base = sp as *mut u64;
+    for i in 0..20 {
+        base.add(i).write(0);
+    }
+    base.write(payload as usize as u64); // x19 -> payload
+    base.add(1).write(entry as usize as u64); // x20 -> Rust entry
+    base.add(11)
+        .write(tempi_fiber_start as *const () as usize as u64); // x30 -> trampoline
+    sp
+}
+
+#[cfg(not(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(target_os = "windows")
+)))]
+pub unsafe fn init_frame(_stack: &FiberStack, _entry: Entry, _payload: *mut u8) -> usize {
+    unreachable!("fiber backend not supported on this target");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    // A scratch context pair for driving a fiber by hand.
+    struct Ctx {
+        fiber_sp: Cell<usize>,
+        main_sp: Cell<usize>,
+        steps: Cell<u32>,
+    }
+
+    thread_local! {
+        static CTX: Cell<*const Ctx> = const { Cell::new(std::ptr::null()) };
+    }
+
+    unsafe extern "C" fn test_entry(payload: *mut u8) -> ! {
+        let ctx = &*(payload as *const Ctx);
+        for _ in 0..3 {
+            ctx.steps.set(ctx.steps.get() + 1);
+            switch(ctx.fiber_sp.as_ptr(), ctx.main_sp.get());
+        }
+        ctx.steps.set(100);
+        loop {
+            switch(ctx.fiber_sp.as_ptr(), ctx.main_sp.get());
+        }
+    }
+
+    #[test]
+    fn fiber_round_trips_and_preserves_state() {
+        if !supported() {
+            return;
+        }
+        let stack = FiberStack::new(64 * 1024);
+        let ctx = Ctx {
+            fiber_sp: Cell::new(0),
+            main_sp: Cell::new(0),
+            steps: Cell::new(0),
+        };
+        let sp = unsafe { init_frame(&stack, test_entry, &ctx as *const Ctx as *mut u8) };
+        ctx.fiber_sp.set(sp);
+        for expect in 1..=3u32 {
+            unsafe { switch(ctx.main_sp.as_ptr(), ctx.fiber_sp.get()) };
+            assert_eq!(ctx.steps.get(), expect);
+        }
+        unsafe { switch(ctx.main_sp.as_ptr(), ctx.fiber_sp.get()) };
+        assert_eq!(ctx.steps.get(), 100);
+        assert!(stack.canary_intact());
+    }
+
+    #[test]
+    fn canary_detects_scribbles() {
+        let stack = FiberStack::new(32 * 1024);
+        assert!(stack.canary_intact());
+        unsafe { (stack.ptr.as_ptr() as *mut u64).write(0) };
+        assert!(!stack.canary_intact());
+    }
+}

@@ -135,16 +135,10 @@ impl Watchdog {
     }
 
     /// Account one message departing toward `dest`'s inbox. Must be
-    /// called *before* the channel send so the checker can never observe
-    /// the message as neither in flight nor delivered.
+    /// called *before* the router push so the checker can never observe
+    /// the message as neither in flight nor queued.
     pub(crate) fn note_send(&self, dest: usize) {
         self.state.lock().in_flight[dest] += 1;
-    }
-
-    /// Roll back [`Watchdog::note_send`] after a failed channel send (the
-    /// destination's receiver was dropped; the message never existed).
-    pub(crate) fn unnote_send(&self, dest: usize) {
-        self.state.lock().in_flight[dest] -= 1;
     }
 
     /// Account `rank` pulling one message out of its own inbox (the
@@ -292,12 +286,12 @@ mod tests {
     }
 
     #[test]
-    fn failed_channel_send_rolls_back_accounting() {
+    fn consumed_send_rebalances_accounting() {
         let w = wd(2);
         w.note_send(0);
-        w.unnote_send(0);
+        w.note_recv(0); // rank 0 pulled the message via try_recv
         w.mark_done(1);
         w.block(0, "recv".into(), SimTime::ZERO);
-        assert!(w.poll_detect().is_some(), "rolled-back send leaves quiet");
+        assert!(w.poll_detect().is_some(), "drained send leaves quiet");
     }
 }

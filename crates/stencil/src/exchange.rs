@@ -9,7 +9,7 @@
 
 use gpu_sim::{GpuPtr, SimTime};
 use mpi_sim::datatype::Order;
-use mpi_sim::{Datatype, MpiError, MpiResult, RankCtx};
+use mpi_sim::{AlltoallvBlock, Datatype, MpiError, MpiResult, RankCtx};
 use serde::{Deserialize, Serialize};
 use tempi_core::interpose::InterposedMpi;
 
@@ -114,10 +114,11 @@ pub struct HaloExchanger {
     pub grid: GpuPtr,
     sendbuf: GpuPtr,
     recvbuf: GpuPtr,
-    sendcounts: Vec<usize>,
-    sdispls: Vec<usize>,
-    recvcounts: Vec<usize>,
-    rdispls: Vec<usize>,
+    /// Non-zero exchange blocks (≤ 26 each), ascending peer — the sparse
+    /// `alltoallv` shape. O(degree) storage keeps a 10,000-rank world from
+    /// holding 10,000-entry count arrays on every rank.
+    send_plan: Vec<AlltoallvBlock>,
+    recv_plan: Vec<AlltoallvBlock>,
     /// `(direction index)` in pack order (grouped by ascending dest).
     pack_schedule: Vec<usize>,
     /// `(recv-direction index)` in unpack order (grouped by ascending src,
@@ -156,43 +157,57 @@ impl HaloExchanger {
             cfg.local[2] * decomp.dims[2],
         ];
         let me = ctx.rank;
-        let n = ctx.size;
 
-        let mut sendcounts = vec![0usize; n];
-        let mut pack_schedule = Vec::with_capacity(26);
-        for (dest, count) in sendcounts.iter_mut().enumerate() {
-            for (k, &d) in DIRS.iter().enumerate() {
-                if decomp.neighbor(me, d) == dest {
-                    *count += types.bytes[k];
-                    pack_schedule.push(k);
+        // Both plans are derived purely from this rank's own 26 neighbor
+        // lookups — O(1) in the world size, where the former dense
+        // construction walked every rank times every direction. Sorting by
+        // (peer, direction index) reproduces the dense ordering exactly:
+        // peers ascending, directions ascending within a peer. The recv
+        // side uses the torus symmetry `neighbor(src, d) == me  ⇔
+        // src == neighbor(me, opposite(d))`.
+        let grouped = |pairs: &mut Vec<(usize, usize)>| -> (Vec<AlltoallvBlock>, Vec<usize>) {
+            pairs.sort_unstable();
+            let mut plan: Vec<AlltoallvBlock> = Vec::new();
+            let mut schedule = Vec::with_capacity(26);
+            let mut displ = 0usize;
+            for &(peer, k) in pairs.iter() {
+                schedule.push(k);
+                match plan.last_mut() {
+                    Some(b) if b.peer == peer => b.count += types.bytes[k],
+                    _ => plan.push(AlltoallvBlock {
+                        peer,
+                        count: types.bytes[k],
+                        displ,
+                    }),
                 }
+                displ += types.bytes[k];
             }
-        }
-        let mut recvcounts = vec![0usize; n];
-        let mut unpack_schedule = Vec::with_capacity(26);
-        for (src, count) in recvcounts.iter_mut().enumerate() {
-            for (k, &d) in DIRS.iter().enumerate() {
-                if decomp.neighbor(src, d) == me {
-                    *count += types.bytes[k];
-                    // src's region for direction d fills my ghost shell on
-                    // my `opposite(d)` side
-                    unpack_schedule.push(dir_index(opposite(d)).ok_or_else(|| {
-                        MpiError::Internal(format!("{d:?} is not a halo direction"))
-                    })?);
-                }
-            }
-        }
-        let prefix = |counts: &[usize]| {
-            let mut d = vec![0usize; counts.len()];
-            for i in 1..counts.len() {
-                d[i] = d[i - 1] + counts[i - 1];
-            }
-            d
+            (plan, schedule)
         };
-        let sdispls = prefix(&sendcounts);
-        let rdispls = prefix(&recvcounts);
-        let total_send: usize = sendcounts.iter().sum();
-        let total_recv: usize = recvcounts.iter().sum();
+        let mut send_pairs: Vec<(usize, usize)> = DIRS
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| (decomp.neighbor(me, d), k))
+            .collect();
+        let (send_plan, pack_schedule) = grouped(&mut send_pairs);
+        let mut recv_pairs: Vec<(usize, usize)> = DIRS
+            .iter()
+            .enumerate()
+            .map(|(k, &d)| (decomp.neighbor(me, opposite(d)), k))
+            .collect();
+        let (recv_plan, recv_dirs) = grouped(&mut recv_pairs);
+        // src's region for direction d fills my ghost shell on my
+        // `opposite(d)` side
+        let unpack_schedule = recv_dirs
+            .into_iter()
+            .map(|k| {
+                dir_index(opposite(DIRS[k])).ok_or_else(|| {
+                    MpiError::Internal(format!("{:?} is not a halo direction", DIRS[k]))
+                })
+            })
+            .collect::<MpiResult<Vec<usize>>>()?;
+        let total_send: usize = send_plan.iter().map(|b| b.count).sum();
+        let total_recv: usize = recv_plan.iter().map(|b| b.count).sum();
 
         let grid = ctx.gpu.malloc(cfg.alloc_bytes())?;
         let sendbuf = ctx.gpu.malloc(total_send.max(1))?;
@@ -207,10 +222,8 @@ impl HaloExchanger {
             grid,
             sendbuf,
             recvbuf,
-            sendcounts,
-            sdispls,
-            recvcounts,
-            rdispls,
+            send_plan,
+            recv_plan,
             pack_schedule,
             unpack_schedule,
         })
@@ -218,7 +231,7 @@ impl HaloExchanger {
 
     /// Total bytes this rank packs per exchange.
     pub fn send_bytes(&self) -> usize {
-        self.sendcounts.iter().sum()
+        self.send_plan.iter().map(|b| b.count).sum()
     }
 
     /// Fill the interior with the global oracle values and the ghosts with
@@ -269,7 +282,7 @@ impl HaloExchanger {
         mpi: &mut InterposedMpi,
     ) -> MpiResult<ExchangeTiming> {
         let total_send = self.send_bytes();
-        let total_recv: usize = self.recvcounts.iter().sum();
+        let total_recv: usize = self.recv_plan.iter().map(|b| b.count).sum();
 
         let t0 = ctx.clock.now();
         let mut pos = 0usize;
@@ -287,14 +300,12 @@ impl HaloExchanger {
         debug_assert_eq!(pos, total_send);
         let t1 = ctx.clock.now();
 
-        mpi.alltoallv_bytes(
+        mpi.alltoallv_sparse_bytes(
             ctx,
             self.sendbuf,
-            &self.sendcounts,
-            &self.sdispls,
+            &self.send_plan,
             self.recvbuf,
-            &self.recvcounts,
-            &self.rdispls,
+            &self.recv_plan,
         )?;
         let t2 = ctx.clock.now();
 
@@ -341,7 +352,7 @@ impl HaloExchanger {
         mpi: &mut InterposedMpi,
     ) -> MpiResult<ExchangeTiming> {
         let total_send = self.send_bytes();
-        let total_recv: usize = self.recvcounts.iter().sum();
+        let total_recv: usize = self.recv_plan.iter().map(|b| b.count).sum();
 
         let t0 = ctx.clock.now();
         let mut pos = 0usize;
@@ -360,17 +371,16 @@ impl HaloExchanger {
 
         const TAG: i32 = 1_000;
         let mut reqs = Vec::new();
-        for (src, (&count, &displ)) in self.recvcounts.iter().zip(&self.rdispls).enumerate() {
-            if count == 0 {
-                continue;
-            }
-            reqs.push(ctx.irecv_bytes(self.recvbuf.add(displ), count, Some(src), Some(TAG))?);
+        for b in &self.recv_plan {
+            reqs.push(ctx.irecv_bytes(
+                self.recvbuf.add(b.displ),
+                b.count,
+                Some(b.peer),
+                Some(TAG),
+            )?);
         }
-        for (dest, (&count, &displ)) in self.sendcounts.iter().zip(&self.sdispls).enumerate() {
-            if count == 0 {
-                continue;
-            }
-            reqs.push(ctx.isend_bytes(self.sendbuf.add(displ), count, dest, TAG)?);
+        for b in &self.send_plan {
+            reqs.push(ctx.isend_bytes(self.sendbuf.add(b.displ), b.count, b.peer, TAG)?);
         }
         ctx.waitall(&reqs)?;
         let t2 = ctx.clock.now();
@@ -469,7 +479,7 @@ impl HaloExchanger {
             payload: packed?,
         };
         let record = GenRecord {
-            members: ctx.comm_members().to_vec(),
+            members: ctx.comm_members(),
             dims: self.decomp.dims,
             local: self.cfg.local,
         };
@@ -558,7 +568,7 @@ impl HaloExchanger {
             ));
         }
         let old = Decomp { dims: record.dims };
-        let alive = ctx.comm_members().to_vec();
+        let alive = ctx.comm_members();
         let me = ctx.world_rank;
         // Which *old* comm rank's frame a new comm rank rebuilds from.
         let needed = |r: usize| -> usize {

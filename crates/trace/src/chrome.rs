@@ -72,7 +72,16 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         }));
     }
 
-    for e in events {
+    // Canonical event order: the shared buffer interleaves ranks in
+    // wall-clock arrival order, which varies run to run (and with the
+    // event scheduler's worker count). A stable sort by (pid, tid, ts)
+    // makes the export a pure function of the recorded events: same-lane
+    // ties keep their per-rank program order (appends within one rank are
+    // sequential), so B/E nesting survives.
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.pid, e.tid, e.ts_ps));
+
+    for e in ordered {
         let ts = e.ts_ps as f64 / PS_PER_US;
         let mut obj = Map::new();
         let ph = match e.ph {

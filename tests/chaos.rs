@@ -55,6 +55,51 @@ fn buried_corruption() -> Scenario {
     }
 }
 
+/// The scale scenario: a full SendStorm ring at 256 ranks — a world size
+/// the thread-per-rank backend could not schedule — with a sprinkle of
+/// scripted faults the stack absorbs (a transient send, a transient
+/// receive, a kernel kill degrading one rank to the CPU pack path). The
+/// oracles this pins under the event scheduler: no-hang (every rank's
+/// spans close), span-balance (B/E pairing survives 256-way fiber
+/// interleaving), no-leak (per-rank allocations return to baseline).
+fn scaled_send_storm() -> Scenario {
+    Scenario {
+        seed: 0x5CA1E,
+        ranks: 256,
+        workload: Workload::SendStorm { messages: 1 },
+        events: vec![
+            ChaosEvent::Fault(ScopedFault {
+                rank: 17,
+                site: FaultSite::Send,
+                at_call: 0,
+            }),
+            ChaosEvent::Fault(ScopedFault {
+                rank: 99,
+                site: FaultSite::Recv,
+                at_call: 1,
+            }),
+            ChaosEvent::Fault(ScopedFault {
+                rank: 203,
+                site: FaultSite::Kernel,
+                at_call: 0,
+            }),
+        ],
+        integrity: true,
+        max_retries: 3,
+    }
+}
+
+#[test]
+fn the_256_rank_storm_holds_every_oracle() {
+    let outcome = run_scenario(&scaled_send_storm());
+    assert!(
+        outcome.ok(),
+        "256-rank storm violated: {:?}",
+        outcome.violations
+    );
+    assert_eq!(outcome.reports.len(), 256, "every rank must report");
+}
+
 #[test]
 fn every_corpus_entry_replays_true() {
     let entries = corpus::load_dir(&corpus_dir()).expect("corpus must load");
@@ -198,6 +243,22 @@ fn regenerate_corpus() {
             name: "recovery-kill-owner-and-buddy".into(),
             status: "fixed".into(),
             scenario: recovery,
+            violation: None,
+        },
+    )
+    .unwrap();
+
+    // 4. The event-scheduler scale entry: 256 ranks of SendStorm with
+    //    absorbed faults must hold no-hang, span-balance and no-leak.
+    //    Committed so every future scheduler change replays it.
+    let scale = scaled_send_storm();
+    assert!(run_scenario(&scale).ok());
+    corpus::save(
+        &dir.join("scale-256-send-storm.json"),
+        &CorpusEntry {
+            name: "scale-256-send-storm".into(),
+            status: "fixed".into(),
+            scenario: scale,
             violation: None,
         },
     )

@@ -1,0 +1,119 @@
+//! Event-scheduler scale and robustness tests: the discrete-event runtime
+//! must carry a four-digit rank count through a real workload (the CI
+//! smoke for the `bench_scale` sweep), surface one rank's panic as a
+//! typed error without discarding the world, and keep send storms inside
+//! the bounded-inbox high-water mark — parking senders instead of growing
+//! memory, and reporting a *genuine* buffer-cycle deadlock structurally.
+
+use mpi_sim::{MpiError, SchedMode, World, WorldConfig};
+use tempi_core::config::TempiConfig;
+use tempi_core::interpose::InterposedMpi;
+use tempi_stencil::{HaloConfig, HaloExchanger};
+
+#[test]
+fn stencil_smoke_at_1024_ranks() {
+    // The CI scale smoke: a full 26-direction halo exchange at 1,024
+    // ranks — two orders of magnitude past what the thread-per-rank
+    // backend could schedule — with every ghost cell verified.
+    let cfg = WorldConfig::summit(1024);
+    let results = World::run(&cfg, |ctx| {
+        let mut mpi = InterposedMpi::new(TempiConfig::default());
+        let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(4))?;
+        ex.fill(ctx)?;
+        ex.exchange(ctx, &mut mpi)?;
+        ex.verify_ghosts(ctx)
+    })
+    .expect("1,024-rank world");
+    assert_eq!(results.len(), 1024);
+    assert!(results.iter().all(|&bad| bad == 0), "corrupt ghost cells");
+}
+
+fn panicking_world(mode: SchedMode) -> MpiError {
+    let cfg = WorldConfig::summit(4).with_sched_mode(mode);
+    World::run(&cfg, |ctx| {
+        if ctx.rank == 2 {
+            panic!("rank 2 exploded");
+        }
+        Ok(ctx.rank)
+    })
+    .expect_err("a panicking rank must fail the world")
+}
+
+#[test]
+fn one_rank_panic_reports_the_rank_in_both_backends() {
+    for mode in [SchedMode::Auto, SchedMode::Threads] {
+        match panicking_world(mode) {
+            MpiError::RankPanicked { rank, message } => {
+                assert_eq!(rank, 2, "{mode:?}");
+                assert!(message.contains("exploded"), "{mode:?}: {message}");
+            }
+            other => panic!("{mode:?}: expected RankPanicked, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn send_storm_stays_inside_the_inbox_high_water_mark() {
+    // Rank 0 fires 64 sends at a receiver that drains slowly; with the
+    // high-water mark at 4 the sender must park instead of queueing, so
+    // the receiver never observes a backlog past the mark.
+    const HWM: usize = 4;
+    const STORM: usize = 64;
+    let cfg = WorldConfig::summit(2).with_inbox_hwm(HWM);
+    let results = World::run(&cfg, |ctx| {
+        let buf = ctx.gpu.host_alloc(8)?;
+        if ctx.rank == 0 {
+            for i in 0..STORM {
+                ctx.send_bytes(buf, 8, 1, i as i32)?;
+            }
+            Ok(0)
+        } else {
+            let mut deepest = 0;
+            for i in 0..STORM {
+                deepest = deepest.max(ctx.inbox_backlog());
+                ctx.recv_bytes(buf, 8, Some(0), Some(i as i32))?;
+            }
+            Ok(deepest)
+        }
+    })
+    .expect("bounded storm world");
+    assert!(
+        results[1] <= HWM,
+        "receiver saw a backlog of {} past the high-water mark {HWM}",
+        results[1]
+    );
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn mutual_storms_past_the_mark_are_a_structural_deadlock() {
+    // Both ranks flood each other without ever receiving: with finite
+    // buffers that is a true deadlock (each sender waits for inbox space
+    // only the other's receive could create). The event scheduler sees it
+    // structurally — every fiber parked, event heap empty — and names the
+    // backpressure parks in the verdict.
+    let cfg = WorldConfig::summit(2)
+        .with_inbox_hwm(2)
+        .with_sched_mode(SchedMode::Events);
+    let err = World::run(&cfg, |ctx| {
+        let buf = ctx.gpu.host_alloc(8)?;
+        let peer = 1 - ctx.rank;
+        for _ in 0..8 {
+            ctx.send_bytes(buf, 8, peer, 7)?;
+        }
+        Ok(())
+    })
+    .expect_err("mutual send storms past finite buffers must deadlock");
+    match err {
+        MpiError::Deadlock { ranks, ops } => {
+            assert_eq!(ranks, vec![0, 1]);
+            for op in &ops {
+                assert!(
+                    op.contains("send backpressure"),
+                    "expected a backpressure park, got {op:?}"
+                );
+            }
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}

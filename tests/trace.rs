@@ -17,8 +17,8 @@
 use std::collections::BTreeMap;
 
 use mpi_sim::consts::MPI_BYTE;
-use mpi_sim::{FaultPlan, World, WorldConfig};
-use tempi_core::config::{Method, TempiConfig};
+use mpi_sim::{FaultPlan, SchedMode, World, WorldConfig};
+use tempi_core::config::{Method, TempiConfig, TunerMode};
 use tempi_core::interpose::InterposedMpi;
 use tempi_core::{TraceLevel, Tracer};
 use tempi_stencil::{HaloConfig, HaloExchanger};
@@ -234,6 +234,78 @@ fn per_lane_sequences_replay_exactly_for_a_seed() {
     assert_eq!(
         a, b,
         "seeded traced runs must replay per-lane sequences exactly"
+    );
+}
+
+/// One fully deterministic observable of a world run: the per-rank results
+/// (virtual clock, verified ghost cells, tuner counters) plus the complete
+/// Chrome trace JSON (which embeds every span, timestamp, method choice,
+/// and `tuner.decide` instant).
+fn seeded_run(mode: SchedMode, workers: usize) -> (Vec<(u64, usize, u64, u64)>, String) {
+    let tracer = Tracer::new(TraceLevel::Full);
+    let mut cfg = WorldConfig::summit(4);
+    cfg.net.ranks_per_node = 2;
+    let cfg = cfg
+        .with_faults(
+            FaultPlan::parse("seed=424242,send=0.1,retries=6,backoff=15us,delay=0.2:30us").unwrap(),
+        )
+        .with_tracer(tracer.clone())
+        .with_sched_mode(mode)
+        .with_sched_workers(workers);
+    let results = World::run(&cfg, |ctx| {
+        let mut mpi = InterposedMpi::new(TempiConfig {
+            tuner: TunerMode::Online,
+            ..TempiConfig::default()
+        });
+        let mut ex = HaloExchanger::new(ctx, &mut mpi, HaloConfig::small(4))?;
+        ex.fill(ctx)?;
+        ex.exchange(ctx, &mut mpi)?;
+        ex.exchange(ctx, &mut mpi)?;
+        let ghosts = ex.verify_ghosts(ctx)?;
+        // The halo path packs into byte sends, which never consults the
+        // tuner; a typed strided ring forces `tuner.choose` so the trace
+        // comparison also pins every online tuner decision. Sends are
+        // eager, so send-before-recv cannot deadlock.
+        let dt = ctx.type_vector(64, 16, 64, MPI_BYTE)?;
+        mpi.type_commit(ctx, dt)?;
+        let ring = ctx.gpu.malloc(64 * 64 + 64)?;
+        let n = ctx.size;
+        for _ in 0..3 {
+            mpi.send(ctx, ring, 1, dt, (ctx.rank + 1) % n, 9)?;
+            mpi.recv(ctx, ring, 1, dt, Some((ctx.rank + n - 1) % n), Some(9))?;
+        }
+        ctx.gpu.free(ring)?;
+        mpi.publish_metrics(&ctx.tracer);
+        Ok((
+            ctx.clock.now().as_ps(),
+            ghosts,
+            mpi.tempi.stats.tuner_probes,
+            mpi.tempi.stats.tuner_bucket_hits,
+        ))
+    })
+    .expect("seeded world");
+    (results, tracer.chrome_trace())
+}
+
+#[test]
+fn scheduler_worker_count_never_changes_results_traces_or_tuner_decisions() {
+    // The determinism contract of the event scheduler: the same seed at
+    // M=1 and M=8 workers produces byte-identical per-rank results and a
+    // byte-identical Chrome trace (which embeds every tuner decision as a
+    // `tuner.decide` instant) — and both match the legacy thread backend.
+    let (r1, t1) = seeded_run(SchedMode::Events, 1);
+    let (r8, t8) = seeded_run(SchedMode::Events, 8);
+    assert_eq!(r1, r8, "per-rank results depend on the worker count");
+    assert_eq!(t1, t8, "Chrome traces depend on the worker count");
+
+    let (rt, tt) = seeded_run(SchedMode::Threads, 1);
+    assert_eq!(r1, rt, "event-mode results diverge from thread mode");
+    assert_eq!(t1, tt, "event-mode traces diverge from thread mode");
+
+    // The trace really does pin the tuner: decisions were recorded.
+    assert!(
+        t1.contains("tuner.decide"),
+        "expected tuner.decide instants in the full trace"
     );
 }
 
