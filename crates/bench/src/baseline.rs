@@ -1,16 +1,185 @@
-//! Perf-baseline comparison backing the `check_bench` CI gate.
+//! Perf-baseline comparison backing the `check_bench` CI gates.
 //!
-//! `bench_send` writes the datatype-zoo timing rows to `BENCH_send.json`
-//! at the repository root; a reviewed copy lives in
-//! `results/BENCH_send.baseline.json`. The gate re-runs the zoo and fails
-//! the build when any row got more than [`TOLERANCE`] slower than the
-//! committed baseline on any of its three timing columns.
+//! Three suites share one comparator ([`compare_rows`]) through the
+//! [`GatedSuite`] trait: the `bench_send` datatype zoo, the `bench_scale`
+//! scaling sweep, and the `check_guidelines` performance-guidelines zoo.
+//! Each bench bin writes fresh rows to `BENCH_<suite>.json` at the
+//! repository root; a reviewed copy lives in
+//! `results/BENCH_<suite>.baseline.json`. The gate re-runs the suite and
+//! fails the build when any row got more than the suite's tolerance
+//! slower than the committed baseline on any gated timing column, or when
+//! any gated *verdict* (the guideline booleans) differs from the baseline
+//! at all — verdicts are gated exactly, timings within the tolerance.
 //!
 //! All times are *virtual* nanoseconds from the simulator clock, so the
 //! comparison is exactly reproducible: a regression here is an algorithmic
 //! change (method choice, chunking, extra hops), never host noise.
 
 use serde::{Deserialize, Serialize};
+
+/// Default largest allowed `current / baseline` ratio per gated timing:
+/// a 10% slowdown budget, absorbing intentional small costs (an extra
+/// branch, a dispatch-overhead bump) while catching method-choice
+/// regressions, which move rows by integer factors.
+pub const TOLERANCE: f64 = 1.10;
+
+/// One row type of a gated benchmark suite: how to identify a row across
+/// runs, which timing columns are gated (within [`Self::TOLERANCE`]),
+/// and which boolean verdicts are gated exactly.
+pub trait GatedSuite: Serialize + Deserialize {
+    /// Suite name — names the `BENCH_<suite>.json` /
+    /// `results/BENCH_<suite>.baseline.json` pair in messages.
+    const SUITE: &'static str;
+    /// Largest allowed `current / baseline` timing ratio for this suite.
+    const TOLERANCE: f64;
+
+    /// The identity of a row across runs (also the label in messages).
+    fn row_key(&self) -> String;
+    /// Gated timing columns, `(metric name, virtual ns)`.
+    fn timings(&self) -> Vec<(&'static str, f64)>;
+    /// Gated boolean verdicts, compared exactly (none by default).
+    fn verdicts(&self) -> Vec<(&'static str, bool)> {
+        Vec::new()
+    }
+}
+
+/// One gated difference between a fresh run and the committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Regression {
+    /// A timing column got slower than the suite tolerance allows.
+    Timing {
+        /// Row key of the offending row.
+        row: String,
+        /// Which timing column regressed.
+        metric: &'static str,
+        /// The committed baseline time, virtual ns.
+        baseline_ns: f64,
+        /// The freshly measured time, virtual ns.
+        current_ns: f64,
+        /// The suite's tolerance (as a ratio limit, e.g. 1.10).
+        limit: f64,
+    },
+    /// A gated verdict differs from the baseline (any flip fails: a
+    /// changed verdict set must be re-recorded deliberately, even when
+    /// the flip is an improvement).
+    Verdict {
+        /// Row key of the offending row.
+        row: String,
+        /// Which verdict flipped.
+        verdict: &'static str,
+        /// The committed baseline value.
+        baseline: bool,
+        /// The freshly evaluated value.
+        current: bool,
+    },
+}
+
+impl Regression {
+    /// Slowdown factor for sorting: `current / baseline` for timings,
+    /// `+inf` for verdict flips so they always sort first.
+    pub fn ratio(&self) -> f64 {
+        match self {
+            Regression::Timing {
+                baseline_ns,
+                current_ns,
+                ..
+            } => current_ns / baseline_ns,
+            Regression::Verdict { .. } => f64::INFINITY,
+        }
+    }
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regression::Timing {
+                row,
+                metric,
+                baseline_ns,
+                current_ns,
+                limit,
+            } => write!(
+                f,
+                "{row}: {metric} {baseline_ns:.0} ns -> {current_ns:.0} ns \
+                 ({:.2}x, limit {limit:.2}x)",
+                self.ratio()
+            ),
+            Regression::Verdict {
+                row,
+                verdict,
+                baseline,
+                current,
+            } => write!(
+                f,
+                "{row}: verdict {verdict} flipped {baseline} -> {current} \
+                 (verdicts are gated exactly; re-record the baseline if intentional)"
+            ),
+        }
+    }
+}
+
+/// Compare a fresh suite run against the committed baseline.
+///
+/// Every baseline row must be present in `current` (keyed by
+/// [`GatedSuite::row_key`]) — a vanished row is an error, not a pass, so
+/// shrinking a suite cannot silently shrink the gate. Extra current rows
+/// are fine: a grown suite gates on the old rows until the baseline is
+/// re-recorded. Timings regress only when slower beyond the suite
+/// tolerance (getting faster always passes); verdicts regress on any
+/// difference. Returns the regressions, worst first (verdict flips
+/// before the worst timing).
+pub fn compare_rows<T: GatedSuite>(
+    baseline: &[T],
+    current: &[T],
+) -> Result<Vec<Regression>, String> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let key = b.row_key();
+        let Some(c) = current.iter().find(|c| c.row_key() == key) else {
+            return Err(format!(
+                "baseline row {key} is missing from the current run (suite shrank? \
+                 re-record results/BENCH_{}.baseline.json)",
+                T::SUITE
+            ));
+        };
+        let cur_timings = c.timings();
+        for (metric, base) in b.timings() {
+            let Some(&(_, cur)) = cur_timings.iter().find(|(m, _)| *m == metric) else {
+                return Err(format!("current row {key} lost its {metric} column"));
+            };
+            if base.is_nan() || base <= 0.0 {
+                return Err(format!(
+                    "baseline row {key} has non-positive {metric} ({base})"
+                ));
+            }
+            if cur > base * T::TOLERANCE {
+                regressions.push(Regression::Timing {
+                    row: key.clone(),
+                    metric,
+                    baseline_ns: base,
+                    current_ns: cur,
+                    limit: T::TOLERANCE,
+                });
+            }
+        }
+        let cur_verdicts = c.verdicts();
+        for (verdict, base) in b.verdicts() {
+            let Some(&(_, cur)) = cur_verdicts.iter().find(|(v, _)| *v == verdict) else {
+                return Err(format!("current row {key} lost its {verdict} verdict"));
+            };
+            if cur != base {
+                regressions.push(Regression::Verdict {
+                    row: key.clone(),
+                    verdict,
+                    baseline: base,
+                    current: cur,
+                });
+            }
+        }
+    }
+    regressions.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+    Ok(regressions)
+}
 
 /// One datatype-zoo row, matching what `bench_send` serializes.
 ///
@@ -53,93 +222,24 @@ impl BenchRow {
     }
 }
 
-/// One gated metric of one zoo row that got slower than the baseline
-/// allows.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Regression {
-    /// Total packed bytes of the offending object.
-    pub object_bytes: usize,
-    /// Contiguous block size of the offending object.
-    pub block_bytes: usize,
-    /// Which timing column regressed: `"static_ns"`, `"tuned_ns"` or
-    /// `"oneshot_ns"`.
-    pub metric: &'static str,
-    /// The committed baseline time, virtual ns.
-    pub baseline_ns: f64,
-    /// The freshly measured time, virtual ns.
-    pub current_ns: f64,
-}
+impl GatedSuite for BenchRow {
+    const SUITE: &'static str = "send";
+    const TOLERANCE: f64 = TOLERANCE;
 
-impl Regression {
-    /// Slowdown factor, `current / baseline`.
-    pub fn ratio(&self) -> f64 {
-        self.current_ns / self.baseline_ns
-    }
-}
-
-impl std::fmt::Display for Regression {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "object {} B / block {} B: {} {:.0} ns -> {:.0} ns ({:.2}x, limit {:.2}x)",
-            self.object_bytes,
-            self.block_bytes,
-            self.metric,
-            self.baseline_ns,
-            self.current_ns,
-            self.ratio(),
-            TOLERANCE
+    fn row_key(&self) -> String {
+        format!(
+            "object {} B / block {} B",
+            self.object_bytes, self.block_bytes
         )
     }
-}
 
-/// Largest allowed `current / baseline` ratio per gated metric: a 10%
-/// slowdown budget, absorbing intentional small costs (an extra branch,
-/// a dispatch-overhead bump) while catching method-choice regressions,
-/// which move rows by integer factors.
-pub const TOLERANCE: f64 = 1.10;
-
-/// Compare a fresh zoo run against the committed baseline.
-///
-/// Every baseline row must be present in `current` (keyed by
-/// `(object_bytes, block_bytes)`) — a vanished row is an error, not a
-/// pass, so shrinking the zoo cannot silently shrink the gate. Extra
-/// current rows are fine: a grown zoo gates on the old rows until the
-/// baseline is re-recorded. Returns the regressions, worst first.
-pub fn compare(baseline: &[BenchRow], current: &[BenchRow]) -> Result<Vec<Regression>, String> {
-    let mut regressions = Vec::new();
-    for b in baseline {
-        let Some(c) = current.iter().find(|c| c.key() == b.key()) else {
-            return Err(format!(
-                "baseline row object {} B / block {} B is missing from the current run \
-                 (zoo shrank? re-record results/BENCH_send.baseline.json)",
-                b.object_bytes, b.block_bytes
-            ));
-        };
-        for (metric, base, cur) in [
-            ("static_ns", b.static_ns, c.static_ns),
-            ("tuned_ns", b.tuned_ns, c.tuned_ns),
-            ("oneshot_ns", b.oneshot_ns, c.oneshot_ns),
-        ] {
-            if base.is_nan() || base <= 0.0 {
-                return Err(format!(
-                    "baseline row object {} B / block {} B has non-positive {metric} ({base})",
-                    b.object_bytes, b.block_bytes
-                ));
-            }
-            if cur > base * TOLERANCE {
-                regressions.push(Regression {
-                    object_bytes: b.object_bytes,
-                    block_bytes: b.block_bytes,
-                    metric,
-                    baseline_ns: base,
-                    current_ns: cur,
-                });
-            }
-        }
+    fn timings(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("static_ns", self.static_ns),
+            ("tuned_ns", self.tuned_ns),
+            ("oneshot_ns", self.oneshot_ns),
+        ]
     }
-    regressions.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
-    Ok(regressions)
 }
 
 /// One `bench_scale` sweep row, matching what `bench_scale` serializes.
@@ -169,75 +269,17 @@ impl ScaleRow {
     }
 }
 
-/// One scale-sweep regression: a `(workload, ranks)` row whose virtual
-/// exchange time got slower than the baseline allows.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ScaleRegression {
-    /// Which sweep regressed.
-    pub workload: String,
-    /// World size of the offending row.
-    pub ranks: usize,
-    /// The committed baseline time, virtual ns.
-    pub baseline_ns: f64,
-    /// The freshly measured time, virtual ns.
-    pub current_ns: f64,
-}
+impl GatedSuite for ScaleRow {
+    const SUITE: &'static str = "scale";
+    const TOLERANCE: f64 = TOLERANCE;
 
-impl ScaleRegression {
-    /// Slowdown factor, `current / baseline`.
-    pub fn ratio(&self) -> f64 {
-        self.current_ns / self.baseline_ns
+    fn row_key(&self) -> String {
+        format!("{} @ {} ranks", self.workload, self.ranks)
     }
-}
 
-impl std::fmt::Display for ScaleRegression {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} @ {} ranks: exchange_ns {:.0} ns -> {:.0} ns ({:.2}x, limit {:.2}x)",
-            self.workload,
-            self.ranks,
-            self.baseline_ns,
-            self.current_ns,
-            self.ratio(),
-            TOLERANCE
-        )
+    fn timings(&self) -> Vec<(&'static str, f64)> {
+        vec![("exchange_ns", self.exchange_ns)]
     }
-}
-
-/// Compare a fresh scale sweep against the committed baseline, with the
-/// same contract as [`compare`]: every baseline row must still exist,
-/// extra current rows are fine, regressions come back worst first.
-pub fn compare_scale(
-    baseline: &[ScaleRow],
-    current: &[ScaleRow],
-) -> Result<Vec<ScaleRegression>, String> {
-    let mut regressions = Vec::new();
-    for b in baseline {
-        let Some(c) = current.iter().find(|c| c.key() == b.key()) else {
-            return Err(format!(
-                "baseline row {} @ {} ranks is missing from the current run \
-                 (sweep shrank? re-record results/BENCH_scale.baseline.json)",
-                b.workload, b.ranks
-            ));
-        };
-        if b.exchange_ns.is_nan() || b.exchange_ns <= 0.0 {
-            return Err(format!(
-                "baseline row {} @ {} ranks has non-positive exchange_ns ({})",
-                b.workload, b.ranks, b.exchange_ns
-            ));
-        }
-        if c.exchange_ns > b.exchange_ns * TOLERANCE {
-            regressions.push(ScaleRegression {
-                workload: b.workload.clone(),
-                ranks: b.ranks,
-                baseline_ns: b.exchange_ns,
-                current_ns: c.exchange_ns,
-            });
-        }
-    }
-    regressions.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
-    Ok(regressions)
 }
 
 #[cfg(test)]
@@ -262,7 +304,7 @@ mod tests {
     #[test]
     fn identical_runs_pass() {
         let base = vec![row(1 << 20, 64, 50_000.0), row(1 << 20, 512, 20_000.0)];
-        assert_eq!(compare(&base, &base).unwrap(), vec![]);
+        assert_eq!(compare_rows(&base, &base).unwrap(), vec![]);
     }
 
     #[test]
@@ -271,7 +313,7 @@ mod tests {
         let mut cur = base.clone();
         cur[0].tuned_ns = 50_000.0 * 1.09; // inside the 10% budget
         cur[0].static_ns = 50_000.0 * 0.5; // got faster: never a failure
-        assert_eq!(compare(&base, &cur).unwrap(), vec![]);
+        assert_eq!(compare_rows(&base, &cur).unwrap(), vec![]);
     }
 
     #[test]
@@ -279,15 +321,13 @@ mod tests {
         let base = vec![row(1 << 20, 64, 50_000.0), row(4 << 20, 512, 80_000.0)];
         let mut cur = base.clone();
         cur[1].tuned_ns = 80_000.0 * 1.2; // the injected 1.2x slowdown
-        let regs = compare(&base, &cur).unwrap();
+        let regs = compare_rows(&base, &cur).unwrap();
         assert_eq!(regs.len(), 1);
-        assert_eq!(regs[0].metric, "tuned_ns");
-        assert_eq!(regs[0].object_bytes, 4 << 20);
         assert!((regs[0].ratio() - 1.2).abs() < 1e-9);
         // the message names the row, the metric and the limit
         let msg = regs[0].to_string();
         assert!(
-            msg.contains("block 512 B") && msg.contains("tuned_ns"),
+            msg.contains("block 512 B") && msg.contains("tuned_ns") && msg.contains("1.10x"),
             "{msg}"
         );
     }
@@ -298,16 +338,25 @@ mod tests {
         let mut cur = base.clone();
         cur[0].static_ns = 1_300.0;
         cur[1].oneshot_ns = 2_000.0;
-        let regs = compare(&base, &cur).unwrap();
+        let regs = compare_rows(&base, &cur).unwrap();
         assert_eq!(regs.len(), 2);
-        assert_eq!(regs[0].metric, "oneshot_ns");
+        assert!(matches!(
+            regs[0],
+            Regression::Timing {
+                metric: "oneshot_ns",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn missing_zoo_row_is_an_error_not_a_pass() {
         let base = vec![row(1 << 20, 64, 50_000.0)];
-        let err = compare(&base, &[]).unwrap_err();
-        assert!(err.contains("missing"), "{err}");
+        let err = compare_rows(&base, &[]).unwrap_err();
+        assert!(
+            err.contains("missing") && err.contains("BENCH_send.baseline.json"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -332,7 +381,7 @@ mod tests {
         let base = vec![srow("stencil", 8, 10_000.0), srow("alltoallv", 64, 5_000.0)];
         let mut cur = base.clone();
         cur[0].wall_ms = 1_000.0; // 1000x wall slowdown: noise, never gated
-        assert_eq!(compare_scale(&base, &cur).unwrap(), vec![]);
+        assert_eq!(compare_rows(&base, &cur).unwrap(), vec![]);
     }
 
     #[test]
@@ -340,7 +389,7 @@ mod tests {
         let base = vec![srow("stencil", 4096, 80_000.0)];
         let mut cur = base.clone();
         cur[0].exchange_ns = 80_000.0 * 1.25;
-        let regs = compare_scale(&base, &cur).unwrap();
+        let regs = compare_rows(&base, &cur).unwrap();
         assert_eq!(regs.len(), 1);
         assert!((regs[0].ratio() - 1.25).abs() < 1e-9);
         let msg = regs[0].to_string();
@@ -350,10 +399,66 @@ mod tests {
     #[test]
     fn scale_missing_row_is_an_error_and_speedups_pass() {
         let base = vec![srow("stencil", 8, 10_000.0)];
-        let err = compare_scale(&base, &[]).unwrap_err();
+        let err = compare_rows(&base, &[]).unwrap_err();
         assert!(err.contains("missing"), "{err}");
         let mut cur = base.clone();
         cur[0].exchange_ns = 5_000.0; // got faster: never a failure
-        assert_eq!(compare_scale(&base, &cur).unwrap(), vec![]);
+        assert_eq!(compare_rows(&base, &cur).unwrap(), vec![]);
+    }
+
+    /// A synthetic suite with both gated timings and gated verdicts, for
+    /// exercising the verdict arm without the full guidelines harness.
+    #[derive(Clone, Serialize, Deserialize)]
+    struct VRow {
+        name: String,
+        ns: f64,
+        ok: bool,
+    }
+
+    impl GatedSuite for VRow {
+        const SUITE: &'static str = "vtest";
+        const TOLERANCE: f64 = 1.5;
+
+        fn row_key(&self) -> String {
+            self.name.clone()
+        }
+        fn timings(&self) -> Vec<(&'static str, f64)> {
+            vec![("ns", self.ns)]
+        }
+        fn verdicts(&self) -> Vec<(&'static str, bool)> {
+            vec![("ok", self.ok)]
+        }
+    }
+
+    #[test]
+    fn verdict_flips_fail_exactly_and_sort_before_timings() {
+        let base = vec![
+            VRow {
+                name: "a".into(),
+                ns: 100.0,
+                ok: true,
+            },
+            VRow {
+                name: "b".into(),
+                ns: 100.0,
+                ok: false,
+            },
+        ];
+        let mut cur = base.clone();
+        cur[0].ns = 1_000.0; // a 10x timing regression...
+        cur[1].ok = true; // ...and an *improved* verdict: still a flip
+        let regs = compare_rows(&base, &cur).unwrap();
+        assert_eq!(regs.len(), 2);
+        assert!(
+            matches!(&regs[0], Regression::Verdict { row, verdict: "ok", baseline: false, current: true } if row == "b"),
+            "verdict flip must sort before the timing regression: {regs:?}"
+        );
+        assert!(regs[0].ratio().is_infinite());
+        let msg = regs[0].to_string();
+        assert!(msg.contains("gated exactly"), "{msg}");
+        // per-suite tolerance: a 1.4x slowdown passes at 1.5x
+        let mut cur2 = base.clone();
+        cur2[0].ns = 140.0;
+        assert_eq!(compare_rows(&base, &cur2).unwrap(), vec![]);
     }
 }

@@ -18,10 +18,11 @@
 //! wall-clock of the whole world run, which is the scaling headline but
 //! is never gated (it is the one noisy column).
 //!
-//! Rows go to `BENCH_scale.json` at the repository root (gate input) and
+//! Rows go to `BENCH_scale.json` at the repository root (gate input, or
+//! `--out DIR`; a failed write exits non-zero) and
 //! `results/BENCH_scale.json` (report copy).
 //!
-//! Run: `cargo run --release -p tempi-bench --bin bench_scale`
+//! Run: `cargo run --release -p tempi-bench --bin bench_scale [-- --out DIR]`
 
 use std::time::Instant;
 
@@ -126,13 +127,14 @@ fn main() {
         headline.wall_ms / 1e3
     );
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
-    match serde_json::to_string_pretty(&rows) {
-        Ok(s) => match std::fs::write(path, s + "\n") {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => eprintln!("note: cannot write {path}: {e}"),
-        },
-        Err(e) => eprintln!("note: cannot serialize rows: {e}"),
+    let write = tempi_bench::out_dir_from_args(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .and_then(|out| tempi_bench::write_rows(&out, "BENCH_scale.json", &rows));
+    match write {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("bench_scale: {e}");
+            std::process::exit(1);
+        }
     }
     tempi_bench::write_json("BENCH_scale", &rows);
 }

@@ -16,9 +16,10 @@
 //! Each cell is the minimum over measured rounds after warm-up, so
 //! epsilon-probe rounds report the converged choice (the paper's
 //! steady-state methodology). The table goes to stdout and the rows to
-//! `BENCH_send.json` at the repository root.
+//! `BENCH_send.json` at the repository root (or `--out DIR`); a failed
+//! write exits non-zero so CI never gates on stale rows.
 //!
-//! Run: `cargo run --release -p tempi-bench --bin bench_send`
+//! Run: `cargo run --release -p tempi-bench --bin bench_send [-- --out DIR]`
 
 use gpu_sim::SimTime;
 use serde::Serialize;
@@ -182,13 +183,14 @@ fn main() {
         "no zoo workload shows the >=1.2x pipelined crossover (best {best:.3}x)"
     );
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_send.json");
-    match serde_json::to_string_pretty(&rows) {
-        Ok(s) => match std::fs::write(path, s + "\n") {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => eprintln!("note: cannot write {path}: {e}"),
-        },
-        Err(e) => eprintln!("note: cannot serialize rows: {e}"),
+    let write = tempi_bench::out_dir_from_args(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .and_then(|out| tempi_bench::write_rows(&out, "BENCH_send.json", &rows));
+    match write {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("bench_send: {e}");
+            std::process::exit(1);
+        }
     }
     tempi_bench::write_json("BENCH_send", &rows);
 }

@@ -1,27 +1,29 @@
-//! `check_bench`: the CI perf gates over the `bench_send` datatype zoo
-//! and the `bench_scale` scaling sweep.
+//! `check_bench`: the CI perf gates over the `bench_send` datatype zoo,
+//! the `bench_scale` scaling sweep, and the `check_guidelines`
+//! performance-guidelines zoo.
 //!
-//! Reads the fresh `BENCH_send.json` / `BENCH_scale.json` at the
-//! repository root (written by preceding `bench_send` / `bench_scale`
-//! runs) and the committed `results/BENCH_*.baseline.json` copies, and
-//! exits non-zero when any zoo row got more than 10% slower on any gated
-//! timing column (see [`tempi_bench::baseline`]). All gated times are
-//! virtual nanoseconds, so both gates are deterministic — no flake budget
-//! needed. (`bench_scale`'s wall-clock column is reported but never
-//! gated.)
+//! Reads the fresh `BENCH_<suite>.json` at the repository root (written
+//! by the preceding `bench_send` / `bench_scale` / `check_guidelines`
+//! run) and the committed `results/BENCH_<suite>.baseline.json` copy,
+//! compares them through the shared [`tempi_bench::baseline`] comparator,
+//! and exits non-zero when any row got slower than the suite tolerance
+//! on any gated timing column or any gated *verdict* (the guideline
+//! booleans) differs from the baseline. All gated times are virtual
+//! nanoseconds, so every gate is deterministic — no flake budget needed.
 //!
 //! Bootstrap: an empty (`[]`) or absent baseline records the current rows
 //! as the new baseline and passes. That is how a baseline is
-//! (re-)captured after an intentional perf change: delete the file's
+//! (re-)captured after an intentional perf change: empty the file's
 //! contents down to `[]`, re-run the bench bin then `check_bench`, and
 //! commit the rewritten baseline.
 //!
-//! Run: `cargo run --release -p tempi-bench --bin check_bench`
+//! Run: `cargo run --release -p tempi-bench --bin check_bench [send|scale|guidelines ...]`
+//! (no arguments = all three gates).
 
-use serde::{Deserialize, Serialize};
-use tempi_bench::baseline::{compare, compare_scale, BenchRow, ScaleRow, TOLERANCE};
+use tempi_bench::baseline::{compare_rows, BenchRow, GatedSuite, ScaleRow};
+use tempi_bench::guidelines::GuidelineRow;
 
-fn read_rows<T: Deserialize>(path: &str) -> Result<Vec<T>, String> {
+fn read_rows<T: GatedSuite>(path: &str) -> Result<Vec<T>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
@@ -29,30 +31,23 @@ fn read_rows<T: Deserialize>(path: &str) -> Result<Vec<T>, String> {
 /// Run one gate: load current + baseline rows, bootstrap an absent or
 /// empty baseline, otherwise compare. Returns `Err(exit message)` on any
 /// failure, `Ok(report line)` on pass.
-fn gate<T, R>(
-    label: &str,
-    current_path: &str,
-    baseline_path: &str,
-    bench_bin: &str,
-    check: impl Fn(&[T], &[T]) -> Result<Vec<R>, String>,
-) -> Result<String, String>
-where
-    T: Deserialize + Serialize,
-    R: std::fmt::Display,
-{
-    let current: Vec<T> = match read_rows(current_path) {
+fn gate<T: GatedSuite>(root: &str, bench_bin: &str) -> Result<String, String> {
+    let label = format!("check_bench[{}]", T::SUITE);
+    let current_path = format!("{root}/BENCH_{}.json", T::SUITE);
+    let baseline_path = format!("{root}/results/BENCH_{}.baseline.json", T::SUITE);
+    let current: Vec<T> = match read_rows(&current_path) {
         Ok(rows) if !rows.is_empty() => rows,
         Ok(_) => return Err(format!("{current_path} is empty — run `{bench_bin}` first")),
         Err(e) => return Err(format!("{e} — run `{bench_bin}` first")),
     };
-    let baseline: Vec<T> = match std::fs::metadata(baseline_path) {
-        Ok(_) => read_rows(baseline_path)?,
+    let baseline: Vec<T> = match std::fs::metadata(&baseline_path) {
+        Ok(_) => read_rows(&baseline_path)?,
         Err(_) => Vec::new(),
     };
 
     if baseline.is_empty() {
         let s = serde_json::to_string_pretty(&current).expect("serializable rows");
-        return match std::fs::write(baseline_path, s + "\n") {
+        return match std::fs::write(&baseline_path, s + "\n") {
             Ok(()) => Ok(format!(
                 "{label}: baseline was empty — recorded {} rows to {baseline_path}; \
                  review and commit it",
@@ -62,17 +57,17 @@ where
         };
     }
 
-    match check(&baseline, &current)? {
+    match compare_rows(&baseline, &current)? {
         regressions if regressions.is_empty() => Ok(format!(
             "{label}: {} rows within the {:.0}% budget of {baseline_path}",
             baseline.len(),
-            (TOLERANCE - 1.0) * 100.0
+            (T::TOLERANCE - 1.0) * 100.0
         )),
         regressions => {
             let mut msg = format!(
                 "{label}: {} regression(s) beyond the {:.0}% budget:\n",
                 regressions.len(),
-                (TOLERANCE - 1.0) * 100.0
+                (T::TOLERANCE - 1.0) * 100.0
             );
             for r in &regressions {
                 msg.push_str(&format!("  {r}\n"));
@@ -88,23 +83,28 @@ where
 
 fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let selected: Vec<String> = std::env::args().skip(1).collect();
+    let all = ["send", "scale", "guidelines"];
+    for s in &selected {
+        if !all.contains(&s.as_str()) {
+            eprintln!("check_bench: unknown suite `{s}` (expected send, scale or guidelines)");
+            std::process::exit(2);
+        }
+    }
+    let run = |suite: &str| selected.is_empty() || selected.iter().any(|s| s == suite);
+
     let mut failed = false;
-    for result in [
-        gate::<BenchRow, _>(
-            "check_bench[send]",
-            &format!("{root}/BENCH_send.json"),
-            &format!("{root}/results/BENCH_send.baseline.json"),
-            "bench_send",
-            compare,
-        ),
-        gate::<ScaleRow, _>(
-            "check_bench[scale]",
-            &format!("{root}/BENCH_scale.json"),
-            &format!("{root}/results/BENCH_scale.baseline.json"),
-            "bench_scale",
-            compare_scale,
-        ),
-    ] {
+    let mut results = Vec::new();
+    if run("send") {
+        results.push(gate::<BenchRow>(root, "bench_send"));
+    }
+    if run("scale") {
+        results.push(gate::<ScaleRow>(root, "bench_scale"));
+    }
+    if run("guidelines") {
+        results.push(gate::<GuidelineRow>(root, "check_guidelines"));
+    }
+    for result in results {
         match result {
             Ok(report) => println!("{report}"),
             Err(e) => {

@@ -1,0 +1,745 @@
+//! The DDT performance-guidelines harness behind the `check_guidelines`
+//! CI gate.
+//!
+//! Hunold/Träff ("MPI Derived Datatypes: Performance Expectations and
+//! Status Quo") formulate testable *performance guidelines*: an MPI
+//! implementation should never make a derived-datatype communication
+//! slower than the semantically equivalent operation the user could
+//! write by hand. This module states four of those guidelines over the
+//! expanded datatype zoo ([`ZooPattern::zoo`]) and evaluates them per
+//! (pattern, vendor) cell, with TEMPI interposed and not:
+//!
+//! * **G1** — a DDT send must not lose to packing the same bytes and
+//!   sending them contiguously (`MPI_Pack` + send + `MPI_Unpack`),
+//!   beyond the tolerance.
+//! * **G2** — a DDT send must not lose to the naive element-wise loop
+//!   (one byte-typed message per contiguous block).
+//! * **G3** — interposing TEMPI must never violate a guideline the
+//!   system MPI alone satisfies (the gate CI fails the build on).
+//! * **G4** — canonicalization must not regress any layout it claims to
+//!   normalize: with TEMPI interposed, committing through the
+//!   canonicalization pass must not make the typed send slower than the
+//!   ablated (`canonicalize = false`) commit of the same type.
+//!
+//! All times are virtual nanoseconds from the simulator clock, measured
+//! receiver-side with the same barrier-per-round, minimum-over-rounds
+//! protocol as [`crate::measure::send_one_way_times`] — fully
+//! deterministic, so verdicts are exact and the baseline gate needs no
+//! flake budget. The tolerance knob is `TEMPI_GUIDELINE_TOL`
+//! ([`TempiConfig::guideline_tol`], default 10%).
+
+use mpi_sim::consts::MPI_BYTE;
+use mpi_sim::datatype::typemap::segments;
+use mpi_sim::{MpiError, MpiResult, RankCtx, VendorId, World};
+use serde::{Deserialize, Serialize};
+use tempi_core::config::TempiConfig;
+use tempi_core::interpose::InterposedMpi;
+use tempi_core::tempi::{PlanKind, Tempi};
+
+use crate::baseline::GatedSuite;
+use crate::measure::Platform;
+use crate::workloads::ZooPattern;
+
+/// Warm-up / measured rounds of the typed DDT send (the quantity under
+/// test: it gets the most rounds).
+const TYPED_WARMUP: usize = 2;
+/// Measured typed rounds (minimum is reported).
+const TYPED_ROUNDS: usize = 3;
+/// Warm-up rounds of the pack-then-send reference.
+const PACK_WARMUP: usize = 1;
+/// Measured pack-then-send rounds.
+const PACK_ROUNDS: usize = 2;
+/// Warm-up rounds of the naive element-wise reference (one message per
+/// block — expensive, so one warm-up and one measured round suffice in
+/// virtual time).
+const NAIVE_WARMUP: usize = 1;
+/// Measured naive rounds.
+const NAIVE_ROUNDS: usize = 1;
+
+/// The three one-way delivery times of one (pattern, vendor, mode) cell,
+/// virtual nanoseconds, receiver-side, minimum over measured rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTimes {
+    /// Typed DDT send: `MPI_Send(buf, 1, ddt)` → typed `MPI_Recv`.
+    pub ddt_ns: f64,
+    /// Pack-then-send of the same bytes: `MPI_Pack` + byte send →
+    /// byte recv + `MPI_Unpack` (receiver time spans recv + unpack, so
+    /// the sender's pack delay is visible through the wire wait).
+    pub pack_send_ns: f64,
+    /// Naive element-wise loop: one `MPI_BYTE` message per contiguous
+    /// block of the type map.
+    pub naive_ns: f64,
+}
+
+/// The per-cell guideline verdicts plus the worst violation ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eval {
+    /// G1 with plain system MPI.
+    pub g1_off: bool,
+    /// G2 with plain system MPI.
+    pub g2_off: bool,
+    /// G1 with TEMPI interposed.
+    pub g1_on: bool,
+    /// G2 with TEMPI interposed.
+    pub g2_on: bool,
+    /// G3: TEMPI-on satisfies every guideline TEMPI-off satisfies.
+    pub g3: bool,
+    /// G4: canonicalization does not regress a normalized layout.
+    pub g4: bool,
+    /// Largest `time / reference` ratio among the violated guidelines
+    /// (1.0 when every guideline holds).
+    pub worst_ratio: f64,
+}
+
+impl Eval {
+    /// Does every guideline hold?
+    pub fn clean(&self) -> bool {
+        self.g1_off && self.g2_off && self.g1_on && self.g2_on && self.g3 && self.g4
+    }
+}
+
+/// Evaluate the guidelines for one cell from its measured times.
+///
+/// `limit = 1 + tol`: a guideline `a ≤ b` is satisfied when
+/// `a ≤ b · limit`, so exact ties and anything inside the tolerance
+/// pass. G4 is vacuously true when the plan is not `normalized`
+/// (fallback/empty plans make no canonicalization claim).
+pub fn evaluate(
+    off: CellTimes,
+    on: CellTimes,
+    on_nocanon_ddt_ns: f64,
+    normalized: bool,
+    tol: f64,
+) -> Eval {
+    let limit = 1.0 + tol;
+    let holds = |t: f64, reference: f64| t <= reference * limit;
+    let g1_off = holds(off.ddt_ns, off.pack_send_ns);
+    let g2_off = holds(off.ddt_ns, off.naive_ns);
+    let g1_on = holds(on.ddt_ns, on.pack_send_ns);
+    let g2_on = holds(on.ddt_ns, on.naive_ns);
+    let g3 = (!g1_off || g1_on) && (!g2_off || g2_on);
+    let g4 = !normalized || holds(on.ddt_ns, on_nocanon_ddt_ns);
+    let mut worst: f64 = 1.0;
+    for (ok, t, reference) in [
+        (g1_off, off.ddt_ns, off.pack_send_ns),
+        (g2_off, off.ddt_ns, off.naive_ns),
+        (g1_on, on.ddt_ns, on.pack_send_ns),
+        (g2_on, on.ddt_ns, on.naive_ns),
+        (g4, on.ddt_ns, on_nocanon_ddt_ns),
+    ] {
+        if !ok {
+            worst = worst.max(t / reference);
+        }
+    }
+    Eval {
+        g1_off,
+        g2_off,
+        g1_on,
+        g2_on,
+        g3,
+        g4,
+        worst_ratio: worst,
+    }
+}
+
+/// One (pattern, vendor) cell of `BENCH_guidelines.json`: the raw
+/// virtual times of both deployments, the plan TEMPI built, the six
+/// verdicts, and the worst violation ratio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuidelineRow {
+    /// Zoo pattern label ([`ZooPattern::label`]).
+    pub pattern: String,
+    /// Vendor profile label ([`VendorId::label`]).
+    pub vendor: String,
+    /// Data bytes the pattern denotes.
+    pub size_bytes: usize,
+    /// Contiguous blocks (= naive-loop messages).
+    pub nblocks: usize,
+    /// What TEMPI's commit resolved the type to (`contiguous`,
+    /// `strided`, `blocklist`, `fallback(...)`, `empty`).
+    pub plan: String,
+    /// Does the plan claim canonical handling (G4 applies)?
+    pub normalized: bool,
+    /// Typed send, TEMPI off, virtual ns.
+    pub off_ddt_ns: f64,
+    /// Pack-then-send, TEMPI off, virtual ns.
+    pub off_pack_send_ns: f64,
+    /// Naive loop, TEMPI off, virtual ns.
+    pub off_naive_ns: f64,
+    /// Typed send, TEMPI on, virtual ns.
+    pub on_ddt_ns: f64,
+    /// Pack-then-send, TEMPI on, virtual ns.
+    pub on_pack_send_ns: f64,
+    /// Naive loop, TEMPI on, virtual ns.
+    pub on_naive_ns: f64,
+    /// Typed send, TEMPI on with `canonicalize = false`, virtual ns.
+    pub on_nocanon_ddt_ns: f64,
+    /// G1 verdict, TEMPI off.
+    pub g1_off: bool,
+    /// G2 verdict, TEMPI off.
+    pub g2_off: bool,
+    /// G1 verdict, TEMPI on.
+    pub g1_on: bool,
+    /// G2 verdict, TEMPI on.
+    pub g2_on: bool,
+    /// G3 verdict (the build-failing one).
+    pub g3: bool,
+    /// G4 verdict.
+    pub g4: bool,
+    /// Worst violation ratio (1.0 when clean).
+    pub worst_ratio: f64,
+}
+
+impl GuidelineRow {
+    /// Is every guideline satisfied on this cell?
+    pub fn clean(&self) -> bool {
+        self.g1_off && self.g2_off && self.g1_on && self.g2_on && self.g3 && self.g4
+    }
+}
+
+impl GatedSuite for GuidelineRow {
+    const SUITE: &'static str = "guidelines";
+    const TOLERANCE: f64 = crate::baseline::TOLERANCE;
+
+    fn row_key(&self) -> String {
+        format!("{} [{}]", self.pattern, self.vendor)
+    }
+
+    fn timings(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("off_ddt_ns", self.off_ddt_ns),
+            ("off_pack_send_ns", self.off_pack_send_ns),
+            ("off_naive_ns", self.off_naive_ns),
+            ("on_ddt_ns", self.on_ddt_ns),
+            ("on_pack_send_ns", self.on_pack_send_ns),
+            ("on_naive_ns", self.on_naive_ns),
+            ("on_nocanon_ddt_ns", self.on_nocanon_ddt_ns),
+        ]
+    }
+
+    fn verdicts(&self) -> Vec<(&'static str, bool)> {
+        vec![
+            ("g1_off", self.g1_off),
+            ("g2_off", self.g2_off),
+            ("g1_on", self.g1_on),
+            ("g2_on", self.g2_on),
+            ("g3", self.g3),
+            ("g4", self.g4),
+        ]
+    }
+}
+
+/// One violated guideline on one cell, for the worst-first report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// `"pattern [vendor]"` of the offending cell.
+    pub row: String,
+    /// Which guideline: `"G1[off]"`, `"G2[on]"`, `"G3"`, `"G4"`, …
+    pub guideline: &'static str,
+    /// `time / reference` of the violated comparison (G3 reports the
+    /// worst ratio of the TEMPI-on guidelines it derives from).
+    pub ratio: f64,
+    /// Human-readable explanation with the two times.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {:.2}x — {}",
+            self.row, self.guideline, self.ratio, self.detail
+        )
+    }
+}
+
+/// Collect every violated guideline across `rows`, worst ratio first.
+pub fn violations(rows: &[GuidelineRow]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for r in rows {
+        let key = r.row_key();
+        let mut push = |guideline, t: f64, reference: f64, what: String| {
+            out.push(Violation {
+                row: key.clone(),
+                guideline,
+                ratio: t / reference,
+                detail: format!("{what} ({t:.0} ns vs {reference:.0} ns)"),
+            });
+        };
+        if !r.g1_off {
+            push(
+                "G1[off]",
+                r.off_ddt_ns,
+                r.off_pack_send_ns,
+                "system DDT send loses to pack-then-send".into(),
+            );
+        }
+        if !r.g2_off {
+            push(
+                "G2[off]",
+                r.off_ddt_ns,
+                r.off_naive_ns,
+                "system DDT send loses to the naive loop".into(),
+            );
+        }
+        if !r.g1_on {
+            push(
+                "G1[on]",
+                r.on_ddt_ns,
+                r.on_pack_send_ns,
+                "TEMPI DDT send loses to pack-then-send".into(),
+            );
+        }
+        if !r.g2_on {
+            push(
+                "G2[on]",
+                r.on_ddt_ns,
+                r.on_naive_ns,
+                "TEMPI DDT send loses to the naive loop".into(),
+            );
+        }
+        if !r.g3 {
+            // report the worse of the TEMPI-on comparisons whose off-side
+            // counterpart held
+            let (t, reference, what) = if r.g1_off && !r.g1_on {
+                (
+                    r.on_ddt_ns,
+                    r.on_pack_send_ns,
+                    "TEMPI-on violates G1 where TEMPI-off satisfies it",
+                )
+            } else {
+                (
+                    r.on_ddt_ns,
+                    r.on_naive_ns,
+                    "TEMPI-on violates G2 where TEMPI-off satisfies it",
+                )
+            };
+            push("G3", t, reference, what.into());
+        }
+        if !r.g4 {
+            push(
+                "G4",
+                r.on_ddt_ns,
+                r.on_nocanon_ddt_ns,
+                format!("canonicalization regresses a {} plan", r.plan),
+            );
+        }
+    }
+    out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    out
+}
+
+/// Render the human-readable violations report (worst first), ending
+/// with a one-line clean/violated summary.
+pub fn render_report(rows: &[GuidelineRow], tol: f64) -> String {
+    let v = violations(rows);
+    let mut s = format!(
+        "performance-guidelines report: {} cells, tolerance {:.0}%\n",
+        rows.len(),
+        tol * 100.0
+    );
+    if v.is_empty() {
+        s.push_str("all guidelines satisfied on every cell\n");
+        return s;
+    }
+    s.push_str(&format!("{} violation(s), worst first:\n", v.len()));
+    for violation in &v {
+        s.push_str(&format!("  {violation}\n"));
+    }
+    let g3 = v.iter().filter(|v| v.guideline == "G3").count();
+    s.push_str(&format!(
+        "{g3} G3 violation(s) — TEMPI-on worse than TEMPI-off fails the build\n"
+    ));
+    s
+}
+
+/// The TEMPI deployment the harness interposes: the default pipeline
+/// plus the indexed/struct block-list extension, so the struct-of-arrays
+/// and block-cyclic zoo families route through TEMPI's kernels instead
+/// of falling back.
+pub fn tempi_on_config() -> TempiConfig {
+    TempiConfig {
+        extend_struct: true,
+        ..TempiConfig::default()
+    }
+}
+
+/// The vendor a measurement platform simulates.
+fn vendor_of(platform: Platform) -> VendorId {
+    match platform {
+        Platform::Mvapich => VendorId::Mvapich,
+        Platform::OpenMpi => VendorId::OpenMpi,
+        Platform::Summit => VendorId::SpectrumMpi,
+    }
+}
+
+/// Probe what TEMPI's commit pipeline resolves `pattern` to on
+/// `platform`: a plan label and whether the plan claims canonical
+/// handling (strided or block-list — the layouts G4 ranges over).
+pub fn plan_label(platform: Platform, pattern: ZooPattern) -> MpiResult<(String, bool)> {
+    let mut ctx = RankCtx::standalone(&platform.world(1));
+    let mut tempi = Tempi::new(tempi_on_config());
+    let dt = pattern.build(&mut ctx)?;
+    let plan = tempi.type_commit(&mut ctx, dt)?;
+    Ok(match &plan.kind {
+        PlanKind::Empty => ("empty".to_string(), false),
+        PlanKind::Strided(_) if plan.is_contiguous() => ("contiguous".to_string(), true),
+        PlanKind::Strided(_) => ("strided".to_string(), true),
+        PlanKind::Blocks(_) => ("blocklist".to_string(), true),
+        PlanKind::Fallback(c) => (format!("fallback({c:?})"), false),
+    })
+}
+
+/// Measure the three delivery times of one cell: a 2-rank world (one
+/// rank per node), barrier per round, receiver-side minimum over
+/// measured rounds. `config = None` runs plain system MPI
+/// ([`InterposedMpi::system_only`]); `Some` interposes TEMPI with that
+/// configuration. With `typed_only` the two reference measurements are
+/// skipped (the G4 ablation needs only the typed time).
+pub fn measure_cell(
+    platform: Platform,
+    config: Option<&TempiConfig>,
+    pattern: ZooPattern,
+    typed_only: bool,
+) -> MpiResult<CellTimes> {
+    let mut cfg = platform.world(2);
+    cfg.net.ranks_per_node = 1;
+    let results = World::run(&cfg, move |ctx| {
+        let mut mpi = match config {
+            Some(c) => InterposedMpi::new(c.clone()),
+            None => InterposedMpi::system_only(),
+        };
+        let dt = pattern.build(ctx)?;
+        mpi.type_commit(ctx, dt)?;
+        let buf = ctx.gpu.malloc(pattern.span().max(1))?;
+        let total = pattern.total_bytes();
+
+        // typed DDT send
+        let mut typed = u64::MAX;
+        for i in 0..TYPED_WARMUP + TYPED_ROUNDS {
+            ctx.barrier();
+            let ps = if ctx.rank == 0 {
+                mpi.send(ctx, buf, 1, dt, 1, 0)?;
+                0
+            } else {
+                let t0 = ctx.clock.now();
+                mpi.recv(ctx, buf, 1, dt, Some(0), Some(0))?;
+                (ctx.clock.now() - t0).as_ps()
+            };
+            if i >= TYPED_WARMUP {
+                typed = typed.min(ps);
+            }
+        }
+        if typed_only {
+            return Ok([typed, 0, 0]);
+        }
+
+        // pack-then-send of the same bytes
+        let packed = ctx.gpu.malloc(total.max(1))?;
+        let mut pack_send = u64::MAX;
+        for i in 0..PACK_WARMUP + PACK_ROUNDS {
+            ctx.barrier();
+            let ps = if ctx.rank == 0 {
+                let mut pos = 0;
+                mpi.pack(ctx, buf, 1, dt, packed, total, &mut pos)?;
+                mpi.send(ctx, packed, total, MPI_BYTE, 1, 1)?;
+                0
+            } else {
+                let t0 = ctx.clock.now();
+                mpi.recv(ctx, packed, total, MPI_BYTE, Some(0), Some(1))?;
+                let mut pos = 0;
+                mpi.unpack(ctx, packed, total, &mut pos, buf, 1, dt)?;
+                (ctx.clock.now() - t0).as_ps()
+            };
+            if i >= PACK_WARMUP {
+                pack_send = pack_send.min(ps);
+            }
+        }
+
+        // naive element-wise loop: one byte message per contiguous block
+        let segs = {
+            let reg = ctx.registry().read();
+            segments(&reg, dt)?
+        };
+        let at = |off: i64| {
+            buf.offset_by(off)
+                .ok_or_else(|| MpiError::InvalidArg("segment reaches before buffer".to_string()))
+        };
+        let mut naive = u64::MAX;
+        for i in 0..NAIVE_WARMUP + NAIVE_ROUNDS {
+            ctx.barrier();
+            let ps = if ctx.rank == 0 {
+                for seg in &segs {
+                    mpi.send(ctx, at(seg.off)?, seg.len as usize, MPI_BYTE, 1, 2)?;
+                }
+                0
+            } else {
+                let t0 = ctx.clock.now();
+                for seg in &segs {
+                    mpi.recv(
+                        ctx,
+                        at(seg.off)?,
+                        seg.len as usize,
+                        MPI_BYTE,
+                        Some(0),
+                        Some(2),
+                    )?;
+                }
+                (ctx.clock.now() - t0).as_ps()
+            };
+            if i >= NAIVE_WARMUP {
+                naive = naive.min(ps);
+            }
+        }
+        Ok([typed, pack_send, naive])
+    })?;
+    // the receiver's clock measured the deliveries
+    let ns = |ps: u64| ps as f64 / 1e3;
+    let [typed, pack_send, naive] = results[1];
+    Ok(CellTimes {
+        ddt_ns: ns(typed),
+        pack_send_ns: ns(pack_send),
+        naive_ns: ns(naive),
+    })
+}
+
+/// Measure and judge one (pattern, vendor) cell: both deployments, the
+/// G4 ablation, the plan probe, and the guideline evaluation at
+/// tolerance `tol`.
+pub fn run_cell(platform: Platform, pattern: ZooPattern, tol: f64) -> MpiResult<GuidelineRow> {
+    let on_cfg = tempi_on_config();
+    let nocanon_cfg = TempiConfig {
+        canonicalize: false,
+        ..tempi_on_config()
+    };
+    let off = measure_cell(platform, None, pattern, false)?;
+    let on = measure_cell(platform, Some(&on_cfg), pattern, false)?;
+    let nocanon = measure_cell(platform, Some(&nocanon_cfg), pattern, true)?;
+    let (plan, normalized) = plan_label(platform, pattern)?;
+    let eval = evaluate(off, on, nocanon.ddt_ns, normalized, tol);
+    Ok(GuidelineRow {
+        pattern: pattern.label(),
+        vendor: vendor_of(platform).label().to_string(),
+        size_bytes: pattern.total_bytes(),
+        nblocks: pattern.nblocks(),
+        plan,
+        normalized,
+        off_ddt_ns: off.ddt_ns,
+        off_pack_send_ns: off.pack_send_ns,
+        off_naive_ns: off.naive_ns,
+        on_ddt_ns: on.ddt_ns,
+        on_pack_send_ns: on.pack_send_ns,
+        on_naive_ns: on.naive_ns,
+        on_nocanon_ddt_ns: nocanon.ddt_ns,
+        g1_off: eval.g1_off,
+        g2_off: eval.g2_off,
+        g1_on: eval.g1_on,
+        g2_on: eval.g2_on,
+        g3: eval.g3,
+        g4: eval.g4,
+        worst_ratio: eval.worst_ratio,
+    })
+}
+
+/// Run the whole zoo on the given platforms at tolerance `tol`.
+pub fn run_zoo_on(platforms: &[Platform], tol: f64) -> MpiResult<Vec<GuidelineRow>> {
+    let mut rows = Vec::new();
+    for &platform in platforms {
+        for pattern in ZooPattern::zoo() {
+            rows.push(run_cell(platform, pattern, tol)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Run the whole zoo across all three vendor profiles — what
+/// `check_guidelines` and the committed baseline cover.
+pub fn run_zoo(tol: f64) -> MpiResult<Vec<GuidelineRow>> {
+    run_zoo_on(&Platform::ALL, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(ddt: f64, pack: f64, naive: f64) -> CellTimes {
+        CellTimes {
+            ddt_ns: ddt,
+            pack_send_ns: pack,
+            naive_ns: naive,
+        }
+    }
+
+    #[test]
+    fn clean_cell_satisfies_everything() {
+        let t = cell(900.0, 1000.0, 5000.0);
+        let e = evaluate(t, t, 900.0, true, 0.10);
+        assert!(e.clean(), "{e:?}");
+        assert_eq!(e.worst_ratio, 1.0);
+    }
+
+    #[test]
+    fn g1_violation_is_detected_per_mode() {
+        // off loses to pack-then-send, on does not
+        let off = cell(2000.0, 1000.0, 5000.0);
+        let on = cell(900.0, 1000.0, 5000.0);
+        let e = evaluate(off, on, 900.0, true, 0.10);
+        assert!(!e.g1_off && e.g1_on && e.g2_off && e.g2_on);
+        // G3 holds: the violated guideline was already violated off
+        assert!(e.g3);
+        assert!((e.worst_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g2_violation_flags_the_naive_loss() {
+        let off = cell(900.0, 1000.0, 5000.0);
+        let on = cell(9000.0, 10000.0, 5000.0); // slower than naive, not pack
+        let e = evaluate(off, on, 9000.0, true, 0.10);
+        assert!(e.g1_on && !e.g2_on && e.g2_off);
+        assert!(!e.g3, "on violates G2 that off satisfied");
+    }
+
+    #[test]
+    fn g3_catches_tempi_introduced_violations_only() {
+        let off = cell(900.0, 1000.0, 5000.0); // off satisfies G1+G2
+        let on = cell(1500.0, 1000.0, 5000.0); // on violates G1
+        let e = evaluate(off, on, 1500.0, true, 0.10);
+        assert!(!e.g1_on && !e.g3);
+        // if off also violated G1, G3 would hold
+        let off_bad = cell(1500.0, 1000.0, 5000.0);
+        let e2 = evaluate(off_bad, on, 1500.0, true, 0.10);
+        assert!(!e2.g1_off && !e2.g1_on && e2.g3);
+    }
+
+    #[test]
+    fn g4_only_applies_to_normalized_plans() {
+        let t = cell(2000.0, 3000.0, 5000.0);
+        // canonicalized send 2x the ablated send: a G4 violation...
+        let e = evaluate(t, t, 1000.0, true, 0.10);
+        assert!(!e.g4);
+        assert!((e.worst_ratio - 2.0).abs() < 1e-12);
+        // ...unless the plan made no canonicalization claim
+        let e2 = evaluate(t, t, 1000.0, false, 0.10);
+        assert!(e2.g4 && e2.clean());
+    }
+
+    #[test]
+    fn tolerance_edges_are_inclusive() {
+        // exactly at the limit: satisfied
+        let at = cell(1100.0, 1000.0, 1000.0 / 1.1);
+        let e = evaluate(at, at, 1000.0, true, 0.10);
+        assert!(e.g1_off && e.g1_on && e.g4);
+        // a hair past it: violated
+        let past = cell(1100.1, 1000.0, 10_000.0);
+        let e2 = evaluate(past, past, 1000.0, true, 0.10);
+        assert!(!e2.g1_off && !e2.g1_on && !e2.g4);
+        // zero tolerance gates exact ties only
+        let tie = cell(1000.0, 1000.0, 1000.0);
+        let e3 = evaluate(tie, tie, 1000.0, true, 0.0);
+        assert!(e3.clean());
+    }
+
+    fn row(pattern: &str, vendor: &str) -> GuidelineRow {
+        GuidelineRow {
+            pattern: pattern.to_string(),
+            vendor: vendor.to_string(),
+            size_bytes: 1024,
+            nblocks: 16,
+            plan: "strided".to_string(),
+            normalized: true,
+            off_ddt_ns: 900.0,
+            off_pack_send_ns: 1000.0,
+            off_naive_ns: 5000.0,
+            on_ddt_ns: 900.0,
+            on_pack_send_ns: 1000.0,
+            on_naive_ns: 5000.0,
+            on_nocanon_ddt_ns: 900.0,
+            g1_off: true,
+            g2_off: true,
+            g1_on: true,
+            g2_on: true,
+            g3: true,
+            g4: true,
+            worst_ratio: 1.0,
+        }
+    }
+
+    #[test]
+    fn violations_sort_worst_first_and_name_the_cell() {
+        let mut a = row("col/256x8@2048", "mvapich");
+        a.g1_on = false;
+        a.g3 = false;
+        a.on_ddt_ns = 1500.0; // 1.5x
+        let mut b = row("soa/8x2048@65536", "spectrum");
+        b.g4 = false;
+        b.on_ddt_ns = 3000.0;
+        b.on_nocanon_ddt_ns = 1000.0; // 3.0x
+        let v = violations(&[a, b]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].guideline, "G4");
+        assert!((v[0].ratio - 3.0).abs() < 1e-12);
+        assert!(
+            v[0].row.contains("soa/8x2048@65536 [spectrum]"),
+            "{}",
+            v[0].row
+        );
+        assert!(v.iter().any(|x| x.guideline == "G3"));
+        let report = render_report(&[row("row/65536", "openmpi")], 0.10);
+        assert!(report.contains("all guidelines satisfied"), "{report}");
+    }
+
+    #[test]
+    fn rows_round_trip_through_json_and_key_by_pattern_and_vendor() {
+        let r = row("nested/32@8192x16x64@256", "openmpi");
+        let s = serde_json::to_string(&[r]).unwrap();
+        let back: Vec<GuidelineRow> = serde_json::from_str(&s).unwrap();
+        assert_eq!(back[0].row_key(), "nested/32@8192x16x64@256 [openmpi]");
+        assert_eq!(back[0].timings().len(), 7);
+        assert_eq!(back[0].verdicts().len(), 6);
+    }
+
+    #[test]
+    fn plan_probe_classifies_the_zoo_families() {
+        let (p, n) = plan_label(Platform::Summit, ZooPattern::Row { bytes: 4096 }).unwrap();
+        assert_eq!(p, "contiguous");
+        assert!(n);
+        let (p, n) = plan_label(
+            Platform::Summit,
+            ZooPattern::Col {
+                rows: 16,
+                elem: 8,
+                row_bytes: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(p, "strided");
+        assert!(n);
+    }
+
+    #[test]
+    fn measure_cell_reproduces_the_paper_status_quo() {
+        let pattern = ZooPattern::Col {
+            rows: 64,
+            elem: 8,
+            row_bytes: 256,
+        };
+        let on_cfg = tempi_on_config();
+        let off = measure_cell(Platform::Summit, None, pattern, false).unwrap();
+        let on = measure_cell(Platform::Summit, Some(&on_cfg), pattern, false).unwrap();
+        for t in [&off, &on] {
+            assert!(
+                t.ddt_ns > 0.0 && t.pack_send_ns > 0.0 && t.naive_ns > 0.0,
+                "{t:?}"
+            );
+        }
+        // TEMPI's typed send satisfies both guidelines on this cell:
+        // no slower than pack-then-send, faster than the naive loop
+        assert!(on.ddt_ns <= on.pack_send_ns * 1.10, "{on:?}");
+        assert!(on.ddt_ns < on.naive_ns, "{on:?}");
+        // and it beats the vendor's typed path (the paper's headline)
+        assert!(on.ddt_ns < off.ddt_ns, "on {on:?} vs off {off:?}");
+        // typed-only measurement returns the same typed time, cheaper
+        let typed = measure_cell(Platform::Summit, Some(&on_cfg), pattern, true).unwrap();
+        assert_eq!(typed.ddt_ns, on.ddt_ns);
+    }
+}

@@ -9,13 +9,15 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod guidelines;
 pub mod measure;
 pub mod report;
 pub mod workloads;
 
-pub use baseline::{compare, compare_scale, BenchRow, Regression, ScaleRegression, ScaleRow};
+pub use baseline::{compare_rows, BenchRow, GatedSuite, Regression, ScaleRow, TOLERANCE};
+pub use guidelines::{evaluate, run_zoo, run_zoo_on, CellTimes, GuidelineRow, Violation};
 pub use measure::{
     commit_breakdown, pack_time, send_one_way_times, send_pair_time, trimean, Mode, Platform,
 };
-pub use report::{fmt_bytes, fmt_speedup, write_json, Table};
-pub use workloads::{fig6_set, Construction, Fig6Object, Obj2d, Obj3d};
+pub use report::{fmt_bytes, fmt_speedup, out_dir_from_args, write_json, write_rows, Table};
+pub use workloads::{fig6_set, Construction, Fig6Object, Obj2d, Obj3d, ZooPattern};

@@ -62,6 +62,41 @@ impl Table {
     }
 }
 
+/// Resolve the shared `--out DIR` flag of the bench binaries from the
+/// process arguments, defaulting to `default` (the repository root for
+/// the `BENCH_*.json` gate inputs). Other arguments are left for the
+/// binary's own parsing; `--out` without a value is an error.
+pub fn out_dir_from_args(default: &str) -> Result<PathBuf, String> {
+    let mut dir = PathBuf::from(default);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            dir = PathBuf::from(
+                args.next()
+                    .ok_or_else(|| "--out requires a directory argument".to_string())?,
+            );
+        }
+    }
+    Ok(dir)
+}
+
+/// Write `rows` as pretty JSON to `dir/name`, creating `dir` if needed.
+/// Unlike [`write_json`] this is for gate inputs, where a silent write
+/// failure would let CI pass on stale rows — so failures are returned
+/// for the binary to exit non-zero on, not swallowed.
+pub fn write_rows<T: Serialize>(
+    dir: &std::path::Path,
+    name: &str,
+    rows: &T,
+) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    let s =
+        serde_json::to_string_pretty(rows).map_err(|e| format!("cannot serialize {name}: {e}"))?;
+    fs::write(&path, s + "\n").map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
 /// Write `rows` as pretty JSON to `results/<name>.json` (best effort: the
 /// directory is created if needed; failures are reported but not fatal).
 pub fn write_json<T: Serialize>(name: &str, rows: &T) {
@@ -133,6 +168,18 @@ mod tests {
         assert_eq!(fmt_bytes(1 << 10), "1 KiB");
         assert_eq!(fmt_bytes(37), "37 B");
         assert_eq!(fmt_bytes(4 << 20), "4 MiB");
+    }
+
+    #[test]
+    fn write_rows_round_trips_and_reports_failures() {
+        let dir = std::env::temp_dir().join("tempi_bench_write_rows_test");
+        let p = write_rows(&dir, "x.json", &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        // a file in the directory position errors instead of panicking
+        let bad = p.join("nested");
+        assert!(write_rows(&bad, "y.json", &1).is_err());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

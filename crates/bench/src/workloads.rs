@@ -275,6 +275,272 @@ impl Obj3d {
     }
 }
 
+/// One access pattern of the performance-guidelines zoo — the
+/// Hunold/Träff ("MPI Derived Datatypes: Performance Expectations and
+/// Status Quo") pattern families plus representatives of the existing
+/// fig-zoo, each expressed through the MPI construction a real
+/// application would use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZooPattern {
+    /// Row extraction from a C-order matrix: one fully contiguous run of
+    /// `bytes` (the degenerate guideline case — a DDT send of contiguous
+    /// data must not lose to a plain byte send).
+    Row {
+        /// Row length in bytes.
+        bytes: usize,
+    },
+    /// Column extraction from a C-order matrix of `rows` rows: `rows`
+    /// blocks of `elem` bytes, `row_bytes` apart (`MPI_Type_vector`).
+    Col {
+        /// Number of matrix rows (= number of blocks).
+        rows: usize,
+        /// Element width in bytes (= block length).
+        elem: usize,
+        /// Row pitch in bytes (= stride).
+        row_bytes: usize,
+    },
+    /// A block-cyclic distribution slice: `blocks` blocks of `block`
+    /// bytes, one every `cycle` bytes, expressed as
+    /// `MPI_Type_create_indexed_block` (the combiner a ScaLAPACK-style
+    /// decomposition produces — same layout as a vector, different
+    /// construction, so it exercises canonicalization).
+    BlockCyclic {
+        /// Number of owned blocks.
+        blocks: usize,
+        /// Block length in bytes.
+        block: usize,
+        /// Distance between owned block starts in bytes.
+        cycle: usize,
+    },
+    /// Struct-of-arrays extraction: the first `take` bytes of each of
+    /// `fields` member arrays (each `field_bytes` long, laid out
+    /// back-to-back), expressed as `MPI_Type_create_struct` over byte
+    /// blocks — few large blocks at large offsets, a combiner that
+    /// defeats subarray-style translation.
+    Soa {
+        /// Number of member arrays.
+        fields: usize,
+        /// Bytes taken from the head of each array.
+        take: usize,
+        /// Full length of one member array in bytes.
+        field_bytes: usize,
+    },
+    /// Nested vector-of-vector: `planes` repetitions (`plane_stride`
+    /// apart, via hvector) of an inner `MPI_Type_vector` of `rows` blocks
+    /// of `block` bytes `row_stride` apart — the 3-D box a naive
+    /// application composes instead of one subarray.
+    Nested {
+        /// Outer repetition count.
+        planes: usize,
+        /// Outer stride in bytes.
+        plane_stride: usize,
+        /// Inner block count.
+        rows: usize,
+        /// Inner block length in bytes.
+        block: usize,
+        /// Inner stride in bytes.
+        row_stride: usize,
+    },
+    /// An existing fig-zoo 2-D object (50%-density strided family),
+    /// expressed as hvector like `bench_send` does.
+    Fig2d(Obj2d),
+    /// An existing fig-zoo 3-D box, expressed as one n-D subarray.
+    Fig3d(Obj3d),
+}
+
+impl ZooPattern {
+    /// The guidelines zoo: every Hunold/Träff pattern family at a small
+    /// and a large size where meaningful, plus fig-zoo representatives.
+    /// Block counts stay ≤ 1024 so the naive element-wise reference loop
+    /// (one message per block) stays tractable at every cell.
+    pub fn zoo() -> Vec<ZooPattern> {
+        vec![
+            ZooPattern::Row { bytes: 64 << 10 },
+            ZooPattern::Col {
+                rows: 256,
+                elem: 8,
+                row_bytes: 2048,
+            },
+            ZooPattern::Col {
+                rows: 1024,
+                elem: 64,
+                row_bytes: 64 << 10,
+            },
+            ZooPattern::BlockCyclic {
+                blocks: 512,
+                block: 128,
+                cycle: 512,
+            },
+            ZooPattern::Soa {
+                fields: 8,
+                take: 2048,
+                field_bytes: 64 << 10,
+            },
+            ZooPattern::Nested {
+                planes: 32,
+                plane_stride: 8192,
+                rows: 16,
+                block: 64,
+                row_stride: 256,
+            },
+            ZooPattern::Fig2d(Obj2d {
+                incount: 1,
+                block: 16,
+                count: 512,
+                stride: 32,
+            }),
+            ZooPattern::Fig2d(Obj2d {
+                incount: 1,
+                block: 4096,
+                count: 64,
+                stride: 8192,
+            }),
+            ZooPattern::Fig3d(Obj3d {
+                alloc: 128,
+                x: 32,
+                y: 16,
+                z: 16,
+            }),
+        ]
+    }
+
+    /// Stable row label (pattern family + geometry).
+    pub fn label(&self) -> String {
+        match *self {
+            ZooPattern::Row { bytes } => format!("row/{bytes}"),
+            ZooPattern::Col {
+                rows,
+                elem,
+                row_bytes,
+            } => format!("col/{rows}x{elem}@{row_bytes}"),
+            ZooPattern::BlockCyclic {
+                blocks,
+                block,
+                cycle,
+            } => format!("blockcyclic/{blocks}x{block}@{cycle}"),
+            ZooPattern::Soa {
+                fields,
+                take,
+                field_bytes,
+            } => format!("soa/{fields}x{take}@{field_bytes}"),
+            ZooPattern::Nested {
+                planes,
+                plane_stride,
+                rows,
+                block,
+                row_stride,
+            } => format!("nested/{planes}@{plane_stride}x{rows}x{block}@{row_stride}"),
+            ZooPattern::Fig2d(o) => format!("fig2d/{}", o.label()),
+            ZooPattern::Fig3d(o) => format!("fig3d/{}", o.label()),
+        }
+    }
+
+    /// Data bytes one item of the pattern denotes.
+    pub fn total_bytes(&self) -> usize {
+        match *self {
+            ZooPattern::Row { bytes } => bytes,
+            ZooPattern::Col { rows, elem, .. } => rows * elem,
+            ZooPattern::BlockCyclic { blocks, block, .. } => blocks * block,
+            ZooPattern::Soa { fields, take, .. } => fields * take,
+            ZooPattern::Nested {
+                planes,
+                rows,
+                block,
+                ..
+            } => planes * rows * block,
+            ZooPattern::Fig2d(o) => o.total_bytes(),
+            ZooPattern::Fig3d(o) => o.total_bytes(),
+        }
+    }
+
+    /// Number of contiguous blocks (= messages the naive element-wise
+    /// reference loop sends).
+    pub fn nblocks(&self) -> usize {
+        match *self {
+            ZooPattern::Row { .. } => 1,
+            ZooPattern::Col { rows, .. } => rows,
+            ZooPattern::BlockCyclic { blocks, .. } => blocks,
+            ZooPattern::Soa { fields, .. } => fields,
+            ZooPattern::Nested { planes, rows, .. } => planes * rows,
+            ZooPattern::Fig2d(o) => o.count * o.incount,
+            ZooPattern::Fig3d(o) => o.y * o.z,
+        }
+    }
+
+    /// Bytes the source/destination buffer must span.
+    pub fn span(&self) -> usize {
+        match *self {
+            ZooPattern::Row { bytes } => bytes,
+            ZooPattern::Col {
+                rows, row_bytes, ..
+            } => rows * row_bytes,
+            ZooPattern::BlockCyclic {
+                blocks,
+                block,
+                cycle,
+            } => (blocks - 1) * cycle + block,
+            ZooPattern::Soa {
+                fields,
+                field_bytes,
+                ..
+            } => fields * field_bytes,
+            ZooPattern::Nested {
+                planes,
+                plane_stride,
+                rows,
+                block,
+                row_stride,
+            } => (planes - 1) * plane_stride + (rows - 1) * row_stride + block,
+            ZooPattern::Fig2d(o) => o.span(),
+            ZooPattern::Fig3d(o) => o.alloc * o.alloc * o.alloc,
+        }
+    }
+
+    /// Create (not commit) the datatype the pattern's natural MPI
+    /// construction produces.
+    pub fn build(&self, ctx: &mut RankCtx) -> MpiResult<Datatype> {
+        match *self {
+            ZooPattern::Row { bytes } => ctx.type_contiguous(bytes as i32, MPI_BYTE),
+            ZooPattern::Col {
+                rows,
+                elem,
+                row_bytes,
+            } => ctx.type_vector(rows as i32, elem as i32, row_bytes as i32, MPI_BYTE),
+            ZooPattern::BlockCyclic {
+                blocks,
+                block,
+                cycle,
+            } => {
+                let displs: Vec<i32> = (0..blocks as i32).map(|i| i * cycle as i32).collect();
+                ctx.type_create_indexed_block(block as i32, &displs, MPI_BYTE)
+            }
+            ZooPattern::Soa {
+                fields,
+                take,
+                field_bytes,
+            } => {
+                let lens = vec![take as i32; fields];
+                let displs: Vec<i64> = (0..fields as i64).map(|i| i * field_bytes as i64).collect();
+                let types = vec![MPI_BYTE; fields];
+                ctx.type_create_struct(&lens, &displs, &types)
+            }
+            ZooPattern::Nested {
+                planes,
+                plane_stride,
+                rows,
+                block,
+                row_stride,
+            } => {
+                let inner =
+                    ctx.type_vector(rows as i32, block as i32, row_stride as i32, MPI_BYTE)?;
+                ctx.type_create_hvector(planes as i32, 1, plane_stride as i64, inner)
+            }
+            ZooPattern::Fig2d(o) => o.build(ctx, Construction::Hvector),
+            ZooPattern::Fig3d(o) => o.build(ctx, Construction::Subarray),
+        }
+    }
+}
+
 /// One entry of the Fig. 6 object set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fig6Object {
@@ -444,6 +710,72 @@ mod tests {
             let dt = o.build(&mut ctx).unwrap();
             assert!(ctx.attrs(dt).unwrap().size > 0, "{label}");
         }
+    }
+
+    #[test]
+    fn zoo_patterns_build_and_agree_with_their_geometry() {
+        let mut ctx = ctx();
+        let zoo = ZooPattern::zoo();
+        assert!(zoo.len() >= 9, "the expanded zoo shrank");
+        for p in &zoo {
+            let dt = p
+                .build(&mut ctx)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.label()));
+            let attrs = ctx.attrs(dt).unwrap();
+            assert_eq!(
+                attrs.size as usize,
+                p.total_bytes(),
+                "{}: type size disagrees with total_bytes()",
+                p.label()
+            );
+            let reg = ctx.registry().read();
+            let segs = segments(&reg, dt).unwrap();
+            assert_eq!(
+                segs.len(),
+                p.nblocks(),
+                "{}: segment count disagrees with nblocks()",
+                p.label()
+            );
+            assert!(
+                p.nblocks() <= 1024,
+                "{}: {} blocks — the naive reference loop budget is 1024",
+                p.label(),
+                p.nblocks()
+            );
+            // every block the type touches fits in the declared span
+            let last = segs.iter().map(|s| s.off + s.len as i64).max().unwrap();
+            assert!(
+                p.span() as i64 >= last,
+                "{}: span {} < last byte {last}",
+                p.label(),
+                p.span()
+            );
+        }
+        // labels are unique — they key baseline rows across runs
+        let mut labels: Vec<String> = zoo.iter().map(|p| p.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), zoo.len(), "duplicate zoo labels");
+    }
+
+    #[test]
+    fn block_cyclic_matches_equivalent_vector() {
+        // same layout, different construction: the canonicalization claim
+        // the guidelines gate leans on
+        let mut ctx = ctx();
+        let bc = ZooPattern::BlockCyclic {
+            blocks: 16,
+            block: 32,
+            cycle: 128,
+        };
+        let dt = bc.build(&mut ctx).unwrap();
+        let v = ctx.type_vector(16, 32, 128, MPI_BYTE).unwrap();
+        let reg = ctx.registry().read();
+        assert_eq!(
+            segments(&reg, dt).unwrap(),
+            segments(&reg, v).unwrap(),
+            "indexed_block and vector describe the same block-cyclic slice"
+        );
     }
 
     #[test]

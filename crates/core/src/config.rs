@@ -96,6 +96,15 @@ pub struct TempiConfig {
     /// the harness builds; the library itself only consults the
     /// [`tempi_trace::Tracer`] handed to each rank.
     pub trace: TraceLevel,
+    /// Relative slack the performance-guidelines gate (`check_guidelines`)
+    /// allows before a Hunold/Träff guideline counts as violated
+    /// (`TEMPI_GUIDELINE_TOL`): a derived-datatype send may be up to
+    /// `1 + guideline_tol` times slower than the pack-then-send / naive
+    /// reference before G1/G2 flag it. The default 0.10 absorbs modeling
+    /// asymmetries between the composed and fused paths (an extra
+    /// dispatch, one barrier's skew) while catching method-choice
+    /// regressions, which move cells by integer factors.
+    pub guideline_tol: f64,
 }
 
 impl Default for TempiConfig {
@@ -111,6 +120,7 @@ impl Default for TempiConfig {
             tuner: TunerMode::Model,
             tuner_seed: 0x7e3a_11c5,
             trace: TraceLevel::Off,
+            guideline_tol: 0.10,
         }
     }
 }
@@ -132,6 +142,7 @@ impl TempiConfig {
     /// | `TEMPI_TUNER=off\|model\|online` | method decision mode (default `model`) |
     /// | `TEMPI_TUNER_SEED=N` | seed for the tuner's exploration RNG |
     /// | `TEMPI_TRACE=off\|spans\|full` | observability level (default `off`) |
+    /// | `TEMPI_GUIDELINE_TOL=F` | relative slack of the performance-guidelines gate (default `0.10`) |
     ///
     /// Unknown or malformed values are rejected with a message naming the
     /// variable, rather than silently ignored.
@@ -202,6 +213,15 @@ impl TempiConfig {
         }
         if let Ok(v) = std::env::var("TEMPI_TRACE") {
             cfg.trace = TraceLevel::parse(&v)?;
+        }
+        if let Ok(v) = std::env::var("TEMPI_GUIDELINE_TOL") {
+            let tol: f64 = v
+                .parse()
+                .map_err(|_| format!("TEMPI_GUIDELINE_TOL must be a number, got `{v}`"))?;
+            if !tol.is_finite() || !(0.0..1.0).contains(&tol) {
+                return Err(format!("TEMPI_GUIDELINE_TOL must be in [0, 1), got {tol}"));
+            }
+            cfg.guideline_tol = tol;
         }
         if cfg.force_method == Some(Method::Pipelined) && cfg.pipeline_chunk.is_none() {
             return Err(
@@ -306,6 +326,22 @@ mod tests {
         }
 
         unsafe {
+            std::env::set_var("TEMPI_GUIDELINE_TOL", "0.05");
+        }
+        let cfg = TempiConfig::from_env().unwrap();
+        assert!((cfg.guideline_tol - 0.05).abs() < 1e-12);
+        for bad in ["snug", "-0.1", "1.5", "inf"] {
+            unsafe {
+                std::env::set_var("TEMPI_GUIDELINE_TOL", bad);
+            }
+            let err = TempiConfig::from_env().unwrap_err();
+            assert!(err.contains("TEMPI_GUIDELINE_TOL"), "{bad}: {err}");
+        }
+        unsafe {
+            std::env::remove_var("TEMPI_GUIDELINE_TOL");
+        }
+
+        unsafe {
             std::env::remove_var("TEMPI_NO_CANONICALIZE");
             std::env::remove_var("TEMPI_FORCE_WORD");
             std::env::remove_var("TEMPI_METHOD");
@@ -325,5 +361,6 @@ mod tests {
         assert!(c.pipeline_chunk.is_none());
         assert!(c.checkpoint_every.is_none());
         assert_eq!(c.tuner, TunerMode::Model);
+        assert!((c.guideline_tol - 0.10).abs() < 1e-12);
     }
 }

@@ -36,6 +36,18 @@ pub enum VendorId {
     Mvapich,
 }
 
+impl VendorId {
+    /// Stable lowercase label used as a row key in bench/guideline JSON
+    /// (`"mvapich"` / `"openmpi"` / `"spectrum"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            VendorId::SpectrumMpi => "spectrum",
+            VendorId::OpenMpi => "openmpi",
+            VendorId::Mvapich => "mvapich",
+        }
+    }
+}
+
 /// How the baseline handled one pack/unpack call (for reporting and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BaselineMethod {
@@ -687,5 +699,7 @@ mod tests {
         assert_eq!(all[1].id, VendorId::OpenMpi);
         assert_eq!(all[2].id, VendorId::SpectrumMpi);
         assert_eq!(all[2].version, "10.3.1.2");
+        let labels: Vec<&str> = all.iter().map(|p| p.id.label()).collect();
+        assert_eq!(labels, ["mvapich", "openmpi", "spectrum"]);
     }
 }
